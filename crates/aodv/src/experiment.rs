@@ -1,0 +1,169 @@
+//! The experiment harness: speed sweeps over the paper's scenario,
+//! multi-trial averaging, and the exact series Figures 1–5 plot.
+
+use crate::config::{Behavior, Protocol, ScenarioConfig};
+use crate::metrics::Metrics;
+use crate::network::Network;
+
+/// The node speeds the paper sweeps (m/s).
+pub const PAPER_SPEEDS: [f64; 5] = [0.0, 5.0, 10.0, 15.0, 20.0];
+
+/// Which attack (if any) a series runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackKind {
+    /// No malicious nodes.
+    None,
+    /// Two black hole nodes (the paper's "2 nodes black hole attack").
+    BlackHole2,
+    /// Two rushing nodes.
+    Rushing2,
+}
+
+impl AttackKind {
+    fn apply(&self, cfg: ScenarioConfig) -> ScenarioConfig {
+        match self {
+            AttackKind::None => cfg,
+            AttackKind::BlackHole2 => cfg.with_attackers(Behavior::BlackHole, 2),
+            AttackKind::Rushing2 => cfg.with_attackers(Behavior::Rushing, 2),
+        }
+    }
+
+    /// Label used in figure output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttackKind::None => "no attack",
+            AttackKind::BlackHole2 => "black hole attack",
+            AttackKind::Rushing2 => "rushing attack",
+        }
+    }
+}
+
+/// One point of a figure series: a speed and the averaged metrics.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Maximum node speed (m/s).
+    pub speed: f64,
+    /// Counters pooled over all trials (ratios computed on the pool).
+    pub metrics: Metrics,
+}
+
+/// A full series: protocol + attack swept over the paper's speeds.
+#[derive(Debug, Clone)]
+pub struct SweepSeries {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Attack configuration.
+    pub attack: AttackKind,
+    /// One point per speed.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepSeries {
+    /// Label like `"AODV black hole attack"` / `"McCLS"` matching the
+    /// paper's legends.
+    pub fn label(&self) -> String {
+        let proto = match self.protocol {
+            Protocol::Aodv => "AODV",
+            Protocol::McClsSecured => "McCLS",
+        };
+        match self.attack {
+            AttackKind::None => proto.to_owned(),
+            other => format!("{proto} {}", other.label()),
+        }
+    }
+}
+
+/// Runs one configuration for every speed in `speeds`, pooling `trials`
+/// seeds per point.
+pub fn sweep(
+    protocol: Protocol,
+    attack: AttackKind,
+    speeds: &[f64],
+    trials: u64,
+    base_seed: u64,
+) -> SweepSeries {
+    let points = speeds
+        .iter()
+        .map(|&speed| {
+            let mut pooled = Metrics::default();
+            for trial in 0..trials {
+                let seed = base_seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(trial)
+                    .wrapping_add((speed * 1000.0) as u64);
+                let mut cfg = ScenarioConfig::paper_baseline(speed, seed);
+                if protocol == Protocol::McClsSecured {
+                    cfg = cfg.secured();
+                }
+                let cfg = attack.apply(cfg);
+                pooled.merge(&Network::new(cfg).run());
+            }
+            SweepPoint { speed, metrics: pooled }
+        })
+        .collect();
+    SweepSeries { protocol, attack, points }
+}
+
+/// Renders a set of series as an aligned text table, one row per speed
+/// — the format the `fig*` binaries print.
+pub fn render_table(
+    title: &str,
+    metric_name: &str,
+    series: &[SweepSeries],
+    metric: impl Fn(&Metrics) -> f64,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    out.push_str(&format!("# metric: {metric_name}\n"));
+    out.push_str(&format!("{:>12}", "speed (m/s)"));
+    for s in series {
+        out.push_str(&format!("  {:>28}", s.label()));
+    }
+    out.push('\n');
+    let speeds: Vec<f64> = series
+        .first()
+        .map(|s| s.points.iter().map(|p| p.speed).collect())
+        .unwrap_or_default();
+    for (i, speed) in speeds.iter().enumerate() {
+        out.push_str(&format!("{speed:>12.1}"));
+        for s in series {
+            out.push_str(&format!("  {:>28.4}", metric(&s.points[i].metrics)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_speeds() -> [f64; 2] {
+        [0.0, 10.0]
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_speed() {
+        let s = sweep(Protocol::Aodv, AttackKind::None, &tiny_speeds(), 1, 1);
+        assert_eq!(s.points.len(), 2);
+        assert!(s.points[0].metrics.data_sent > 0);
+        assert_eq!(s.label(), "AODV");
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        let s = sweep(Protocol::McClsSecured, AttackKind::Rushing2, &[0.0], 1, 1);
+        assert_eq!(s.label(), "McCLS rushing attack");
+        let s = sweep(Protocol::Aodv, AttackKind::BlackHole2, &[0.0], 1, 1);
+        assert_eq!(s.label(), "AODV black hole attack");
+    }
+
+    #[test]
+    fn render_table_contains_all_rows() {
+        let series = vec![sweep(Protocol::Aodv, AttackKind::None, &tiny_speeds(), 1, 2)];
+        let table = render_table("Fig. X", "pdr", &series, Metrics::packet_delivery_ratio);
+        assert!(table.contains("Fig. X"));
+        assert!(table.contains("AODV"));
+        assert_eq!(table.lines().count(), 3 + tiny_speeds().len());
+    }
+}

@@ -1,0 +1,180 @@
+//! Run-level metrics — exactly the four the paper's evaluation section
+//! defines, plus supporting counters.
+
+use mccls_sim::SimDuration;
+
+/// Counters accumulated over one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Data packets originated by sources.
+    pub data_sent: u64,
+    /// Data packets forwarded by intermediate nodes.
+    pub data_forwarded: u64,
+    /// Data packets that reached their destination.
+    pub data_delivered: u64,
+    /// Sum of end-to-end delays of delivered packets (for the mean).
+    pub delay_total: SimDuration,
+    /// Data packets silently absorbed by attacker nodes.
+    pub attacker_dropped: u64,
+    /// Data packets dropped by honest nodes (no route, buffer overflow,
+    /// link break).
+    pub honest_dropped: u64,
+    /// RREQ floods initiated (first attempts).
+    pub rreq_initiated: u64,
+    /// RREQ rebroadcasts by intermediate nodes.
+    pub rreq_forwarded: u64,
+    /// RREQ floods retried after timeout.
+    pub rreq_retried: u64,
+    /// RREPs generated (by destinations or intermediates).
+    pub rrep_generated: u64,
+    /// RERR broadcasts.
+    pub rerr_sent: u64,
+    /// Packets rejected by signature verification (secured runs).
+    pub auth_rejected: u64,
+    /// Signatures produced (secured runs).
+    pub signatures_made: u64,
+    /// Signatures verified (secured runs).
+    pub signatures_checked: u64,
+    /// Total simulated events processed.
+    pub events: u64,
+    /// Sum of hop counts over delivered packets (for the mean path
+    /// length).
+    pub delivered_hops: u64,
+}
+
+impl Metrics {
+    /// Packet delivery ratio: delivered / sent (Fig. 1, Fig. 4).
+    pub fn packet_delivery_ratio(&self) -> f64 {
+        if self.data_sent == 0 {
+            return 0.0;
+        }
+        self.data_delivered as f64 / self.data_sent as f64
+    }
+
+    /// RREQ ratio (Fig. 2): RREQs initiated + forwarded + retried over
+    /// data sent as source + data forwarded.
+    pub fn rreq_ratio(&self) -> f64 {
+        let denom = self.data_sent + self.data_forwarded;
+        if denom == 0 {
+            return 0.0;
+        }
+        (self.rreq_initiated + self.rreq_forwarded + self.rreq_retried) as f64 / denom as f64
+    }
+
+    /// Mean end-to-end delay of delivered packets, seconds (Fig. 3).
+    pub fn avg_end_to_end_delay(&self) -> f64 {
+        if self.data_delivered == 0 {
+            return 0.0;
+        }
+        self.delay_total.as_secs_f64() / self.data_delivered as f64
+    }
+
+    /// Mean hop count of delivered packets.
+    pub fn avg_path_length(&self) -> f64 {
+        if self.data_delivered == 0 {
+            return 0.0;
+        }
+        self.delivered_hops as f64 / self.data_delivered as f64
+    }
+
+    /// Packet drop ratio (Fig. 5): packets discarded by attackers over
+    /// packets sent by sources.
+    pub fn packet_drop_ratio(&self) -> f64 {
+        if self.data_sent == 0 {
+            return 0.0;
+        }
+        self.attacker_dropped as f64 / self.data_sent as f64
+    }
+
+    /// Merges another run's counters (for multi-trial averaging of the
+    /// underlying counts).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.data_sent += other.data_sent;
+        self.data_forwarded += other.data_forwarded;
+        self.data_delivered += other.data_delivered;
+        self.delay_total = self.delay_total + other.delay_total;
+        self.attacker_dropped += other.attacker_dropped;
+        self.honest_dropped += other.honest_dropped;
+        self.rreq_initiated += other.rreq_initiated;
+        self.rreq_forwarded += other.rreq_forwarded;
+        self.rreq_retried += other.rreq_retried;
+        self.rrep_generated += other.rrep_generated;
+        self.rerr_sent += other.rerr_sent;
+        self.auth_rejected += other.auth_rejected;
+        self.signatures_made += other.signatures_made;
+        self.signatures_checked += other.signatures_checked;
+        self.events += other.events;
+        self.delivered_hops += other.delivered_hops;
+    }
+}
+
+impl core::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "PDR {:.3} | RREQ ratio {:.3} | delay {:.4}s | drop ratio {:.3} \
+             (sent {}, delivered {}, attacker-dropped {}, auth-rejected {})",
+            self.packet_delivery_ratio(),
+            self.rreq_ratio(),
+            self.avg_end_to_end_delay(),
+            self.packet_drop_ratio(),
+            self.data_sent,
+            self.data_delivered,
+            self.attacker_dropped,
+            self.auth_rejected,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_empty_runs() {
+        let m = Metrics::default();
+        assert_eq!(m.packet_delivery_ratio(), 0.0);
+        assert_eq!(m.rreq_ratio(), 0.0);
+        assert_eq!(m.avg_end_to_end_delay(), 0.0);
+        assert_eq!(m.packet_drop_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute_as_defined() {
+        let m = Metrics {
+            data_sent: 100,
+            data_forwarded: 50,
+            data_delivered: 80,
+            delay_total: SimDuration::from_millis(800),
+            attacker_dropped: 10,
+            rreq_initiated: 5,
+            rreq_forwarded: 20,
+            rreq_retried: 5,
+            ..Metrics::default()
+        };
+        assert_eq!(m.packet_delivery_ratio(), 0.8);
+        assert_eq!(m.rreq_ratio(), 30.0 / 150.0);
+        assert!((m.avg_end_to_end_delay() - 0.01).abs() < 1e-12);
+        assert_eq!(m.packet_drop_ratio(), 0.1);
+    }
+
+    #[test]
+    fn path_length_statistic() {
+        let m = Metrics {
+            data_delivered: 4,
+            delivered_hops: 10,
+            ..Metrics::default()
+        };
+        assert_eq!(m.avg_path_length(), 2.5);
+        assert_eq!(Metrics::default().avg_path_length(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Metrics { data_sent: 10, data_delivered: 8, ..Metrics::default() };
+        let b = Metrics { data_sent: 30, data_delivered: 12, ..Metrics::default() };
+        a.merge(&b);
+        assert_eq!(a.data_sent, 40);
+        assert_eq!(a.packet_delivery_ratio(), 0.5);
+    }
+}

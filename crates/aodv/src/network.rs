@@ -1,0 +1,1123 @@
+//! The simulation engine: AODV (and McCLS-secured AODV) nodes running
+//! over the `mccls-sim` substrate, with attacker behaviours.
+//!
+//! One [`Network`] owns the nodes, their mobility processes, the radio
+//! model, the authentication provider, and the metrics; [`Network::run`]
+//! drives a [`Scheduler`] to completion and returns the run's
+//! [`Metrics`].
+
+use std::collections::{BTreeMap, VecDeque};
+
+use mccls_sim::{
+    Area, RadioConfig, RandomWaypoint, Scheduler, SimDuration, SimTime, WaypointConfig,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::auth::{Auth, AuthProvider, ModelAuthProvider, RealAuthProvider};
+use crate::config::{Behavior, Flow, Protocol, ScenarioConfig};
+use crate::metrics::Metrics;
+use crate::packet::{DataPacket, Packet, Rerr, Rrep, Rreq};
+use crate::routing_table::RoutingTable;
+use crate::types::{NodeId, SeqNo};
+
+/// Events flowing through the scheduler.
+#[derive(Debug)]
+pub enum NetEvent {
+    /// A frame arrives at `to`'s radio.
+    Receive {
+        /// Receiving node.
+        to: NodeId,
+        /// Transmitting node (previous hop).
+        from: NodeId,
+        /// The frame.
+        packet: Packet,
+    },
+    /// A CBR flow emits its next packet.
+    FlowTick {
+        /// Index into the scenario's flow list.
+        flow: usize,
+    },
+    /// A route discovery timed out without an RREP.
+    RreqTimeout {
+        /// Discovering node.
+        node: NodeId,
+        /// Sought destination.
+        dest: NodeId,
+        /// Attempt number the timeout belongs to.
+        attempt: u32,
+        /// Flood id the timeout belongs to (stale timeouts are ignored).
+        rreq_id: u32,
+    },
+}
+
+/// A discovery in progress: buffered data packets and retry state.
+#[derive(Debug, Default)]
+struct Pending {
+    buffered: VecDeque<DataPacket>,
+    attempt: u32,
+    rreq_id: u32,
+}
+
+/// Per-node protocol state.
+struct Node {
+    behavior: Behavior,
+    seq: SeqNo,
+    next_rreq_id: u32,
+    table: RoutingTable,
+    seen_rreq: BTreeMap<(NodeId, u32), SimTime>,
+    pending: BTreeMap<NodeId, Pending>,
+    /// Neighbors with failing transmissions and the time of the first
+    /// failure (link-break sensing in progress).
+    suspect: BTreeMap<NodeId, SimTime>,
+    /// RREQs captured by a replay attacker.
+    captured: Vec<Rreq>,
+    flow_seq: u64,
+}
+
+impl Node {
+    fn new(behavior: Behavior) -> Self {
+        Self {
+            behavior,
+            seq: SeqNo(0),
+            next_rreq_id: 0,
+            table: RoutingTable::new(),
+            seen_rreq: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            suspect: BTreeMap::new(),
+            captured: Vec::new(),
+            flow_seq: 0,
+        }
+    }
+}
+
+/// A full simulation instance.
+pub struct Network {
+    cfg: ScenarioConfig,
+    radio: RadioConfig,
+    nodes: Vec<Node>,
+    mobility: Vec<RandomWaypoint>,
+    provider: Box<dyn AuthProvider>,
+    rng: StdRng,
+    /// Metrics accumulated so far (readable after [`Network::run`]).
+    pub metrics: Metrics,
+}
+
+impl Network {
+    /// Builds a network from a scenario configuration.
+    pub fn new(cfg: ScenarioConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let area = Area::new(cfg.area_width, cfg.area_height);
+        let waypoints = WaypointConfig::paper(cfg.max_speed);
+        let mobility: Vec<RandomWaypoint> = (0..cfg.num_nodes)
+            .map(|_| RandomWaypoint::new(area, waypoints, &mut rng))
+            .collect();
+        let nodes: Vec<Node> = (0..cfg.num_nodes as u16)
+            .map(|i| Node::new(cfg.behavior_of(NodeId(i))))
+            .collect();
+        let attackers = cfg.attacker_ids().into_iter().collect();
+        let provider: Box<dyn AuthProvider> = if cfg.real_crypto {
+            Box::new(RealAuthProvider::new(cfg.num_nodes, &attackers, cfg.seed ^ 0xABCD))
+        } else {
+            let legit = (0..cfg.num_nodes as u16)
+                .map(NodeId)
+                .filter(|n| !attackers.contains(n));
+            Box::new(ModelAuthProvider::new(legit))
+        };
+        let radio = RadioConfig {
+            loss_rate: cfg.loss_rate,
+            range: cfg.radio_range,
+            ..RadioConfig::default()
+        };
+        Self { cfg, radio, nodes, mobility, provider, rng, metrics: Metrics::default() }
+    }
+
+    fn secure(&self) -> bool {
+        self.cfg.protocol == Protocol::McClsSecured
+    }
+
+    fn sign_cost(&self) -> SimDuration {
+        if self.secure() {
+            self.cfg.crypto_cost.sign
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    fn verify_cost(&self) -> SimDuration {
+        if self.secure() {
+            self.cfg.crypto_cost.verify
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Runs the scenario to completion and returns the metrics.
+    pub fn run(mut self) -> Metrics {
+        let mut sched = Scheduler::new();
+        for (i, flow) in self.cfg.flows.iter().enumerate() {
+            sched.schedule_at(flow.start, NetEvent::FlowTick { flow: i });
+        }
+        let end = SimTime::ZERO + self.cfg.duration;
+        // Drain-down grace period: traffic generation stops at `end`, but
+        // in-flight packets may still be delivered a little later.
+        let drain = end + SimDuration::from_secs(5);
+        while let Some((t, ev)) = {
+            // Stop generating past `end`; stop everything past `drain`.
+            if sched.now() > drain {
+                None
+            } else {
+                sched.pop()
+            }
+        } {
+            if t > drain {
+                break;
+            }
+            self.handle(t, ev, &mut sched);
+        }
+        self.metrics.events = sched.processed();
+        self.metrics
+    }
+
+    fn handle(&mut self, now: SimTime, ev: NetEvent, sched: &mut Scheduler<NetEvent>) {
+        match ev {
+            NetEvent::FlowTick { flow } => self.handle_flow_tick(now, flow, sched),
+            NetEvent::RreqTimeout { node, dest, attempt, rreq_id } => {
+                self.handle_rreq_timeout(node, dest, attempt, rreq_id, sched)
+            }
+            NetEvent::Receive { to, from, packet } => match packet {
+                Packet::Rreq(r) => self.handle_rreq(now, to, from, r, sched),
+                Packet::Rrep(r) => self.handle_rrep(now, to, from, r, sched),
+                Packet::Rerr(r) => self.handle_rerr(now, to, from, r, sched),
+                Packet::Data(d) => self.handle_data(now, to, from, d, sched),
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transmission primitives
+    // ------------------------------------------------------------------
+
+    /// Position of `node` at the scheduler's current instant.
+    fn position(&mut self, node: NodeId, now: SimTime) -> mccls_sim::Position {
+        self.mobility[node.index()].position_at(now, &mut self.rng)
+    }
+
+    /// Broadcasts `packet` from `node` after `extra_delay` (processing +
+    /// MAC backoff chosen by the caller).
+    fn broadcast(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        packet: Packet,
+        extra_delay: SimDuration,
+        sched: &mut Scheduler<NetEvent>,
+    ) {
+        let tx = self.radio.tx_delay(packet.size_bytes());
+        let src_pos = self.position(node, now);
+        for i in 0..self.nodes.len() {
+            let other = NodeId(i as u16);
+            if other == node {
+                continue;
+            }
+            let pos = self.position(other, now);
+            if !self.radio.in_range(&src_pos, &pos) {
+                continue;
+            }
+            if self.radio.frame_lost(&mut self.rng) {
+                continue;
+            }
+            let prop = self.radio.propagation_delay(src_pos.distance(&pos));
+            sched.schedule_at(
+                now + extra_delay + tx + prop,
+                NetEvent::Receive { to: other, from: node, packet: packet.clone() },
+            );
+        }
+    }
+
+    /// Unicasts `packet` from `node` to `next_hop`. Returns false when
+    /// the link is broken (receiver out of range) — link-layer feedback,
+    /// standing in for 802.11 ACK failure.
+    fn unicast(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        next_hop: NodeId,
+        packet: Packet,
+        extra_delay: SimDuration,
+        sched: &mut Scheduler<NetEvent>,
+    ) -> bool {
+        let src_pos = self.position(node, now);
+        let dst_pos = self.position(next_hop, now);
+        if !self.radio.in_range(&src_pos, &dst_pos) {
+            return false;
+        }
+        let tx = self.radio.tx_delay(packet.size_bytes());
+        let prop = self.radio.propagation_delay(src_pos.distance(&dst_pos));
+        self.nodes[node.index()].suspect.remove(&next_hop);
+        sched.schedule_at(
+            now + extra_delay + tx + prop,
+            NetEvent::Receive { to: next_hop, from: node, packet },
+        );
+        true
+    }
+
+    /// Records a failed transmission to a neighbor. The link is only
+    /// *declared* broken (routes invalidated, RERR sent) once failures
+    /// have persisted for the configured sensing latency; until then the
+    /// caller just loses the packet into the blind window. Returns true
+    /// when the break was declared.
+    fn report_tx_failure(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        neighbor: NodeId,
+        sched: &mut Scheduler<NetEvent>,
+    ) -> bool {
+        let first = *self.nodes[node.index()].suspect.entry(neighbor).or_insert(now);
+        if now.duration_since(first) < self.cfg.aodv.link_break_detection {
+            return false;
+        }
+        self.nodes[node.index()].suspect.remove(&neighbor);
+        self.handle_link_break(now, node, neighbor, sched);
+        true
+    }
+
+    /// A fresh MAC backoff for broadcast forwarding by honest nodes.
+    fn jitter(&mut self) -> SimDuration {
+        self.radio.sample_jitter(&mut self.rng)
+    }
+
+    // ------------------------------------------------------------------
+    // Traffic generation
+    // ------------------------------------------------------------------
+
+    fn handle_flow_tick(&mut self, now: SimTime, flow_idx: usize, sched: &mut Scheduler<NetEvent>) {
+        let flow: Flow = self.cfg.flows[flow_idx];
+        if now >= SimTime::ZERO + self.cfg.duration {
+            return; // traffic stops at the end of the run
+        }
+        let seq = {
+            let node = &mut self.nodes[flow.src.index()];
+            let s = node.flow_seq;
+            node.flow_seq += 1;
+            s
+        };
+        let pkt = DataPacket {
+            src: flow.src,
+            dst: flow.dst,
+            seq,
+            payload: flow.payload,
+            sent_at: now,
+            hops: 0,
+        };
+        self.metrics.data_sent += 1;
+        self.route_or_discover(now, flow.src, pkt, sched);
+        let interval = SimDuration::from_nanos(1_000_000_000 / flow.rate_pps as u64);
+        sched.schedule_at(now + interval, NetEvent::FlowTick { flow: flow_idx });
+    }
+
+    // ------------------------------------------------------------------
+    // Data forwarding
+    // ------------------------------------------------------------------
+
+    /// Sends or buffers a data packet at its *source*.
+    fn route_or_discover(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        pkt: DataPacket,
+        sched: &mut Scheduler<NetEvent>,
+    ) {
+        let dst = pkt.dst;
+        let route = self.nodes[node.index()].table.lookup(dst, now).map(|r| r.next_hop);
+        match route {
+            Some(next_hop) => {
+                if self.forward_data(now, node, next_hop, pkt.clone(), sched) {
+                    return;
+                }
+                if self.report_tx_failure(now, node, next_hop, sched) {
+                    // Break declared: rediscover with the packet buffered.
+                    self.buffer_and_discover(now, node, pkt, sched);
+                } else {
+                    // Blind window: the packet is gone.
+                    self.metrics.honest_dropped += 1;
+                }
+            }
+            None => self.buffer_and_discover(now, node, pkt, sched),
+        }
+    }
+
+    /// Transmits a data packet to a known next hop, refreshing route
+    /// lifetimes. Returns false on link break.
+    fn forward_data(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        next_hop: NodeId,
+        pkt: DataPacket,
+        sched: &mut Scheduler<NetEvent>,
+    ) -> bool {
+        let dst = pkt.dst;
+        if !self.unicast(now, node, next_hop, Packet::Data(pkt), SimDuration::ZERO, sched) {
+            return false;
+        }
+        let timeout = self.cfg.aodv.active_route_timeout;
+        let table = &mut self.nodes[node.index()].table;
+        table.refresh(dst, timeout, now);
+        table.refresh(next_hop, timeout, now);
+        true
+    }
+
+    fn buffer_and_discover(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        pkt: DataPacket,
+        sched: &mut Scheduler<NetEvent>,
+    ) {
+        let dst = pkt.dst;
+        let capacity = self.cfg.aodv.buffer_capacity;
+        let needs_discovery = {
+            let entry = self.nodes[node.index()].pending.entry(dst).or_default();
+            if entry.buffered.len() >= capacity {
+                self.metrics.honest_dropped += 1;
+            } else {
+                entry.buffered.push_back(pkt);
+            }
+            // A discovery is already running iff this entry predates us
+            // with a non-zero rreq marker.
+            entry.buffered.len() == 1 && entry.attempt == 0 && entry.rreq_id == 0
+        };
+        if needs_discovery {
+            self.start_discovery(now, node, dst, 0, sched);
+        }
+    }
+
+    fn start_discovery(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        dest: NodeId,
+        attempt: u32,
+        sched: &mut Scheduler<NetEvent>,
+    ) {
+        let rreq = {
+            let n = &mut self.nodes[node.index()];
+            n.seq.increment();
+            n.next_rreq_id += 1;
+            let rreq_id = n.next_rreq_id;
+            n.seen_rreq.insert((node, rreq_id), now);
+            if let Some(p) = n.pending.get_mut(&dest) {
+                p.attempt = attempt;
+                p.rreq_id = rreq_id;
+            }
+            Rreq {
+                origin: node,
+                origin_seq: n.seq,
+                rreq_id,
+                dest,
+                dest_seq: n.table.entry(dest).map(|r| r.dest_seq),
+                hop_count: 0,
+                ttl: 0, // filled below from the discovery schedule
+                auth: None,
+            }
+        };
+        let mut rreq = rreq;
+        rreq.ttl = if self.cfg.aodv.expanding_ring {
+            self.cfg
+                .aodv
+                .ring_ttl_start
+                .saturating_add(self.cfg.aodv.ring_ttl_step.saturating_mul(attempt as u8))
+                .min(self.cfg.aodv.max_hops)
+        } else {
+            self.cfg.aodv.max_hops
+        };
+        if attempt == 0 {
+            self.metrics.rreq_initiated += 1;
+        } else {
+            self.metrics.rreq_retried += 1;
+        }
+        let rreq = self.maybe_sign_rreq(node, rreq);
+        let delay = self.sign_cost() + self.jitter();
+        let rreq_id = rreq.rreq_id;
+        self.broadcast(now, node, Packet::Rreq(rreq), delay, sched);
+        // Exponential backoff on retries, as RFC 3561 prescribes.
+        let timeout = self.cfg.aodv.rreq_timeout.saturating_mul(1 << attempt.min(4));
+        sched.schedule_at(
+            now + timeout,
+            NetEvent::RreqTimeout { node, dest, attempt, rreq_id },
+        );
+    }
+
+    fn handle_rreq_timeout(
+        &mut self,
+        node: NodeId,
+        dest: NodeId,
+        attempt: u32,
+        rreq_id: u32,
+        sched: &mut Scheduler<NetEvent>,
+    ) {
+        let now = sched.now();
+        let retry = {
+            let n = &mut self.nodes[node.index()];
+            match n.pending.get(&dest) {
+                // A different (newer) discovery owns this destination.
+                Some(p) if p.rreq_id != rreq_id || p.attempt != attempt => return,
+                None => return, // already resolved
+                Some(_) => {
+                    if attempt < self.cfg.aodv.rreq_retries {
+                        true
+                    } else {
+                        // Give up: drop everything buffered.
+                        let p = n.pending.remove(&dest).expect("checked above");
+                        self.metrics.honest_dropped += p.buffered.len() as u64;
+                        false
+                    }
+                }
+            }
+        };
+        if retry {
+            self.start_discovery(now, node, dest, attempt + 1, sched);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Authentication helpers
+    // ------------------------------------------------------------------
+
+    fn maybe_sign_rreq(&mut self, signer: NodeId, mut rreq: Rreq) -> Rreq {
+        if self.secure() {
+            let payload = rreq.auth_payload(signer);
+            rreq.auth = Some(self.provider.sign(signer, &payload));
+            self.metrics.signatures_made += 1;
+        }
+        rreq
+    }
+
+    fn maybe_sign_rrep(&mut self, signer: NodeId, mut rrep: Rrep) -> Rrep {
+        if self.secure() {
+            let payload = rrep.auth_payload(signer);
+            rrep.auth = Some(self.provider.sign(signer, &payload));
+            self.metrics.signatures_made += 1;
+        }
+        rrep
+    }
+
+    /// Verifies an incoming authenticated packet at an honest node.
+    /// Returns false when the packet must be discarded.
+    fn check_auth(&mut self, payload: &[u8], auth: &Option<Auth>) -> bool {
+        if !self.secure() {
+            return true;
+        }
+        self.metrics.signatures_checked += 1;
+        let ok = auth
+            .as_ref()
+            .is_some_and(|a| self.provider.verify(payload, a));
+        if !ok {
+            self.metrics.auth_rejected += 1;
+        }
+        ok
+    }
+
+    // ------------------------------------------------------------------
+    // RREQ handling
+    // ------------------------------------------------------------------
+
+    fn handle_rreq(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        from: NodeId,
+        rreq: Rreq,
+        sched: &mut Scheduler<NetEvent>,
+    ) {
+        let behavior = self.nodes[node.index()].behavior;
+
+        // Attackers skip verification entirely; honest nodes verify
+        // before touching any state, so rejected floods never poison the
+        // duplicate cache.
+        if behavior == Behavior::Honest && !self.check_auth(&rreq.auth_payload(from), &rreq.auth) {
+            return;
+        }
+
+        {
+            let n = &mut self.nodes[node.index()];
+            if rreq.origin == node {
+                return; // own flood echoed back
+            }
+            if n.seen_rreq.contains_key(&(rreq.origin, rreq.rreq_id)) {
+                return; // duplicate: first copy wins
+            }
+            n.seen_rreq.insert((rreq.origin, rreq.rreq_id), now);
+        }
+
+        // Reverse route towards the originator through the sender.
+        let lifetime = self.cfg.aodv.active_route_timeout;
+        self.nodes[node.index()].table.offer(
+            rreq.origin,
+            from,
+            rreq.hop_count + 1,
+            rreq.origin_seq,
+            lifetime,
+            now,
+        );
+
+        match behavior {
+            Behavior::ForgingBlackHole => {
+                // Forge "I have a fresh one-hop route" (the textbook
+                // attack): inflate the destination sequence number so
+                // the originator prefers this route over any honest
+                // reply, answer instantly, and starve the flood.
+                let fake_seq = rreq.dest_seq.unwrap_or(SeqNo(0)).advanced_by(1_000);
+                let rrep = Rrep {
+                    origin: rreq.origin,
+                    dest: rreq.dest,
+                    dest_seq: fake_seq,
+                    hop_count: 1,
+                    replier: node,
+                    auth: None,
+                };
+                let rrep = self.maybe_sign_rrep(node, rrep);
+                self.metrics.rrep_generated += 1;
+                self.unicast(now, node, from, Packet::Rrep(rrep), SimDuration::ZERO, sched);
+                return;
+            }
+            Behavior::Rushing => {
+                // Forward immediately: no verification, no jitter, no
+                // processing delay — win the duplicate-suppression race.
+                if rreq.hop_count + 1 >= rreq.ttl.min(self.cfg.aodv.max_hops) {
+                    return;
+                }
+                let mut fwd = rreq;
+                fwd.hop_count += 1;
+                let fwd = self.maybe_sign_rreq(node, fwd);
+                self.metrics.rreq_forwarded += 1;
+                self.broadcast(now, node, Packet::Rreq(fwd), SimDuration::ZERO, sched);
+                return;
+            }
+            Behavior::Replayer => {
+                // Store this flood and re-inject a previously captured
+                // one verbatim — original forwarder signature and all.
+                // (The per-hop forwarder binding makes secured receivers
+                // reject the re-injection.)
+                let stale = {
+                    let n = &mut self.nodes[node.index()];
+                    let stale = n.captured.first().cloned();
+                    if n.captured.len() < 32 {
+                        n.captured.push(rreq.clone());
+                    }
+                    stale
+                };
+                if let Some(stale) = stale {
+                    self.broadcast(now, node, Packet::Rreq(stale), SimDuration::ZERO, sched);
+                }
+                // Keep forwarding the live flood to stay inconspicuous.
+                if rreq.hop_count + 1 < rreq.ttl.min(self.cfg.aodv.max_hops) {
+                    let mut fwd = rreq;
+                    fwd.hop_count += 1;
+                    let fwd = self.maybe_sign_rreq(node, fwd);
+                    self.metrics.rreq_forwarded += 1;
+                    let delay = self.jitter();
+                    self.broadcast(now, node, Packet::Rreq(fwd), delay, sched);
+                }
+                return;
+            }
+            // The drop-only black hole and gray hole route like honest
+            // nodes (they want to be on paths); their data-plane
+            // misbehaviour lives in handle_data.
+            Behavior::Honest | Behavior::BlackHole | Behavior::GrayHole => {}
+        }
+
+
+        // Are we the destination?
+        if rreq.dest == node {
+            let dest_seq = {
+                let n = &mut self.nodes[node.index()];
+                // RFC 3561 §6.6.1: ensure our sequence number is at
+                // least the one in the RREQ, then use it.
+                if let Some(ds) = rreq.dest_seq {
+                    if ds.is_newer_than(n.seq) {
+                        n.seq = ds;
+                    }
+                }
+                n.seq.increment();
+                n.seq
+            };
+            let rrep = Rrep {
+                origin: rreq.origin,
+                dest: node,
+                dest_seq,
+                hop_count: 0,
+                replier: node,
+                auth: None,
+            };
+            let rrep = self.maybe_sign_rrep(node, rrep);
+            self.metrics.rrep_generated += 1;
+            let delay = self.verify_cost() + self.sign_cost();
+            self.unicast(now, node, from, Packet::Rrep(rrep), delay, sched);
+            return;
+        }
+
+        // Intermediate reply when we hold a fresh-enough route.
+        if self.cfg.aodv.intermediate_rrep {
+            let fresh = self.nodes[node.index()].table.lookup(rreq.dest, now).and_then(|r| {
+                let fresh_enough = match rreq.dest_seq {
+                    Some(want) => r.dest_seq.is_at_least(want),
+                    None => true,
+                };
+                fresh_enough.then_some((r.hop_count, r.dest_seq))
+            });
+            if let Some((hops, seq)) = fresh {
+                let rrep = Rrep {
+                    origin: rreq.origin,
+                    dest: rreq.dest,
+                    dest_seq: seq,
+                    hop_count: hops,
+                    replier: node,
+                    auth: None,
+                };
+                let rrep = self.maybe_sign_rrep(node, rrep);
+                self.metrics.rrep_generated += 1;
+                let delay = self.verify_cost() + self.sign_cost();
+                self.unicast(now, node, from, Packet::Rrep(rrep), delay, sched);
+                return;
+            }
+        }
+
+        // Rebroadcast, within the flood radius.
+        if rreq.hop_count + 1 >= rreq.ttl.min(self.cfg.aodv.max_hops) {
+            return;
+        }
+        let mut fwd = rreq;
+        fwd.hop_count += 1;
+        fwd.auth = None;
+        let fwd = self.maybe_sign_rreq(node, fwd);
+        self.metrics.rreq_forwarded += 1;
+        let delay = self.verify_cost() + self.sign_cost() + self.jitter();
+        self.broadcast(now, node, Packet::Rreq(fwd), delay, sched);
+    }
+
+    // ------------------------------------------------------------------
+    // RREP handling
+    // ------------------------------------------------------------------
+
+    fn handle_rrep(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        from: NodeId,
+        rrep: Rrep,
+        sched: &mut Scheduler<NetEvent>,
+    ) {
+        let behavior = self.nodes[node.index()].behavior;
+        if behavior == Behavior::Honest && !self.check_auth(&rrep.auth_payload(from), &rrep.auth) {
+            return;
+        }
+
+        // Forward route to the destination through the sender. Under
+        // first-RREP-wins semantics an already-valid route is kept.
+        let lifetime = self.cfg.aodv.active_route_timeout;
+        let has_valid = self.nodes[node.index()].table.lookup(rrep.dest, now).is_some();
+        if !(self.cfg.aodv.first_rrep_wins && has_valid) {
+            self.nodes[node.index()].table.offer(
+                rrep.dest,
+                from,
+                rrep.hop_count + 1,
+                rrep.dest_seq,
+                lifetime,
+                now,
+            );
+        }
+
+        if rrep.origin == node {
+            // Discovery complete: flush whatever waited for this route.
+            let buffered = self
+                .nodes[node.index()]
+                .pending
+                .remove(&rrep.dest)
+                .map(|p| p.buffered)
+                .unwrap_or_default();
+            for pkt in buffered {
+                self.route_or_discover(now, node, pkt, sched);
+            }
+            return;
+        }
+
+        // Forward along the reverse route towards the originator.
+        let reverse = self.nodes[node.index()].table.lookup(rrep.origin, now).map(|r| r.next_hop);
+        let Some(next_hop) = reverse else {
+            return; // reverse route evaporated
+        };
+        {
+            let table = &mut self.nodes[node.index()].table;
+            table.add_precursor(rrep.dest, next_hop);
+            table.add_precursor(rrep.origin, from);
+        }
+        let mut fwd = rrep;
+        fwd.hop_count = fwd.hop_count.saturating_add(1);
+        fwd.auth = None;
+        let fwd = self.maybe_sign_rrep(node, fwd);
+        let delay = if behavior == Behavior::Honest {
+            self.verify_cost() + self.sign_cost()
+        } else {
+            SimDuration::ZERO
+        };
+        if !self.unicast(now, node, next_hop, Packet::Rrep(fwd), delay, sched) {
+            self.report_tx_failure(now, node, next_hop, sched);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // RERR handling and link breaks
+    // ------------------------------------------------------------------
+
+    fn handle_link_break(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        dead_neighbor: NodeId,
+        sched: &mut Scheduler<NetEvent>,
+    ) {
+        let broken = self.nodes[node.index()].table.invalidate_via(dead_neighbor);
+        if broken.is_empty() {
+            return;
+        }
+        let rerr = Rerr { unreachable: broken, ttl: self.cfg.aodv.rerr_ttl };
+        self.metrics.rerr_sent += 1;
+        self.broadcast(now, node, Packet::Rerr(rerr), SimDuration::ZERO, sched);
+    }
+
+    fn handle_rerr(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        from: NodeId,
+        rerr: Rerr,
+        sched: &mut Scheduler<NetEvent>,
+    ) {
+        let mut invalidated = Vec::new();
+        {
+            let table = &mut self.nodes[node.index()].table;
+            for (dest, seq) in &rerr.unreachable {
+                let uses_sender = table
+                    .entry(*dest)
+                    .is_some_and(|r| r.valid && r.next_hop == from);
+                if uses_sender {
+                    if let Some((_, _)) = table.invalidate(*dest) {
+                        invalidated.push((*dest, *seq));
+                    }
+                }
+            }
+        }
+        if !invalidated.is_empty() && rerr.ttl > 0 {
+            let fwd = Rerr { unreachable: invalidated, ttl: rerr.ttl - 1 };
+            self.metrics.rerr_sent += 1;
+            self.broadcast(now, node, Packet::Rerr(fwd), SimDuration::ZERO, sched);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data handling
+    // ------------------------------------------------------------------
+
+    fn handle_data(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        _from: NodeId,
+        pkt: DataPacket,
+        sched: &mut Scheduler<NetEvent>,
+    ) {
+        let behavior = self.nodes[node.index()].behavior;
+        if node != pkt.dst {
+            match behavior {
+                Behavior::Honest => {}
+                Behavior::GrayHole => {
+                    // Selective: absorb every other packet on average.
+                    if self.rng.gen_bool(0.5) {
+                        self.metrics.attacker_dropped += 1;
+                        return;
+                    }
+                }
+                // Every other malicious behaviour absorbs all data.
+                _ => {
+                    self.metrics.attacker_dropped += 1;
+                    return;
+                }
+            }
+        }
+        if node == pkt.dst {
+            self.metrics.data_delivered += 1;
+            self.metrics.delay_total = self.metrics.delay_total + (now - pkt.sent_at);
+            self.metrics.delivered_hops += pkt.hops as u64;
+            return;
+        }
+        // Forward.
+        let mut pkt = pkt;
+        pkt.hops = pkt.hops.saturating_add(1);
+        let next = self.nodes[node.index()].table.lookup(pkt.dst, now).map(|r| r.next_hop);
+        match next {
+            Some(next_hop) => {
+                if self.forward_data(now, node, next_hop, pkt.clone(), sched) {
+                    self.metrics.data_forwarded += 1;
+                } else {
+                    self.report_tx_failure(now, node, next_hop, sched);
+                    self.metrics.honest_dropped += 1;
+                }
+            }
+            None => {
+                // No route at an intermediate hop: drop and complain.
+                self.metrics.honest_dropped += 1;
+                let seq = self.nodes[node.index()]
+                    .table
+                    .entry(pkt.dst)
+                    .map(|r| r.dest_seq)
+                    .unwrap_or(SeqNo(0));
+                let rerr = Rerr {
+                    unreachable: vec![(pkt.dst, seq)],
+                    ttl: self.cfg.aodv.rerr_ttl,
+                };
+                self.metrics.rerr_sent += 1;
+                self.broadcast(now, node, Packet::Rerr(rerr), SimDuration::ZERO, sched);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScenarioConfig;
+
+    fn quick_cfg(speed: f64, seed: u64) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::paper_baseline(speed, seed);
+        cfg.duration = SimDuration::from_secs(60);
+        cfg
+    }
+
+    #[test]
+    fn static_network_delivers_most_packets() {
+        let metrics = Network::new(quick_cfg(0.0, 42)).run();
+        assert!(metrics.data_sent > 1000, "traffic flowed: {metrics}");
+        // A static 20-node network either has connectivity for a flow or
+        // not; connected flows deliver ~everything.
+        assert!(
+            metrics.packet_delivery_ratio() > 0.5,
+            "static PDR too low: {metrics}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = Network::new(quick_cfg(10.0, 7)).run();
+        let b = Network::new(quick_cfg(10.0, 7)).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Network::new(quick_cfg(10.0, 7)).run();
+        let b = Network::new(quick_cfg(10.0, 8)).run();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mobility_increases_rreq_traffic() {
+        let slow = Network::new(quick_cfg(1.0, 11)).run();
+        let fast = Network::new(quick_cfg(20.0, 11)).run();
+        assert!(
+            fast.rreq_initiated + fast.rreq_retried + fast.rreq_forwarded
+                > slow.rreq_initiated + slow.rreq_retried + slow.rreq_forwarded,
+            "fast {fast} vs slow {slow}"
+        );
+    }
+
+    #[test]
+    fn secured_variant_signs_and_verifies() {
+        let metrics = Network::new(quick_cfg(5.0, 13).secured()).run();
+        assert!(metrics.signatures_made > 0);
+        assert!(metrics.signatures_checked > 0);
+        assert_eq!(metrics.auth_rejected, 0, "no attackers, nothing rejected");
+        assert!(metrics.packet_delivery_ratio() > 0.3, "{metrics}");
+    }
+
+    #[test]
+    fn black_hole_degrades_plain_aodv() {
+        let clean = Network::new(quick_cfg(5.0, 17)).run();
+        let attacked =
+            Network::new(quick_cfg(5.0, 17).with_attackers(Behavior::BlackHole, 2)).run();
+        assert!(attacked.attacker_dropped > 0, "black holes absorbed traffic: {attacked}");
+        assert!(
+            attacked.packet_delivery_ratio() < clean.packet_delivery_ratio(),
+            "attacked {attacked} vs clean {clean}"
+        );
+    }
+
+    #[test]
+    fn mccls_neutralizes_black_hole() {
+        let attacked = Network::new(
+            quick_cfg(5.0, 19).secured().with_attackers(Behavior::BlackHole, 2),
+        )
+        .run();
+        assert_eq!(
+            attacked.attacker_dropped, 0,
+            "secured run must not lose data to attackers: {attacked}"
+        );
+        assert!(attacked.auth_rejected > 0, "forged RREPs were rejected: {attacked}");
+    }
+
+    #[test]
+    fn forging_black_hole_captures_nearly_everything() {
+        // The textbook ablation attacker: inflated sequence numbers
+        // attract almost all traffic in plain AODV.
+        let attacked = Network::new(
+            quick_cfg(5.0, 17).with_attackers(Behavior::ForgingBlackHole, 2),
+        )
+        .run();
+        assert!(
+            attacked.packet_drop_ratio() > 0.5,
+            "forging black hole must dominate: {attacked}"
+        );
+    }
+
+    #[test]
+    fn mccls_neutralizes_forging_black_hole() {
+        let attacked = Network::new(
+            quick_cfg(5.0, 17).secured().with_attackers(Behavior::ForgingBlackHole, 2),
+        )
+        .run();
+        assert_eq!(attacked.attacker_dropped, 0, "{attacked}");
+        assert!(attacked.auth_rejected > 0);
+    }
+
+    #[test]
+    fn rushing_attack_degrades_plain_aodv() {
+        // Capture probability depends on attacker placement, so pool a
+        // few seeds (a single topology can dodge the attackers).
+        let mut clean = Metrics::default();
+        let mut attacked = Metrics::default();
+        for seed in [23, 24, 25, 26] {
+            clean.merge(&Network::new(quick_cfg(5.0, seed)).run());
+            attacked.merge(
+                &Network::new(quick_cfg(5.0, seed).with_attackers(Behavior::Rushing, 2)).run(),
+            );
+        }
+        assert!(attacked.attacker_dropped > 0, "{attacked}");
+        assert!(
+            attacked.packet_delivery_ratio() < clean.packet_delivery_ratio() - 0.05,
+            "attacked {attacked} vs clean {clean}"
+        );
+    }
+
+    #[test]
+    fn mccls_neutralizes_rushing() {
+        let attacked = Network::new(
+            quick_cfg(5.0, 29).secured().with_attackers(Behavior::Rushing, 2),
+        )
+        .run();
+        assert_eq!(attacked.attacker_dropped, 0, "{attacked}");
+    }
+
+
+    #[test]
+    fn gray_hole_drops_roughly_half_of_transit_traffic() {
+        let mut clean = Metrics::default();
+        let mut attacked = Metrics::default();
+        for seed in [41, 42, 43] {
+            clean.merge(&Network::new(quick_cfg(5.0, seed)).run());
+            attacked.merge(
+                &Network::new(quick_cfg(5.0, seed).with_attackers(Behavior::GrayHole, 2)).run(),
+            );
+        }
+        assert!(attacked.attacker_dropped > 0, "{attacked}");
+        assert!(
+            attacked.packet_delivery_ratio() < clean.packet_delivery_ratio(),
+            "attacked {attacked} vs clean {clean}"
+        );
+    }
+
+    #[test]
+    fn mccls_neutralizes_gray_hole() {
+        let attacked = Network::new(
+            quick_cfg(5.0, 44).secured().with_attackers(Behavior::GrayHole, 2),
+        )
+        .run();
+        assert_eq!(attacked.attacker_dropped, 0, "{attacked}");
+    }
+
+    #[test]
+    fn replayer_is_rejected_in_secured_runs() {
+        let attacked = Network::new(
+            quick_cfg(10.0, 45).secured().with_attackers(Behavior::Replayer, 2),
+        )
+        .run();
+        // Re-injected floods carry the original forwarder's signature
+        // and fail the per-hop forwarder binding.
+        assert!(attacked.auth_rejected > 0, "{attacked}");
+        assert_eq!(attacked.attacker_dropped, 0, "{attacked}");
+    }
+
+    #[test]
+    fn replayer_amplifies_plain_aodv_overhead() {
+        let clean = Network::new(quick_cfg(10.0, 46)).run();
+        let attacked =
+            Network::new(quick_cfg(10.0, 46).with_attackers(Behavior::Replayer, 2)).run();
+        // Replays do not collapse delivery (sequence numbers defend the
+        // routing state) but they do burn airtime and processing.
+        assert!(
+            attacked.events > clean.events,
+            "replays must add traffic: {} vs {}",
+            attacked.events,
+            clean.events
+        );
+    }
+
+    #[test]
+    fn expanding_ring_reduces_rreq_overhead() {
+        let mut flat = Metrics::default();
+        let mut ring = Metrics::default();
+        for seed in [47, 48, 49] {
+            flat.merge(&Network::new(quick_cfg(10.0, seed)).run());
+            let mut cfg = quick_cfg(10.0, seed);
+            cfg.aodv.expanding_ring = true;
+            ring.merge(&Network::new(cfg).run());
+        }
+        assert!(
+            ring.rreq_forwarded < flat.rreq_forwarded,
+            "ring search must flood less: ring {} vs flat {}",
+            ring.rreq_forwarded,
+            flat.rreq_forwarded
+        );
+        assert!(
+            ring.packet_delivery_ratio() > flat.packet_delivery_ratio() - 0.1,
+            "ring search must not wreck delivery: ring {ring} vs flat {flat}"
+        );
+    }
+
+    #[test]
+    fn path_length_is_tracked() {
+        let m = Network::new(quick_cfg(5.0, 50)).run();
+        assert!(m.delivered_hops > 0, "multi-hop flows exist");
+        assert!(m.avg_path_length() >= 0.5, "avg path {}", m.avg_path_length());
+    }
+
+    #[test]
+    fn crypto_cost_inflates_discovery_delay() {
+        // With realistic (millisecond) crypto costs the delay shift is
+        // within run-to-run noise for a single seed; crank the virtual
+        // costs up so the mechanism itself is unambiguous.
+        let plain = Network::new(quick_cfg(10.0, 31)).run();
+        let mut cfg = quick_cfg(10.0, 31).secured();
+        cfg.crypto_cost = crate::auth::CryptoCost {
+            sign: SimDuration::from_millis(50),
+            verify: SimDuration::from_millis(100),
+        };
+        let secured = Network::new(cfg).run();
+        assert!(
+            secured.avg_end_to_end_delay() > plain.avg_end_to_end_delay(),
+            "per-hop crypto processing must show up in end-to-end delay: \
+             plain {plain} vs secured {secured}"
+        );
+    }
+}

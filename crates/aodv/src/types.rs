@@ -1,0 +1,102 @@
+//! Basic protocol types: node identifiers and AODV sequence numbers.
+
+/// A node identifier (index into the scenario's node array).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The identity bytes this node signs under (its "address" in the
+    /// certificateless key hierarchy).
+    pub fn identity_bytes(&self) -> [u8; 8] {
+        let mut out = [0u8; 8];
+        out[..4].copy_from_slice(b"node");
+        out[4..6].copy_from_slice(&self.0.to_be_bytes());
+        out
+    }
+
+    /// The raw index.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An AODV destination sequence number with RFC 3561 circular
+/// comparison semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SeqNo(pub u32);
+
+impl SeqNo {
+    /// Increments the sequence number (wrapping).
+    pub fn increment(&mut self) {
+        self.0 = self.0.wrapping_add(1);
+    }
+
+    /// Returns the incremented value without mutating.
+    pub fn next(&self) -> SeqNo {
+        SeqNo(self.0.wrapping_add(1))
+    }
+
+    /// Circular "strictly newer than" comparison (RFC 3561 §6.1: signed
+    /// 32-bit subtraction).
+    pub fn is_newer_than(&self, other: SeqNo) -> bool {
+        (self.0.wrapping_sub(other.0) as i32) > 0
+    }
+
+    /// Circular "at least as new as" comparison.
+    pub fn is_at_least(&self, other: SeqNo) -> bool {
+        self.0 == other.0 || self.is_newer_than(other)
+    }
+
+    /// Adds `k` (wrapping) — how the black hole inflates freshness.
+    pub fn advanced_by(&self, k: u32) -> SeqNo {
+        SeqNo(self.0.wrapping_add(k))
+    }
+}
+
+impl core::fmt::Display for SeqNo {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_bytes_are_distinct() {
+        assert_ne!(NodeId(1).identity_bytes(), NodeId(2).identity_bytes());
+        assert_eq!(NodeId(3).identity_bytes(), NodeId(3).identity_bytes());
+    }
+
+    #[test]
+    fn seqno_linear_comparison() {
+        assert!(SeqNo(5).is_newer_than(SeqNo(3)));
+        assert!(!SeqNo(3).is_newer_than(SeqNo(5)));
+        assert!(!SeqNo(5).is_newer_than(SeqNo(5)));
+        assert!(SeqNo(5).is_at_least(SeqNo(5)));
+    }
+
+    #[test]
+    fn seqno_wraps_like_rfc3561() {
+        // Near the wrap point, u32::MAX + 1 == 0 must count as newer.
+        assert!(SeqNo(0).is_newer_than(SeqNo(u32::MAX)));
+        assert!(!SeqNo(u32::MAX).is_newer_than(SeqNo(0)));
+        assert!(SeqNo(5).is_newer_than(SeqNo(u32::MAX - 5)));
+    }
+
+    #[test]
+    fn increment_and_advance() {
+        let mut s = SeqNo(u32::MAX);
+        s.increment();
+        assert_eq!(s, SeqNo(0));
+        assert_eq!(SeqNo(10).advanced_by(1000), SeqNo(1010));
+        assert_eq!(SeqNo(7).next(), SeqNo(8));
+    }
+}

@@ -1,0 +1,55 @@
+//! Criterion benches backing **Table 1**: wall-clock sign and verify
+//! times for each CLS scheme, plus McCLS verification with the
+//! per-identity pairing cache warm (the paper's "1p" operating point).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mccls_core::{all_schemes, CertificatelessScheme, McCls, VerifierCache};
+use rand::SeedableRng;
+
+fn bench_sign_verify(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    for scheme in all_schemes() {
+        let (params, kgc) = scheme.setup(&mut rng);
+        let partial = scheme.extract_partial_private_key(&kgc, b"node-1");
+        let keys = scheme.generate_key_pair(&params, &mut rng);
+        let msg = b"bench message: routing control packet";
+        let sig = scheme.sign(&params, b"node-1", &partial, &keys, msg, &mut rng);
+        assert!(scheme.verify(&params, b"node-1", &keys.public, msg, &sig));
+
+        let mut group = c.benchmark_group(format!("table1/{}", scheme.name()));
+        group.sample_size(10);
+        group.bench_function("sign", |b| {
+            b.iter(|| scheme.sign(&params, b"node-1", &partial, &keys, msg, &mut rng))
+        });
+        group.bench_function("verify", |b| {
+            b.iter(|| {
+                assert!(scheme.verify(&params, b"node-1", &keys.public, msg, &sig));
+            })
+        });
+        group.finish();
+    }
+}
+
+fn bench_mccls_cached_verify(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let scheme = McCls::new();
+    let (params, kgc) = scheme.setup(&mut rng);
+    let partial = scheme.extract_partial_private_key(&kgc, b"node-1");
+    let keys = scheme.generate_key_pair(&params, &mut rng);
+    let msg = b"bench message: routing control packet";
+    let sig = scheme.sign(&params, b"node-1", &partial, &keys, msg, &mut rng);
+
+    let mut cache = VerifierCache::new();
+    assert!(cache.verify(&params, b"node-1", &keys.public, msg, &sig));
+    let mut group = c.benchmark_group("table1/McCLS");
+    group.sample_size(10);
+    group.bench_function("verify_cached", |b| {
+        b.iter(|| {
+            assert!(cache.verify(&params, b"node-1", &keys.public, msg, &sig));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sign_verify, bench_mccls_cached_verify);
+criterion_main!(benches);

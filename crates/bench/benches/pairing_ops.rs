@@ -1,0 +1,53 @@
+//! Criterion benches of the pairing substrate: the primitive costs
+//! (`p`, `s`, `e`) whose ratios drive Table 1 and the Fig. 3 delay gap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mccls_pairing::{
+    hash_to_g1, pairing, Fp, Fp12, Fr, G1Projective, G2Projective, Gt,
+};
+use rand::SeedableRng;
+
+fn bench_group_ops(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let k = Fr::random(&mut rng);
+    let g1 = G1Projective::generator();
+    let g2 = G2Projective::generator();
+    let g1a = g1.to_affine();
+    let g2a = g2.to_affine();
+    let gt = pairing(&g1a, &g2a);
+
+    let mut group = c.benchmark_group("pairing");
+    group.sample_size(10);
+    group.bench_function("pairing (p)", |b| b.iter(|| pairing(&g1a, &g2a)));
+    group.bench_function("g1_scalar_mul (s)", |b| b.iter(|| g1.mul_scalar(&k)));
+    group.bench_function("g2_scalar_mul (s)", |b| b.iter(|| g2.mul_scalar(&k)));
+    group.bench_function("gt_exp (e)", |b| b.iter(|| gt.pow(&k)));
+    group.bench_function("hash_to_g1", |b| {
+        b.iter(|| hash_to_g1(b"some identity", b"BENCH"))
+    });
+    group.bench_function("pairing_product_2", |b| {
+        b.iter(|| {
+            mccls_pairing::pairing_product(&[(g1a, g2a), (g1a.neg(), g2a)])
+        })
+    });
+    group.finish();
+}
+
+fn bench_field_ops(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let a = Fp::random(&mut rng);
+    let b_ = Fp::random(&mut rng);
+    let f12 = Fp12::random(&mut rng);
+    let g12 = Fp12::random(&mut rng);
+
+    let mut group = c.benchmark_group("fields");
+    group.bench_function("fp_mul", |b| b.iter(|| a.mul(&b_)));
+    group.bench_function("fp_invert", |b| b.iter(|| a.invert().unwrap()));
+    group.bench_function("fp12_mul", |b| b.iter(|| f12.mul(&g12)));
+    group.bench_function("fp12_square", |b| b.iter(|| f12.square()));
+    group.finish();
+    let _ = Gt::identity();
+}
+
+criterion_group!(benches, bench_group_ops, bench_field_ops);
+criterion_main!(benches);

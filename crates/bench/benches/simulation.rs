@@ -1,0 +1,73 @@
+//! Criterion benches of the MANET simulator itself (events per second)
+//! and ablations of the design knobs DESIGN.md calls out: the
+//! authentication provider (model vs real BLS12-381), the black hole
+//! variants, and first-RREP-wins route selection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mccls_aodv::{Behavior, Network, ScenarioConfig};
+use mccls_sim::SimDuration;
+
+fn short(speed: f64, seed: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper_baseline(speed, seed);
+    cfg.duration = SimDuration::from_secs(30);
+    cfg
+}
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("aodv_30s_10m/s", |b| {
+        b.iter(|| Network::new(short(10.0, 1)).run())
+    });
+    group.bench_function("mccls_30s_10m/s", |b| {
+        b.iter(|| Network::new(short(10.0, 1).secured()).run())
+    });
+    group.bench_function("mccls_blackhole_30s", |b| {
+        b.iter(|| {
+            Network::new(short(10.0, 1).secured().with_attackers(Behavior::BlackHole, 2)).run()
+        })
+    });
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("blackhole_drop_only", |b| {
+        b.iter(|| {
+            Network::new(short(10.0, 2).with_attackers(Behavior::BlackHole, 2)).run()
+        })
+    });
+    group.bench_function("blackhole_forging", |b| {
+        b.iter(|| {
+            Network::new(short(10.0, 2).with_attackers(Behavior::ForgingBlackHole, 2)).run()
+        })
+    });
+    group.bench_function("first_rrep_wins", |b| {
+        b.iter(|| {
+            let mut cfg = short(10.0, 2);
+            cfg.aodv.first_rrep_wins = true;
+            Network::new(cfg).run()
+        })
+    });
+    group.finish();
+}
+
+fn bench_real_crypto(c: &mut Criterion) {
+    // The ground-truth provider actually signs/verifies with BLS12-381;
+    // keep the scenario tiny so the bench stays tractable.
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("real_crypto_2s", |b| {
+        b.iter(|| {
+            let mut cfg = ScenarioConfig::paper_baseline(5.0, 3).secured();
+            cfg.duration = SimDuration::from_secs(2);
+            cfg.real_crypto = true;
+            Network::new(cfg).run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios, bench_ablations, bench_real_crypto);
+criterion_main!(benches);

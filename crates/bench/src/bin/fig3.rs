@@ -1,0 +1,22 @@
+//! Reproduces **Figure 3**: average end-to-end delay vs. node speed for
+//! plain AODV and McCLS-secured AODV, no attackers. The McCLS series
+//! carries the virtual-time cost of signing and verifying each routing
+//! control packet.
+
+use mccls_aodv::experiment::render_table;
+use mccls_aodv::Metrics;
+use mccls_bench::{baseline_series, FigureOpts};
+
+fn main() {
+    let opts = FigureOpts::from_args();
+    let series = baseline_series(opts);
+    print!(
+        "{}",
+        render_table(
+            "Fig. 3 — End-to-End Delay (no attack)",
+            "mean end-to-end delay of delivered packets (s)",
+            &series,
+            Metrics::avg_end_to_end_delay,
+        )
+    );
+}

@@ -1,0 +1,352 @@
+//! The paper's contribution: the **McCLS** certificateless signature
+//! scheme (Section 4), with zero pairings to sign and a single pairing to
+//! verify (against a cacheable constant).
+//!
+//! Algorithms, in the asymmetric-pairing mapping (identities in G1,
+//! system elements in G2):
+//!
+//! * **Setup** — master secret `s`, `P_pub = s·P ∈ G2`.
+//! * **Extract-Partial-Private-Key** — `D_ID = s·H1(ID) ∈ G1`.
+//! * **Generate-Key-Pair** — secret `x ∈ Z_r*`, public
+//!   `P_ID = x·P_pub ∈ G2`.
+//! * **CL-Sign** — pick `r ∈ Z_r*`; output `σ = (V, S, R)` with
+//!   `S = x⁻¹·D_ID`, `R = (r - x)·P`, `V = H2(M, R, P_ID)·r`.
+//! * **CL-Verify** — `h = H2(M, R, P_ID)`; accept iff
+//!   `(P_pub, V·P - h·R, S/h, Q_ID)` is a valid Diffie-Hellman tuple,
+//!   i.e. `e(S/h, V·P - h·R) = e(Q_ID, P_pub)`.
+//!
+//! Correctness: `V·P - h·R = h·r·P - h·(r-x)·P = h·x·P`, so
+//! `e(S/h, V·P - h·R) = e(x⁻¹·D_ID·h⁻¹, h·x·P) = e(D_ID, P)
+//! = e(Q_ID, s·P) = e(Q_ID, P_pub)`.
+//!
+//! The right-hand side depends only on `(ID, P_pub)`, so a verifier that
+//! talks to the same peers repeatedly caches it ([`VerifierCache`]) and
+//! pays exactly **one** pairing per verification — the efficiency claim
+//! the paper's Table 1 rests on.
+
+use std::collections::HashMap;
+
+use mccls_pairing::{Fr, G2Projective, Gt};
+use rand::RngCore;
+
+use crate::ops;
+use crate::params::{h2_scalar, PartialPrivateKey, SystemParams, UserKeyPair, UserPublicKey};
+use crate::scheme::{CertificatelessScheme, ClaimedOps, Signature};
+
+/// The McCLS scheme.
+///
+/// # Examples
+///
+/// ```
+/// use mccls_core::{CertificatelessScheme, McCls};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let scheme = McCls::new();
+/// let (params, kgc) = scheme.setup(&mut rng);
+/// let partial = scheme.extract_partial_private_key(&kgc, b"node-7");
+/// let keys = scheme.generate_key_pair(&params, &mut rng);
+/// let sig = scheme.sign(&params, b"node-7", &partial, &keys, b"RREQ", &mut rng);
+/// assert!(scheme.verify(&params, b"node-7", &keys.public, b"RREQ", &sig));
+/// assert!(!scheme.verify(&params, b"node-7", &keys.public, b"RREP", &sig));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct McCls;
+
+impl McCls {
+    /// Creates the scheme handle.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Computes `h = H2(M, R, P_ID)`.
+    pub(crate) fn challenge_for_batch(
+        msg: &[u8],
+        r: &G2Projective,
+        public: &UserPublicKey,
+    ) -> Fr {
+        Self::challenge(msg, r, public)
+    }
+
+    /// Computes `h = H2(M, R, P_ID)`.
+    fn challenge(msg: &[u8], r: &G2Projective, public: &UserPublicKey) -> Fr {
+        h2_scalar(&[
+            b"mccls",
+            msg,
+            &r.to_affine().to_compressed(),
+            &public.to_bytes(),
+        ])
+    }
+
+    /// The verifier's left-hand pairing `e(S/h, V·P - h·R)`.
+    ///
+    /// Shared by [`CertificatelessScheme::verify`] and
+    /// [`VerifierCache::verify`].
+    fn verification_pairing(
+        params: &SystemParams,
+        public: &UserPublicKey,
+        msg: &[u8],
+        sig: &Signature,
+    ) -> Option<Gt> {
+        let Signature::McCls { v, s, r } = sig else {
+            return None;
+        };
+        let h = Self::challenge(msg, r, public);
+        let h_inv = h.invert()?;
+        // V·P - h·R ∈ G2 (two scalar mults), S/h ∈ G1 (one scalar mult).
+        let vp = ops::mul_g2(&params.p(), v);
+        let hr = ops::mul_g2(r, &h);
+        let lhs_g2 = vp.sub(&hr);
+        let s_over_h = ops::mul_g1(s, &h_inv);
+        if s_over_h.is_identity() || lhs_g2.is_identity() {
+            return None;
+        }
+        Some(ops::pair(&s_over_h.to_affine(), &lhs_g2.to_affine()))
+    }
+}
+
+impl CertificatelessScheme for McCls {
+    fn name(&self) -> &'static str {
+        "McCLS"
+    }
+
+    fn generate_key_pair(&self, params: &SystemParams, rng: &mut dyn RngCore) -> UserKeyPair {
+        let x = Fr::random_nonzero(rng);
+        // P_ID = x·P_pub, exactly as in Section 4.
+        let p_id = ops::mul_g2(&params.p_pub, &x);
+        UserKeyPair {
+            secret: x,
+            public: UserPublicKey { primary: p_id, secondary: None },
+        }
+    }
+
+    fn sign(
+        &self,
+        params: &SystemParams,
+        _id: &[u8],
+        partial: &PartialPrivateKey,
+        keys: &UserKeyPair,
+        msg: &[u8],
+        rng: &mut dyn RngCore,
+    ) -> Signature {
+        let x_inv = keys.secret.invert().expect("secret value is nonzero");
+        let r_scalar = Fr::random_nonzero(rng);
+        // S = x⁻¹·D_ID (message independent), R = (r - x)·P.
+        let s = ops::mul_g1(&partial.d, &x_inv);
+        let r = ops::mul_g2(&params.p(), &r_scalar.sub(&keys.secret));
+        let h = Self::challenge(msg, &r, &keys.public);
+        let v = h.mul(&r_scalar);
+        Signature::McCls { v, s, r }
+    }
+
+    fn verify(
+        &self,
+        params: &SystemParams,
+        id: &[u8],
+        public: &UserPublicKey,
+        msg: &[u8],
+        sig: &Signature,
+    ) -> bool {
+        let Some(lhs) = Self::verification_pairing(params, public, msg, sig) else {
+            return false;
+        };
+        let q_id = params.hash_identity(id);
+        let rhs = ops::pair(&q_id.to_affine(), &params.p_pub.to_affine());
+        lhs == rhs
+    }
+
+    fn claimed_table1_profile(&self) -> (ClaimedOps, ClaimedOps) {
+        (ClaimedOps::new(0, 2, 0), ClaimedOps::new(1, 1, 0))
+    }
+
+    fn claimed_public_key_points(&self) -> usize {
+        1
+    }
+}
+
+/// A verifying node's cache of the constant pairing
+/// `e(Q_ID, P_pub)` per peer identity.
+///
+/// With the cache warm, McCLS verification costs one pairing and three
+/// scalar multiplications; the first contact with a new identity pays
+/// one extra pairing (plus the `H1` map) to fill the cache.
+#[derive(Debug, Default)]
+pub struct VerifierCache {
+    entries: HashMap<Vec<u8>, Gt>,
+}
+
+impl VerifierCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached identities.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no identities are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Verifies a McCLS signature, caching `e(Q_ID, P_pub)` per identity.
+    pub fn verify(
+        &mut self,
+        params: &SystemParams,
+        id: &[u8],
+        public: &UserPublicKey,
+        msg: &[u8],
+        sig: &Signature,
+    ) -> bool {
+        let Some(lhs) = McCls::verification_pairing(params, public, msg, sig) else {
+            return false;
+        };
+        let rhs = self.entries.entry(id.to_vec()).or_insert_with(|| {
+            let q_id = params.hash_identity(id);
+            ops::pair(&q_id.to_affine(), &params.p_pub.to_affine())
+        });
+        lhs == *rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Kgc;
+    use mccls_pairing::G1Projective;
+    use rand::SeedableRng;
+
+    fn setup() -> (SystemParams, Kgc, PartialPrivateKey, UserKeyPair, rand::rngs::StdRng) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(50);
+        let scheme = McCls::new();
+        let (params, kgc) = scheme.setup(&mut rng);
+        let partial = kgc.extract_partial_private_key(b"alice");
+        let keys = scheme.generate_key_pair(&params, &mut rng);
+        (params, kgc, partial, keys, rng)
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let (params, _kgc, partial, keys, mut rng) = setup();
+        let scheme = McCls::new();
+        let sig = scheme.sign(&params, b"alice", &partial, &keys, b"hello", &mut rng);
+        assert!(scheme.verify(&params, b"alice", &keys.public, b"hello", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_message() {
+        let (params, _kgc, partial, keys, mut rng) = setup();
+        let scheme = McCls::new();
+        let sig = scheme.sign(&params, b"alice", &partial, &keys, b"hello", &mut rng);
+        assert!(!scheme.verify(&params, b"alice", &keys.public, b"tampered", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_identity() {
+        let (params, _kgc, partial, keys, mut rng) = setup();
+        let scheme = McCls::new();
+        let sig = scheme.sign(&params, b"alice", &partial, &keys, b"hello", &mut rng);
+        assert!(!scheme.verify(&params, b"bob", &keys.public, b"hello", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_public_key() {
+        let (params, _kgc, partial, keys, mut rng) = setup();
+        let scheme = McCls::new();
+        let sig = scheme.sign(&params, b"alice", &partial, &keys, b"hello", &mut rng);
+        let other = scheme.generate_key_pair(&params, &mut rng);
+        assert!(!scheme.verify(&params, b"alice", &other.public, b"hello", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_component_tampering() {
+        let (params, _kgc, partial, keys, mut rng) = setup();
+        let scheme = McCls::new();
+        let sig = scheme.sign(&params, b"alice", &partial, &keys, b"hello", &mut rng);
+        let Signature::McCls { v, s, r } = sig.clone() else { unreachable!() };
+        let bad_v = Signature::McCls { v: v.add(&Fr::one()), s, r };
+        let bad_s = Signature::McCls { v, s: s.add(&G1Projective::generator()), r };
+        let bad_r = Signature::McCls { v, s, r: r.double() };
+        assert!(!scheme.verify(&params, b"alice", &keys.public, b"hello", &bad_v));
+        assert!(!scheme.verify(&params, b"alice", &keys.public, b"hello", &bad_s));
+        assert!(!scheme.verify(&params, b"alice", &keys.public, b"hello", &bad_r));
+    }
+
+    #[test]
+    fn verify_rejects_other_scheme_signatures() {
+        let (params, _kgc, _partial, keys, _rng) = setup();
+        let scheme = McCls::new();
+        let alien = Signature::Yhg {
+            u: G1Projective::generator(),
+            v: G1Projective::generator(),
+        };
+        assert!(!scheme.verify(&params, b"alice", &keys.public, b"hello", &alien));
+    }
+
+    #[test]
+    fn signatures_are_randomized() {
+        let (params, _kgc, partial, keys, mut rng) = setup();
+        let scheme = McCls::new();
+        let s1 = scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng);
+        let s2 = scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng);
+        assert_ne!(s1, s2);
+        assert!(scheme.verify(&params, b"alice", &keys.public, b"m", &s1));
+        assert!(scheme.verify(&params, b"alice", &keys.public, b"m", &s2));
+    }
+
+    #[test]
+    fn cached_verification_agrees_with_plain() {
+        let (params, _kgc, partial, keys, mut rng) = setup();
+        let scheme = McCls::new();
+        let mut cache = VerifierCache::new();
+        for i in 0..3u8 {
+            let msg = [i; 8];
+            let sig = scheme.sign(&params, b"alice", &partial, &keys, &msg, &mut rng);
+            assert!(cache.verify(&params, b"alice", &keys.public, &msg, &sig));
+            assert!(!cache.verify(&params, b"alice", &keys.public, b"zzz", &sig));
+        }
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cached_verification_costs_one_pairing() {
+        let (params, _kgc, partial, keys, mut rng) = setup();
+        let scheme = McCls::new();
+        let mut cache = VerifierCache::new();
+        let sig = scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng);
+        // Warm the cache.
+        assert!(cache.verify(&params, b"alice", &keys.public, b"m", &sig));
+        let (ok, counts) = ops::measure(|| {
+            cache.verify(&params, b"alice", &keys.public, b"m", &sig)
+        });
+        assert!(ok);
+        assert_eq!(counts.pairings, 1, "Table 1: verify = 1p with warm cache");
+        assert_eq!(counts.g1_muls, 1);
+        assert_eq!(counts.g2_muls, 2);
+    }
+
+    #[test]
+    fn sign_uses_no_pairings_and_two_scalar_muls() {
+        let (params, _kgc, partial, keys, mut rng) = setup();
+        let scheme = McCls::new();
+        let (_, counts) = ops::measure(|| {
+            scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng)
+        });
+        assert_eq!(counts.pairings, 0, "Table 1: sign has no pairings");
+        assert_eq!(counts.scalar_muls(), 2, "Table 1: sign = 2s");
+    }
+
+    #[test]
+    fn signature_wire_round_trip() {
+        let (params, _kgc, partial, keys, mut rng) = setup();
+        let scheme = McCls::new();
+        let sig = scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng);
+        let bytes = sig.to_bytes();
+        assert_eq!(bytes.len(), sig.encoded_len());
+        let parsed = Signature::from_bytes(&bytes).expect("valid encoding");
+        assert_eq!(parsed, sig);
+        assert!(scheme.verify(&params, b"alice", &keys.public, b"m", &parsed));
+    }
+}

@@ -1,0 +1,177 @@
+//! Instrumented group operations.
+//!
+//! Every scheme in this crate performs its pairings and scalar
+//! multiplications through the wrappers below, which maintain
+//! thread-local counters. The Table 1 harness resets the counters, runs
+//! one sign or verify, and reads the counts back — so the reported
+//! operation profile is *measured from the implementation*, not
+//! transcribed from the paper.
+
+use std::cell::Cell;
+
+use mccls_pairing::{
+    pairing, Fr, G1Affine, G1Projective, G2Affine, G2Projective, Gt,
+};
+
+thread_local! {
+    static PAIRINGS: Cell<u64> = const { Cell::new(0) };
+    static G1_MULS: Cell<u64> = const { Cell::new(0) };
+    static G2_MULS: Cell<u64> = const { Cell::new(0) };
+    static GT_EXPS: Cell<u64> = const { Cell::new(0) };
+    static HASHES_TO_G1: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A snapshot of the operation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// Bilinear pairing evaluations (`p` in Table 1).
+    pub pairings: u64,
+    /// G1 scalar multiplications.
+    pub g1_muls: u64,
+    /// G2 scalar multiplications.
+    pub g2_muls: u64,
+    /// GT exponentiations (`e` in Table 1).
+    pub gt_exps: u64,
+    /// Hash-to-G1 evaluations (map-to-point; some papers fold these into
+    /// their `s` column, we report them separately).
+    pub hashes_to_g1: u64,
+}
+
+impl OpCounts {
+    /// Total scalar multiplications (`s` in Table 1).
+    pub fn scalar_muls(&self) -> u64 {
+        self.g1_muls + self.g2_muls
+    }
+
+    /// Renders the Table 1 style `Np+Ms(+Ke)` shorthand.
+    pub fn shorthand(&self) -> String {
+        let mut parts = Vec::new();
+        if self.pairings > 0 {
+            parts.push(format!("{}p", self.pairings));
+        }
+        if self.scalar_muls() > 0 {
+            parts.push(format!("{}s", self.scalar_muls()));
+        }
+        if self.gt_exps > 0 {
+            parts.push(format!("{}e", self.gt_exps));
+        }
+        if parts.is_empty() {
+            "-".to_owned()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+impl core::fmt::Display for OpCounts {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.shorthand())
+    }
+}
+
+/// Resets all counters on this thread.
+pub fn reset() {
+    PAIRINGS.with(|c| c.set(0));
+    G1_MULS.with(|c| c.set(0));
+    G2_MULS.with(|c| c.set(0));
+    GT_EXPS.with(|c| c.set(0));
+    HASHES_TO_G1.with(|c| c.set(0));
+}
+
+/// Reads the current counters on this thread.
+pub fn snapshot() -> OpCounts {
+    OpCounts {
+        pairings: PAIRINGS.with(Cell::get),
+        g1_muls: G1_MULS.with(Cell::get),
+        g2_muls: G2_MULS.with(Cell::get),
+        gt_exps: GT_EXPS.with(Cell::get),
+        hashes_to_g1: HASHES_TO_G1.with(Cell::get),
+    }
+}
+
+/// Runs `f` with freshly reset counters and returns its result together
+/// with the operation counts it incurred.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, OpCounts) {
+    reset();
+    let out = f();
+    (out, snapshot())
+}
+
+/// Counted pairing evaluation.
+pub fn pair(p: &G1Affine, q: &G2Affine) -> Gt {
+    PAIRINGS.with(|c| c.set(c.get() + 1));
+    pairing(p, q)
+}
+
+/// Counted G1 scalar multiplication.
+pub fn mul_g1(p: &G1Projective, k: &Fr) -> G1Projective {
+    G1_MULS.with(|c| c.set(c.get() + 1));
+    p.mul_scalar(k)
+}
+
+/// Counted G2 scalar multiplication.
+pub fn mul_g2(p: &G2Projective, k: &Fr) -> G2Projective {
+    G2_MULS.with(|c| c.set(c.get() + 1));
+    p.mul_scalar(k)
+}
+
+/// Counted GT exponentiation.
+pub fn exp_gt(g: &Gt, k: &Fr) -> Gt {
+    GT_EXPS.with(|c| c.set(c.get() + 1));
+    g.pow(k)
+}
+
+/// Counted hash-to-G1 (map-to-point).
+pub fn hash_to_g1(msg: &[u8], dst: &[u8]) -> G1Projective {
+    HASHES_TO_G1.with(|c| c.set(c.get() + 1));
+    mccls_pairing::hash_to_g1(msg, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccls_pairing::Field;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counters_track_operations() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let (_, counts) = measure(|| {
+            let k = Fr::random(&mut rng);
+            let p = mul_g1(&G1Projective::generator(), &k);
+            let q = mul_g2(&G2Projective::generator(), &k);
+            let e = pair(&p.to_affine(), &q.to_affine());
+            exp_gt(&e, &k);
+            hash_to_g1(b"x", b"T");
+        });
+        assert_eq!(
+            counts,
+            OpCounts {
+                pairings: 1,
+                g1_muls: 1,
+                g2_muls: 1,
+                gt_exps: 1,
+                hashes_to_g1: 1
+            }
+        );
+    }
+
+    #[test]
+    fn shorthand_formats_like_table_1() {
+        let c = OpCounts { pairings: 4, g1_muls: 1, g2_muls: 0, gt_exps: 1, hashes_to_g1: 0 };
+        assert_eq!(c.shorthand(), "4p+1s+1e");
+        assert_eq!(OpCounts::default().shorthand(), "-");
+        let sign_only = OpCounts { g1_muls: 2, ..OpCounts::default() };
+        assert_eq!(sign_only.shorthand(), "2s");
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        pair(
+            &G1Projective::generator().to_affine(),
+            &G2Projective::generator().to_affine(),
+        );
+        reset();
+        assert_eq!(snapshot(), OpCounts::default());
+    }
+}

@@ -1,0 +1,247 @@
+//! Shared key material: system parameters, the Key Generation Center,
+//! partial private keys, and user key pairs.
+//!
+//! All four schemes in this crate share the same key hierarchy
+//! (Section 4 of the paper, adapted to the asymmetric pairing):
+//!
+//! * the KGC picks a master secret `s ∈ Z_r*` and publishes
+//!   `P_pub = s·P ∈ G2`,
+//! * an identity hashes to `Q_ID = H1(ID) ∈ G1`,
+//! * the partial private key is `D_ID = s·Q_ID ∈ G1`,
+//! * the user picks `x ∈ Z_r*` and publishes `P_ID = x·P_pub` (McCLS) or
+//!   `x·P` (ZWXF/YHG) in G2 — plus, for AP, a second component in G1.
+
+use mccls_pairing::{Fr, G1Projective, G2Projective};
+use rand::RngCore;
+
+use crate::ops;
+
+/// Domain separation tag for `H1 : {0,1}* → G1` (identity hashing).
+pub const DST_H1: &[u8] = b"MCCLS-V01-H1-ID";
+/// Domain separation tag for `H2 : message material → Z_r`.
+pub const DST_H2: &[u8] = b"MCCLS-V01-H2-MSG";
+/// Domain separation tag for message-dependent G1 points (ZWXF).
+pub const DST_HW: &[u8] = b"MCCLS-V01-HW-G1";
+
+/// Public system parameters `(P, P_pub, H1, H2)`.
+///
+/// `P` is the fixed G2 generator and `G` the fixed G1 generator (the
+/// asymmetric setting needs both); the hash functions are fixed by the
+/// domain tags above.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemParams {
+    /// The KGC's public key `P_pub = s·P`.
+    pub p_pub: G2Projective,
+}
+
+impl SystemParams {
+    /// The fixed G2 generator `P`.
+    pub fn p(&self) -> G2Projective {
+        G2Projective::generator()
+    }
+
+    /// The fixed G1 generator `G`.
+    pub fn g(&self) -> G1Projective {
+        G1Projective::generator()
+    }
+
+    /// Hashes an identity onto G1 (`Q_ID = H1(ID)`).
+    pub fn hash_identity(&self, id: &[u8]) -> G1Projective {
+        ops::hash_to_g1(id, DST_H1)
+    }
+}
+
+/// The KGC master secret `s`.
+///
+/// Deliberately opaque: nothing outside this module reads the scalar,
+/// mirroring the paper's requirement that only the KGC holds `s`.
+#[derive(Clone)]
+pub struct MasterSecret {
+    s: Fr,
+}
+
+impl core::fmt::Debug for MasterSecret {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("MasterSecret(<redacted>)")
+    }
+}
+
+/// The Key Generation Center: runs `Setup` and
+/// `Extract-Partial-Private-Key`.
+#[derive(Debug, Clone)]
+pub struct Kgc {
+    params: SystemParams,
+    master: MasterSecret,
+}
+
+impl Kgc {
+    /// `Setup`: samples the master secret and publishes
+    /// `P_pub = s·P`.
+    pub fn setup(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        let s = Fr::random_nonzero(rng);
+        let p_pub = ops::mul_g2(&G2Projective::generator(), &s);
+        Self { params: SystemParams { p_pub }, master: MasterSecret { s } }
+    }
+
+    /// Test-only deterministic setup from a fixed master secret.
+    pub fn from_master_secret(s: Fr) -> Self {
+        let p_pub = G2Projective::generator().mul_scalar(&s);
+        Self { params: SystemParams { p_pub }, master: MasterSecret { s } }
+    }
+
+    /// The public system parameters.
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    /// `Extract-Partial-Private-Key`: `D_ID = s·H1(ID)`.
+    pub fn extract_partial_private_key(&self, id: &[u8]) -> PartialPrivateKey {
+        let q_id = self.params.hash_identity(id);
+        PartialPrivateKey { d: ops::mul_g1(&q_id, &self.master.s) }
+    }
+
+    /// Exposes the master secret for Type II adversary experiments
+    /// (a malicious-but-passive KGC knows `s` by definition).
+    pub fn master_secret_for_type2_games(&self) -> Fr {
+        self.master.s
+    }
+}
+
+/// The identity-bound half of a private key, `D_ID = s·Q_ID ∈ G1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartialPrivateKey {
+    /// The point `D_ID`.
+    pub d: G1Projective,
+}
+
+impl PartialPrivateKey {
+    /// Verifies the KGC's extraction against the public parameters:
+    /// `e(D_ID, P) = e(Q_ID, P_pub)`.
+    ///
+    /// The paper assumes the KGC is honest here; real deployments check.
+    pub fn validate(&self, params: &SystemParams, id: &[u8]) -> bool {
+        let q_id = params.hash_identity(id);
+        mccls_pairing::pairing_product(&[
+            (self.d.to_affine(), params.p().to_affine()),
+            (q_id.neg().to_affine(), params.p_pub.to_affine()),
+        ])
+        .is_identity()
+    }
+}
+
+/// A user's public key.
+///
+/// `primary` is the G2 component every scheme publishes; `secondary` is
+/// the extra G1 component only the AP scheme carries (its "2 points"
+/// row in Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UserPublicKey {
+    /// The G2 component (`P_ID`).
+    pub primary: G2Projective,
+    /// AP's extra G1 component (`X_A = x·G`).
+    pub secondary: Option<G1Projective>,
+}
+
+impl UserPublicKey {
+    /// Encoded size in bytes (compressed points), reported by the
+    /// Table 1 harness.
+    pub fn encoded_len(&self) -> usize {
+        96 + if self.secondary.is_some() { 48 } else { 0 }
+    }
+
+    /// Number of group elements ("points" in Table 1).
+    pub fn num_points(&self) -> usize {
+        1 + usize::from(self.secondary.is_some())
+    }
+
+    /// Canonical bytes for hashing into signatures.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.primary.to_affine().to_compressed().to_vec();
+        if let Some(sec) = &self.secondary {
+            out.extend_from_slice(&sec.to_affine().to_compressed());
+        }
+        out
+    }
+}
+
+/// A user's full key pair (secret value + public key).
+#[derive(Debug, Clone)]
+pub struct UserKeyPair {
+    /// The secret value `x ∈ Z_r*` (`S_ID` in the paper's notation).
+    pub secret: Fr,
+    /// The published public key.
+    pub public: UserPublicKey,
+}
+
+/// Derives a `Z_r` scalar from signature material
+/// (the paper's `H2(M, R, P_ID)` pattern).
+pub fn h2_scalar(parts: &[&[u8]]) -> Fr {
+    let mut buf = Vec::new();
+    for p in parts {
+        buf.extend_from_slice(&(p.len() as u64).to_be_bytes());
+        buf.extend_from_slice(p);
+    }
+    Fr::hash_from_bytes(&buf, DST_H2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn setup_publishes_s_times_p() {
+        let kgc = Kgc::from_master_secret(Fr::from_u64(7));
+        assert_eq!(
+            kgc.params().p_pub,
+            G2Projective::generator().mul_scalar(&Fr::from_u64(7))
+        );
+    }
+
+    #[test]
+    fn partial_key_validates_against_params() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(40);
+        let kgc = Kgc::setup(&mut rng);
+        let ppk = kgc.extract_partial_private_key(b"alice");
+        assert!(ppk.validate(kgc.params(), b"alice"));
+        assert!(!ppk.validate(kgc.params(), b"bob"));
+    }
+
+    #[test]
+    fn partial_key_from_wrong_kgc_fails_validation() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let kgc1 = Kgc::setup(&mut rng);
+        let kgc2 = Kgc::setup(&mut rng);
+        let ppk = kgc2.extract_partial_private_key(b"alice");
+        assert!(!ppk.validate(kgc1.params(), b"alice"));
+    }
+
+    #[test]
+    fn h2_scalar_is_injective_on_framing() {
+        // Length-prefix framing: ("ab", "c") != ("a", "bc").
+        let a = h2_scalar(&[b"ab", b"c"]);
+        let b = h2_scalar(&[b"a", b"bc"]);
+        assert_ne!(a, b);
+        assert_eq!(a, h2_scalar(&[b"ab", b"c"]));
+    }
+
+    #[test]
+    fn master_secret_debug_redacts() {
+        let kgc = Kgc::from_master_secret(Fr::from_u64(3));
+        assert_eq!(format!("{:?}", kgc.master), "MasterSecret(<redacted>)");
+    }
+
+    #[test]
+    fn public_key_sizes() {
+        let pk1 = UserPublicKey { primary: G2Projective::generator(), secondary: None };
+        assert_eq!(pk1.encoded_len(), 96);
+        assert_eq!(pk1.num_points(), 1);
+        let pk2 = UserPublicKey {
+            primary: G2Projective::generator(),
+            secondary: Some(G1Projective::generator()),
+        };
+        assert_eq!(pk2.encoded_len(), 144);
+        assert_eq!(pk2.num_points(), 2);
+        assert_eq!(pk2.to_bytes().len(), 144);
+    }
+}

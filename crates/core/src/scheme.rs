@@ -1,0 +1,225 @@
+//! The [`CertificatelessScheme`] trait all four schemes implement, and the
+//! shared [`Signature`] container.
+
+use mccls_pairing::{Fr, G1Affine, G1Projective, G2Affine, G2Projective};
+use rand::RngCore;
+
+use crate::params::{Kgc, PartialPrivateKey, SystemParams, UserKeyPair, UserPublicKey};
+
+/// A certificateless signature scheme in the five-stage model of
+/// Al-Riyami and Paterson: `Setup`, `Extract-Partial-Private-Key`,
+/// `Generate-Key-Pair` (secret value + public key), `CL-Sign`,
+/// `CL-Verify`.
+///
+/// The trait is object safe so harness code can iterate over
+/// `&dyn CertificatelessScheme`.
+pub trait CertificatelessScheme: Send + Sync {
+    /// Short scheme name as used in the paper's Table 1 (e.g. `"McCLS"`).
+    fn name(&self) -> &'static str;
+
+    /// `Setup`: create a KGC, returning the public parameters and the
+    /// master secret holder.
+    fn setup(&self, rng: &mut dyn RngCore) -> (SystemParams, Kgc) {
+        let kgc = Kgc::setup(rng);
+        (kgc.params().clone(), kgc)
+    }
+
+    /// `Extract-Partial-Private-Key` for `id` (delegates to the KGC; all
+    /// four schemes share `D_ID = s·H1(ID)`).
+    fn extract_partial_private_key(&self, kgc: &Kgc, id: &[u8]) -> PartialPrivateKey {
+        kgc.extract_partial_private_key(id)
+    }
+
+    /// `Generate-Key-Pair`: sample the secret value `x` and derive the
+    /// scheme's public key shape.
+    fn generate_key_pair(&self, params: &SystemParams, rng: &mut dyn RngCore) -> UserKeyPair;
+
+    /// `CL-Sign` a message.
+    fn sign(
+        &self,
+        params: &SystemParams,
+        id: &[u8],
+        partial: &PartialPrivateKey,
+        keys: &UserKeyPair,
+        msg: &[u8],
+        rng: &mut dyn RngCore,
+    ) -> Signature;
+
+    /// `CL-Verify` a signature for `(id, public key, message)`.
+    fn verify(
+        &self,
+        params: &SystemParams,
+        id: &[u8],
+        public: &UserPublicKey,
+        msg: &[u8],
+        sig: &Signature,
+    ) -> bool;
+
+    /// The operation counts the paper's Table 1 claims for this scheme:
+    /// `(sign, verify)` as `(pairings, scalar mults, exponentiations)`.
+    fn claimed_table1_profile(&self) -> (ClaimedOps, ClaimedOps);
+
+    /// Public key group-element count claimed in Table 1.
+    fn claimed_public_key_points(&self) -> usize;
+}
+
+/// Table 1's symbolic operation counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClaimedOps {
+    /// Pairing evaluations (`p`).
+    pub pairings: u64,
+    /// Scalar multiplications (`s`).
+    pub scalar_muls: u64,
+    /// GT exponentiations (`e`).
+    pub exponentiations: u64,
+}
+
+impl ClaimedOps {
+    /// Convenience constructor.
+    pub const fn new(pairings: u64, scalar_muls: u64, exponentiations: u64) -> Self {
+        Self { pairings, scalar_muls, exponentiations }
+    }
+}
+
+impl core::fmt::Display for ClaimedOps {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let mut parts = Vec::new();
+        if self.pairings > 0 {
+            parts.push(format!("{}p", self.pairings));
+        }
+        if self.scalar_muls > 0 {
+            parts.push(format!("{}s", self.scalar_muls));
+        }
+        if self.exponentiations > 0 {
+            parts.push(format!("{}e", self.exponentiations));
+        }
+        write!(f, "{}", if parts.is_empty() { "-".into() } else { parts.join("+") })
+    }
+}
+
+/// A certificateless signature from any of the four schemes.
+///
+/// Scheme-specific shapes are kept as enum variants so routing code can
+/// carry "a signature" without being generic; [`Signature::to_bytes`] /
+/// [`Signature::from_bytes`] give the wire form used in simulated
+/// packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Signature {
+    /// McCLS: `σ = (V, S, R)` with `V ∈ Z_r`, `S ∈ G1`, `R ∈ G2`.
+    McCls {
+        /// The scalar `V = H2(M, R, P_ID)·r`.
+        v: Fr,
+        /// The point `S = x⁻¹·D_ID`.
+        s: G1Projective,
+        /// The point `R = (r - x)·P`.
+        r: G2Projective,
+    },
+    /// Al-Riyami–Paterson: `σ = (U, v)` with `U ∈ G1`, `v ∈ Z_r`.
+    Ap {
+        /// The point `U = v·S_A + a·G`.
+        u: G1Projective,
+        /// The challenge scalar `v = H2(M ‖ r)`.
+        v: Fr,
+    },
+    /// ZWXF: `σ = (U, V)` with `U ∈ G2`, `V ∈ G1`.
+    Zwxf {
+        /// The commitment `U = r·P`.
+        u: G2Projective,
+        /// The point `V = D_ID + r·W + x·W'`.
+        v: G1Projective,
+    },
+    /// YHG: `σ = (U, V)` with both components in G1.
+    Yhg {
+        /// The commitment `U = r·Q_ID`.
+        u: G1Projective,
+        /// The point `V = (r + h)·(D_ID + x·Q_ID)`.
+        v: G1Projective,
+    },
+}
+
+const TAG_MCCLS: u8 = 1;
+const TAG_AP: u8 = 2;
+const TAG_ZWXF: u8 = 3;
+const TAG_YHG: u8 = 4;
+
+impl Signature {
+    /// Serialized length in bytes (compressed points + 1 tag byte).
+    pub fn encoded_len(&self) -> usize {
+        1 + match self {
+            Signature::McCls { .. } => 32 + 48 + 96,
+            Signature::Ap { .. } => 48 + 32,
+            Signature::Zwxf { .. } => 96 + 48,
+            Signature::Yhg { .. } => 48 + 48,
+        }
+    }
+
+    /// Canonical wire encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        match self {
+            Signature::McCls { v, s, r } => {
+                out.push(TAG_MCCLS);
+                out.extend_from_slice(&v.to_be_bytes());
+                out.extend_from_slice(&s.to_affine().to_compressed());
+                out.extend_from_slice(&r.to_affine().to_compressed());
+            }
+            Signature::Ap { u, v } => {
+                out.push(TAG_AP);
+                out.extend_from_slice(&u.to_affine().to_compressed());
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+            Signature::Zwxf { u, v } => {
+                out.push(TAG_ZWXF);
+                out.extend_from_slice(&u.to_affine().to_compressed());
+                out.extend_from_slice(&v.to_affine().to_compressed());
+            }
+            Signature::Yhg { u, v } => {
+                out.push(TAG_YHG);
+                out.extend_from_slice(&u.to_affine().to_compressed());
+                out.extend_from_slice(&v.to_affine().to_compressed());
+            }
+        }
+        out
+    }
+
+    /// Parses the wire encoding, with full point validation.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let (&tag, rest) = bytes.split_first()?;
+        match tag {
+            TAG_MCCLS => {
+                if rest.len() != 32 + 48 + 96 {
+                    return None;
+                }
+                let v = Fr::from_be_bytes(rest[..32].try_into().ok()?)?;
+                let s = G1Affine::from_compressed(rest[32..80].try_into().ok()?)?;
+                let r = G2Affine::from_compressed(rest[80..].try_into().ok()?)?;
+                Some(Signature::McCls { v, s: s.to_projective(), r: r.to_projective() })
+            }
+            TAG_AP => {
+                if rest.len() != 48 + 32 {
+                    return None;
+                }
+                let u = G1Affine::from_compressed(rest[..48].try_into().ok()?)?;
+                let v = Fr::from_be_bytes(rest[48..].try_into().ok()?)?;
+                Some(Signature::Ap { u: u.to_projective(), v })
+            }
+            TAG_ZWXF => {
+                if rest.len() != 96 + 48 {
+                    return None;
+                }
+                let u = G2Affine::from_compressed(rest[..96].try_into().ok()?)?;
+                let v = G1Affine::from_compressed(rest[96..].try_into().ok()?)?;
+                Some(Signature::Zwxf { u: u.to_projective(), v: v.to_projective() })
+            }
+            TAG_YHG => {
+                if rest.len() != 48 + 48 {
+                    return None;
+                }
+                let u = G1Affine::from_compressed(rest[..48].try_into().ok()?)?;
+                let v = G1Affine::from_compressed(rest[48..].try_into().ok()?)?;
+                Some(Signature::Yhg { u: u.to_projective(), v: v.to_projective() })
+            }
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! A `t`-of-`n` threshold KGC — the deployment shape the paper's MANET
+//! setting actually needs.
+//!
+//! A single Key Generation Center is a fixed piece of infrastructure,
+//! which Section 1 of the paper rules out ("there may be no fixed
+//! infrastructure available"). The classic remedy (Zhou–Haas; Deng et
+//! al., both cited by the paper) is to secret-share the master key among
+//! `n` nodes so that any `t` of them can jointly extract a partial
+//! private key while `t - 1` learn nothing.
+//!
+//! Sharing is Shamir over `Z_r`: a dealer samples a random polynomial
+//! `f` of degree `t-1` with `f(0) = s`, hands node `i` the share
+//! `s_i = f(i)`, publishes `P_pub = s·P` plus per-server verification
+//! keys `P_i = s_i·P`, and *discards* `s`. Extraction: each server
+//! returns `D_i = s_i·H1(ID)`; any `t` responses Lagrange-interpolate in
+//! the exponent to `D_ID = s·H1(ID)`.
+
+use mccls_pairing::{pairing_product, Fr, G1Projective, G2Projective};
+use rand::RngCore;
+
+use crate::ops;
+use crate::params::{PartialPrivateKey, SystemParams};
+
+/// One server's response to a partial-private-key extraction request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartialKeyShare {
+    /// The share server's index (the evaluation point `i ≥ 1`).
+    pub index: u32,
+    /// `D_i = s_i·Q_ID`.
+    pub d: G1Projective,
+}
+
+/// A node holding one share of the master key.
+#[derive(Debug, Clone)]
+pub struct KgcShareServer {
+    index: u32,
+    share: Fr,
+    /// Published verification key `P_i = s_i·P`.
+    pub verification_key: G2Projective,
+}
+
+impl KgcShareServer {
+    /// Produces this server's contribution `D_i = s_i·H1(ID)`.
+    pub fn extract_share(&self, params: &SystemParams, id: &[u8]) -> PartialKeyShare {
+        let q_id = params.hash_identity(id);
+        PartialKeyShare { index: self.index, d: ops::mul_g1(&q_id, &self.share) }
+    }
+
+    /// The server's evaluation point.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+}
+
+/// Verifies a single share against the server's published verification
+/// key: `e(D_i, P) = e(Q_ID, P_i)`. Lets the requester discard corrupt
+/// contributions *before* combining.
+pub fn verify_share(
+    params: &SystemParams,
+    id: &[u8],
+    share: &PartialKeyShare,
+    verification_key: &G2Projective,
+) -> bool {
+    let q_id = params.hash_identity(id);
+    pairing_product(&[
+        (share.d.to_affine(), params.p().to_affine()),
+        (q_id.neg().to_affine(), verification_key.to_affine()),
+    ])
+    .is_identity()
+}
+
+/// Output of the threshold setup ceremony.
+#[derive(Debug)]
+pub struct ThresholdSetup {
+    /// Public system parameters (`P_pub = s·P` as usual — downstream
+    /// code cannot tell a threshold KGC from a centralized one).
+    pub params: SystemParams,
+    /// The `n` share servers.
+    pub servers: Vec<KgcShareServer>,
+    /// The reconstruction threshold `t`.
+    pub threshold: usize,
+}
+
+/// Runs the dealer ceremony: samples `f` with `deg f = t-1`, `f(0) = s`,
+/// distributes shares to `n` servers, publishes `P_pub`, and forgets `s`.
+///
+/// # Panics
+///
+/// Panics unless `1 <= t <= n` and the server indices `1..=n` fit the
+/// scalar field (they always do).
+pub fn threshold_setup(n: usize, t: usize, rng: &mut (impl RngCore + ?Sized)) -> ThresholdSetup {
+    assert!(t >= 1 && t <= n, "need 1 <= t <= n");
+    // f(x) = s + c1 x + ... + c_{t-1} x^{t-1}
+    let coeffs: Vec<Fr> = (0..t).map(|_| Fr::random_nonzero(rng)).collect();
+    let s = coeffs[0];
+    let params = SystemParams { p_pub: ops::mul_g2(&G2Projective::generator(), &s) };
+    let servers = (1..=n as u32)
+        .map(|i| {
+            // Horner evaluation of f(i).
+            let x = Fr::from_u64(i as u64);
+            let mut share = Fr::zero();
+            for c in coeffs.iter().rev() {
+                share = share.mul(&x).add(c);
+            }
+            KgcShareServer {
+                index: i,
+                share,
+                verification_key: ops::mul_g2(&G2Projective::generator(), &share),
+            }
+        })
+        .collect();
+    ThresholdSetup { params, servers, threshold: t }
+}
+
+/// Combines at least `t` verified shares into `D_ID = s·H1(ID)` by
+/// Lagrange interpolation at zero in the exponent.
+///
+/// Returns `None` on fewer than `t` shares or duplicate indices. The
+/// result is *not* validated here — callers holding the public
+/// parameters use [`PartialPrivateKey::validate`].
+pub fn combine_shares(shares: &[PartialKeyShare], t: usize) -> Option<PartialPrivateKey> {
+    if shares.len() < t {
+        return None;
+    }
+    let shares = &shares[..t];
+    // Reject duplicate evaluation points.
+    for (i, a) in shares.iter().enumerate() {
+        if shares[i + 1..].iter().any(|b| b.index == a.index) {
+            return None;
+        }
+    }
+    let mut d = G1Projective::identity();
+    for a in shares {
+        // λ_a = Π_{b≠a} x_b / (x_b - x_a), evaluated at 0.
+        let xa = Fr::from_u64(a.index as u64);
+        let mut num = Fr::one();
+        let mut den = Fr::one();
+        for b in shares {
+            if b.index == a.index {
+                continue;
+            }
+            let xb = Fr::from_u64(b.index as u64);
+            num = num.mul(&xb);
+            den = den.mul(&xb.sub(&xa));
+        }
+        let lambda = num.mul(&den.invert()?);
+        d = d.add(&ops::mul_g1(&a.d, &lambda));
+    }
+    Some(PartialPrivateKey { d })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::CertificatelessScheme;
+    use crate::McCls;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn any_t_of_n_servers_reconstruct_the_partial_key() {
+        let mut rng = rng(1);
+        let setup = threshold_setup(5, 3, &mut rng);
+        let id = b"node-7";
+        let all: Vec<PartialKeyShare> = setup
+            .servers
+            .iter()
+            .map(|s| s.extract_share(&setup.params, id))
+            .collect();
+        // Several distinct 3-subsets must agree and validate.
+        for subset in [[0usize, 1, 2], [2, 3, 4], [0, 2, 4], [4, 1, 3]] {
+            let chosen: Vec<_> = subset.iter().map(|&i| all[i]).collect();
+            let key = combine_shares(&chosen, 3).expect("t shares combine");
+            assert!(
+                key.validate(&setup.params, id),
+                "subset {subset:?} must reconstruct s·Q_ID"
+            );
+        }
+    }
+
+    #[test]
+    fn fewer_than_t_shares_fail() {
+        let mut rng = rng(2);
+        let setup = threshold_setup(4, 3, &mut rng);
+        let shares: Vec<_> = setup.servers[..2]
+            .iter()
+            .map(|s| s.extract_share(&setup.params, b"id"))
+            .collect();
+        assert!(combine_shares(&shares, 3).is_none());
+        // Two shares interpolated as if t = 2 give a *wrong* key.
+        let wrong = combine_shares(&shares, 2).expect("combines syntactically");
+        assert!(!wrong.validate(&setup.params, b"id"));
+    }
+
+    #[test]
+    fn duplicate_indices_are_rejected() {
+        let mut rng = rng(3);
+        let setup = threshold_setup(3, 2, &mut rng);
+        let s0 = setup.servers[0].extract_share(&setup.params, b"id");
+        assert!(combine_shares(&[s0, s0], 2).is_none());
+    }
+
+    #[test]
+    fn share_verification_catches_corruption() {
+        let mut rng = rng(4);
+        let setup = threshold_setup(3, 2, &mut rng);
+        let good = setup.servers[0].extract_share(&setup.params, b"id");
+        assert!(verify_share(
+            &setup.params,
+            b"id",
+            &good,
+            &setup.servers[0].verification_key
+        ));
+        let corrupt = PartialKeyShare {
+            index: good.index,
+            d: good.d.add(&G1Projective::generator()),
+        };
+        assert!(!verify_share(
+            &setup.params,
+            b"id",
+            &corrupt,
+            &setup.servers[0].verification_key
+        ));
+        // Corrupt share poisons the combination.
+        let other = setup.servers[1].extract_share(&setup.params, b"id");
+        let key = combine_shares(&[corrupt, other], 2).expect("combines");
+        assert!(!key.validate(&setup.params, b"id"));
+    }
+
+    #[test]
+    fn threshold_extracted_keys_sign_and_verify_with_mccls() {
+        // End to end: the threshold KGC is a drop-in replacement.
+        let mut rng = rng(5);
+        let setup = threshold_setup(5, 3, &mut rng);
+        let id = b"sensor-12";
+        let shares: Vec<_> = setup.servers[1..4]
+            .iter()
+            .map(|s| s.extract_share(&setup.params, id))
+            .collect();
+        let partial = combine_shares(&shares, 3).expect("combine");
+        assert!(partial.validate(&setup.params, id));
+
+        let scheme = McCls::new();
+        let keys = scheme.generate_key_pair(&setup.params, &mut rng);
+        let sig = scheme.sign(&setup.params, id, &partial, &keys, b"msg", &mut rng);
+        assert!(scheme.verify(&setup.params, id, &keys.public, b"msg", &sig));
+    }
+
+    #[test]
+    fn one_of_one_threshold_degenerates_to_central_kgc() {
+        let mut rng = rng(6);
+        let setup = threshold_setup(1, 1, &mut rng);
+        let share = setup.servers[0].extract_share(&setup.params, b"id");
+        let key = combine_shares(&[share], 1).expect("combine");
+        assert!(key.validate(&setup.params, b"id"));
+    }
+
+    #[test]
+    #[should_panic(expected = "need 1 <= t <= n")]
+    fn rejects_threshold_above_n() {
+        let mut rng = rng(7);
+        threshold_setup(2, 3, &mut rng);
+    }
+}

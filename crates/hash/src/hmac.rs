@@ -1,0 +1,143 @@
+//! RFC 2104 HMAC over any [`Digest`].
+
+use crate::{Digest, Sha256};
+
+/// HMAC keyed message authentication code, generic over the hash.
+///
+/// # Examples
+///
+/// ```
+/// use mccls_hash::{Hmac, Sha256};
+///
+/// let tag = Hmac::<Sha256>::mac(b"key", b"message");
+/// assert_eq!(tag.len(), 32);
+/// assert_eq!(tag, Hmac::<Sha256>::mac(b"key", b"message"));
+/// ```
+#[derive(Debug)]
+pub struct Hmac<D: Digest> {
+    inner: D,
+    opad_key: Vec<u8>,
+}
+
+impl<D: Digest> Hmac<D> {
+    /// Creates an HMAC instance keyed with `key`.
+    pub fn new(key: &[u8]) -> Self {
+        let block = D::BLOCK_LEN;
+        let mut key_block = vec![0u8; block];
+        if key.len() > block {
+            let mut h = D::default();
+            h.update(key);
+            let digest = h.finalize_vec();
+            key_block[..digest.len()].copy_from_slice(&digest);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+        let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+        let mut inner = D::default();
+        inner.update(&ipad);
+        Self { inner, opad_key: opad }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finalizes and returns the authentication tag
+    /// (`D::OUTPUT_LEN` bytes).
+    pub fn finalize(self) -> Vec<u8> {
+        let inner_digest = self.inner.finalize_vec();
+        let mut outer = D::default();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize_vec()
+    }
+
+    /// One-shot convenience: `HMAC(key, message)`.
+    pub fn mac(key: &[u8], message: &[u8]) -> Vec<u8> {
+        let mut h = Self::new(key);
+        h.update(message);
+        h.finalize()
+    }
+}
+
+/// One-shot HMAC-SHA-256, the default MAC of the workspace.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    let tag = Hmac::<Sha256>::mac(key, message);
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&tag);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sha512;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case1_sha256() {
+        let key = [0x0b; 20];
+        let tag = Hmac::<Sha256>::mac(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    // RFC 4231 test case 2 ("Jefe").
+    #[test]
+    fn rfc4231_case2_sha256() {
+        let tag = Hmac::<Sha256>::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    // RFC 4231 test case 2 for SHA-512.
+    #[test]
+    fn rfc4231_case2_sha512() {
+        let tag = Hmac::<Sha512>::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "164b7a7bfcf819e2e395fbe73b56e0a387bd64222e831fd610270cd7ea250554\
+             9758bf75c05a994a6d034f65f8f0e6fdcaeab1a34d4a6b4b636e070a38bce737"
+        );
+    }
+
+    // RFC 4231 test case 6: key longer than the block size.
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaa; 131];
+        let tag = Hmac::<Sha256>::mac(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = Hmac::<Sha256>::new(b"key");
+        h.update(b"hello ");
+        h.update(b"world");
+        assert_eq!(h.finalize(), Hmac::<Sha256>::mac(b"key", b"hello world"));
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        assert_ne!(
+            Hmac::<Sha256>::mac(b"k1", b"m"),
+            Hmac::<Sha256>::mac(b"k2", b"m")
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Prints the wall-clock cost of each primitive operation — the `p`,
+//! `s`, and `e` of the paper's Table 1 notation on this host.
+//!
+//! Run with: `cargo run --release -p mccls-pairing --example timing`
+
+use std::time::Instant;
+
+use mccls_pairing::{hash_to_g1, pairing, Fr, G1Projective, G2Projective};
+use rand::SeedableRng;
+
+fn time(label: &str, iters: u32, mut f: impl FnMut()) {
+    f(); // warm-up (fills the lazy pairing-exponent caches)
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    println!("{label:<26} {:>12.3?} /op", t.elapsed() / iters);
+}
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let k = Fr::random(&mut rng);
+    let g1 = G1Projective::generator();
+    let g2 = G2Projective::generator();
+    let g1a = g1.to_affine();
+    let g2a = g2.to_affine();
+    let gt = pairing(&g1a, &g2a);
+
+    time("pairing (p)", 50, || {
+        let _ = pairing(&g1a, &g2a);
+    });
+    time("G1 scalar mul (s)", 200, || {
+        let _ = g1.mul_scalar(&k);
+    });
+    time("G2 scalar mul (s)", 200, || {
+        let _ = g2.mul_scalar(&k);
+    });
+    time("GT exponentiation (e)", 50, || {
+        let _ = gt.pow(&k);
+    });
+    time("hash to G1 (H1)", 200, || {
+        let _ = hash_to_g1(b"some identity", b"TIMING");
+    });
+}

@@ -1,0 +1,457 @@
+//! The [`Field`] abstraction and the [`montgomery_field!`] macro that
+//! generates Montgomery-form prime fields from nothing but their modulus.
+//!
+//! All derived constants (`-p^{-1} mod 2^64`, `R^2 mod p`, the Fermat and
+//! square-root exponents) are computed at compile time by `const fn`s in
+//! [`crate::arith`], so the only trusted input per field is the modulus
+//! itself.
+
+/// Operations common to every field in the tower (`Fp`, `Fp2`, `Fp6`,
+/// `Fp12`) and the scalar field `Fr`.
+///
+/// The methods mirror what generic curve and pairing code needs; concrete
+/// types additionally implement the `std::ops` operators for ergonomics.
+pub trait Field:
+    Copy
+    + Clone
+    + core::fmt::Debug
+    + PartialEq
+    + Eq
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Returns true for the additive identity.
+    fn is_zero(&self) -> bool;
+    /// Field addition.
+    fn add(&self, other: &Self) -> Self;
+    /// Field subtraction.
+    fn sub(&self, other: &Self) -> Self;
+    /// Field multiplication.
+    fn mul(&self, other: &Self) -> Self;
+    /// Squaring (may be faster than `mul(self, self)`).
+    fn square(&self) -> Self;
+    /// Doubling.
+    fn double(&self) -> Self;
+    /// Additive inverse.
+    fn neg(&self) -> Self;
+    /// Multiplicative inverse; `None` for zero.
+    fn invert(&self) -> Option<Self>;
+    /// Uniformly random element.
+    fn random(rng: &mut (impl rand::RngCore + ?Sized)) -> Self;
+
+    /// Exponentiation by a little-endian limb slice.
+    fn pow(&self, exp: &[u64]) -> Self {
+        let mut res = Self::one();
+        let mut started = false;
+        for &limb in exp.iter().rev() {
+            for i in (0..64).rev() {
+                if started {
+                    res = res.square();
+                }
+                if (limb >> i) & 1 == 1 {
+                    if started {
+                        res = res.mul(self);
+                    } else {
+                        res = *self;
+                        started = true;
+                    }
+                }
+            }
+        }
+        res
+    }
+}
+
+/// Generates a Montgomery-form prime field type.
+///
+/// `$name` is the type, `$n` the limb count (little-endian `u64`), and
+/// `$modulus` the prime. Values are kept reduced (`< p`) in Montgomery form
+/// at all times, so derived `PartialEq`/`Hash` agree with field equality.
+macro_rules! montgomery_field {
+    ($(#[$attr:meta])* $name:ident, $n:expr, $modulus:expr) => {
+        $(#[$attr])*
+        #[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+        pub struct $name([u64; $n]);
+
+        impl $name {
+            /// The field modulus, little-endian.
+            pub const MODULUS: [u64; $n] = $modulus;
+            /// `-p^{-1} mod 2^64` for Montgomery reduction.
+            const INV: u64 = $crate::arith::mont_inv64(Self::MODULUS[0]);
+            /// `R^2 mod p`, the to-Montgomery conversion factor.
+            const R2: [u64; $n] = $crate::arith::compute_r2::<$n>(&Self::MODULUS);
+            /// `p - 2`, the Fermat inversion exponent.
+            pub const MODULUS_MINUS_2: [u64; $n] =
+                $crate::arith::sub_small::<$n>(&Self::MODULUS, 2);
+            /// Canonical byte length of an encoded element.
+            pub const BYTES: usize = 8 * $n;
+            /// Number of 64-bit limbs.
+            pub const LIMBS: usize = $n;
+
+            /// The zero element.
+            #[inline]
+            pub const fn zero() -> Self {
+                Self([0u64; $n])
+            }
+
+            /// The one element (Montgomery form of 1).
+            #[inline]
+            pub fn one() -> Self {
+                Self::from_raw({
+                    let mut one = [0u64; $n];
+                    one[0] = 1;
+                    one
+                })
+            }
+
+            /// Builds a field element from canonical (non-Montgomery)
+            /// little-endian limbs. The value is reduced if necessary.
+            pub fn from_raw(raw: [u64; $n]) -> Self {
+                let mut v = raw;
+                while $crate::arith::geq(&v, &Self::MODULUS) {
+                    v = $crate::arith::sub_limbs(&v, &Self::MODULUS);
+                }
+                Self(Self::mont_mul(&v, &Self::R2))
+            }
+
+            /// Converts a small integer.
+            pub fn from_u64(v: u64) -> Self {
+                let mut raw = [0u64; $n];
+                raw[0] = v;
+                Self::from_raw(raw)
+            }
+
+            /// Returns the canonical little-endian limb representation.
+            pub fn to_raw(&self) -> [u64; $n] {
+                let mut one = [0u64; $n];
+                one[0] = 1;
+                Self::mont_mul(&self.0, &one)
+            }
+
+            /// Canonical big-endian byte encoding.
+            pub fn to_be_bytes(&self) -> [u8; 8 * $n] {
+                let raw = self.to_raw();
+                let mut out = [0u8; 8 * $n];
+                for (i, limb) in raw.iter().rev().enumerate() {
+                    out[i * 8..i * 8 + 8].copy_from_slice(&limb.to_be_bytes());
+                }
+                out
+            }
+
+            /// Parses a canonical big-endian encoding.
+            ///
+            /// Returns `None` when the value is not fully reduced
+            /// (`>= p`), making the encoding injective.
+            pub fn from_be_bytes(bytes: &[u8; 8 * $n]) -> Option<Self> {
+                let mut raw = [0u64; $n];
+                for i in 0..$n {
+                    let start = (($n - 1) - i) * 8;
+                    let mut limb = [0u8; 8];
+                    limb.copy_from_slice(&bytes[start..start + 8]);
+                    raw[i] = u64::from_be_bytes(limb);
+                }
+                if $crate::arith::geq(&raw, &Self::MODULUS)
+                    && raw != Self::MODULUS
+                {
+                    return None;
+                }
+                if raw == Self::MODULUS {
+                    return None;
+                }
+                Some(Self::from_raw(raw))
+            }
+
+            /// Interprets arbitrarily many big-endian bytes as an integer
+            /// and reduces it modulo `p` (Horner's rule). Suitable for
+            /// hash-to-field.
+            pub fn from_be_bytes_mod(bytes: &[u8]) -> Self {
+                let base = Self::from_u64(256);
+                let mut acc = Self::zero();
+                for &b in bytes {
+                    acc = acc.mul(&base).add(&Self::from_u64(b as u64));
+                }
+                acc
+            }
+
+            /// True for the additive identity.
+            #[inline]
+            pub fn is_zero(&self) -> bool {
+                self.0 == [0u64; $n]
+            }
+
+            /// Field addition.
+            #[inline]
+            pub fn add(&self, other: &Self) -> Self {
+                let mut out = [0u64; $n];
+                let mut carry = 0u64;
+                for i in 0..$n {
+                    let (v, c) = $crate::arith::adc(self.0[i], other.0[i], carry);
+                    out[i] = v;
+                    carry = c;
+                }
+                // carry can only be set if p is close to 2^(64n); our
+                // moduli leave headroom, but reduce defensively.
+                if carry != 0 || $crate::arith::geq(&out, &Self::MODULUS) {
+                    out = $crate::arith::sub_limbs(&out, &Self::MODULUS);
+                }
+                Self(out)
+            }
+
+            /// Field subtraction.
+            #[inline]
+            pub fn sub(&self, other: &Self) -> Self {
+                let mut out = [0u64; $n];
+                let mut borrow = 0u64;
+                for i in 0..$n {
+                    let (v, b) = $crate::arith::sbb(self.0[i], other.0[i], borrow);
+                    out[i] = v;
+                    borrow = b;
+                }
+                if borrow != 0 {
+                    let mut carry = 0u64;
+                    for i in 0..$n {
+                        let (v, c) =
+                            $crate::arith::adc(out[i], Self::MODULUS[i], carry);
+                        out[i] = v;
+                        carry = c;
+                    }
+                }
+                Self(out)
+            }
+
+            /// Doubling.
+            #[inline]
+            pub fn double(&self) -> Self {
+                self.add(self)
+            }
+
+            /// Additive inverse.
+            #[inline]
+            pub fn neg(&self) -> Self {
+                if self.is_zero() {
+                    *self
+                } else {
+                    Self($crate::arith::sub_limbs(&Self::MODULUS, &self.0))
+                }
+            }
+
+            /// Field multiplication (Montgomery CIOS).
+            #[inline]
+            pub fn mul(&self, other: &Self) -> Self {
+                Self(Self::mont_mul(&self.0, &other.0))
+            }
+
+            /// Squaring.
+            #[inline]
+            pub fn square(&self) -> Self {
+                self.mul(self)
+            }
+
+            /// Multiplicative inverse; `None` for zero.
+            ///
+            /// Uses the binary extended Euclidean algorithm on the
+            /// Montgomery representative: `(aR)^{-1} = a^{-1}R^{-1}`,
+            /// restored to Montgomery form by two multiplications by
+            /// `R²`. Agreement with [`Self::invert_fermat`] is covered
+            /// by property tests.
+            pub fn invert(&self) -> Option<Self> {
+                let raw_inv =
+                    $crate::arith::mod_inverse(&self.0, &Self::MODULUS)?;
+                let t = Self::mont_mul(&raw_inv, &Self::R2);
+                Some(Self(Self::mont_mul(&t, &Self::R2)))
+            }
+
+            /// Multiplicative inverse via Fermat's little theorem
+            /// (`a^{p-2}`); the slower reference implementation
+            /// [`Self::invert`] is validated against.
+            pub fn invert_fermat(&self) -> Option<Self> {
+                if self.is_zero() {
+                    None
+                } else {
+                    Some(<Self as $crate::field::Field>::pow(
+                        self,
+                        &Self::MODULUS_MINUS_2,
+                    ))
+                }
+            }
+
+            /// Uniformly random element (rejection-free wide reduction).
+            pub fn random(rng: &mut (impl rand::RngCore + ?Sized)) -> Self {
+                let mut wide = [0u8; 16 * $n];
+                rng.fill_bytes(&mut wide);
+                Self::from_be_bytes_mod(&wide)
+            }
+
+            #[inline]
+            fn mont_mul(a: &[u64; $n], b: &[u64; $n]) -> [u64; $n] {
+                let mut t = [0u64; $n + 2];
+                for i in 0..$n {
+                    let mut carry = 0u64;
+                    for j in 0..$n {
+                        let (v, c) = $crate::arith::mac(t[j], a[i], b[j], carry);
+                        t[j] = v;
+                        carry = c;
+                    }
+                    let (v, c) = $crate::arith::adc(t[$n], carry, 0);
+                    t[$n] = v;
+                    t[$n + 1] = c;
+
+                    let m = t[0].wrapping_mul(Self::INV);
+                    let (_, mut carry) =
+                        $crate::arith::mac(t[0], m, Self::MODULUS[0], 0);
+                    for j in 1..$n {
+                        let (v, c) =
+                            $crate::arith::mac(t[j], m, Self::MODULUS[j], carry);
+                        t[j - 1] = v;
+                        carry = c;
+                    }
+                    let (v, c) = $crate::arith::adc(t[$n], carry, 0);
+                    t[$n - 1] = v;
+                    t[$n] = t[$n + 1] + c;
+                    t[$n + 1] = 0;
+                }
+                let mut out = [0u64; $n];
+                out.copy_from_slice(&t[..$n]);
+                if t[$n] != 0 || $crate::arith::geq(&out, &Self::MODULUS) {
+                    out = $crate::arith::sub_limbs(&out, &Self::MODULUS);
+                }
+                out
+            }
+        }
+
+        impl $crate::field::Field for $name {
+            fn zero() -> Self {
+                Self::zero()
+            }
+            fn one() -> Self {
+                Self::one()
+            }
+            fn is_zero(&self) -> bool {
+                self.is_zero()
+            }
+            fn add(&self, other: &Self) -> Self {
+                self.add(other)
+            }
+            fn sub(&self, other: &Self) -> Self {
+                self.sub(other)
+            }
+            fn mul(&self, other: &Self) -> Self {
+                self.mul(other)
+            }
+            fn square(&self) -> Self {
+                self.square()
+            }
+            fn double(&self) -> Self {
+                self.double()
+            }
+            fn neg(&self) -> Self {
+                self.neg()
+            }
+            fn invert(&self) -> Option<Self> {
+                self.invert()
+            }
+            fn random(rng: &mut (impl rand::RngCore + ?Sized)) -> Self {
+                Self::random(rng)
+            }
+        }
+
+        impl core::fmt::Debug for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "0x")?;
+                for limb in self.to_raw().iter().rev() {
+                    write!(f, "{limb:016x}")?;
+                }
+                Ok(())
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                core::fmt::Debug::fmt(self, f)
+            }
+        }
+
+        $crate::field::field_operators!($name);
+    };
+}
+
+/// Implements the `std::ops` operators in terms of the inherent methods.
+macro_rules! field_operators {
+    ($name:ident) => {
+        impl core::ops::Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                $name::add(&self, &rhs)
+            }
+        }
+        impl core::ops::Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                $name::sub(&self, &rhs)
+            }
+        }
+        impl core::ops::Mul for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name::mul(&self, &rhs)
+            }
+        }
+        impl core::ops::Neg for $name {
+            type Output = $name;
+            #[inline]
+            fn neg(self) -> $name {
+                $name::neg(&self)
+            }
+        }
+        impl core::ops::AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: $name) {
+                *self = $name::add(self, &rhs);
+            }
+        }
+        impl core::ops::SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $name) {
+                *self = $name::sub(self, &rhs);
+            }
+        }
+        impl core::ops::MulAssign for $name {
+            #[inline]
+            fn mul_assign(&mut self, rhs: $name) {
+                *self = $name::mul(self, &rhs);
+            }
+        }
+        impl<'a> core::ops::Add<&'a $name> for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: &'a $name) -> $name {
+                $name::add(&self, rhs)
+            }
+        }
+        impl<'a> core::ops::Sub<&'a $name> for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: &'a $name) -> $name {
+                $name::sub(&self, rhs)
+            }
+        }
+        impl<'a> core::ops::Mul<&'a $name> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: &'a $name) -> $name {
+                $name::mul(&self, rhs)
+            }
+        }
+    };
+}
+
+pub(crate) use field_operators;
+pub(crate) use montgomery_field;

@@ -1,0 +1,236 @@
+//! The discrete-event scheduler: a time-ordered queue of typed events
+//! with deterministic FIFO tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Min-heap ordering: earliest time first, then insertion order.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+/// A discrete-event scheduler over events of type `E`.
+///
+/// Events fire in non-decreasing time order; events scheduled for the
+/// same instant fire in the order they were scheduled, so a run is fully
+/// deterministic given a deterministic handler and RNG.
+///
+/// # Examples
+///
+/// ```
+/// use mccls_sim::{Scheduler, SimDuration, SimTime};
+///
+/// let mut sched = Scheduler::new();
+/// sched.schedule_at(SimTime::from_secs(2), "b");
+/// sched.schedule_at(SimTime::from_secs(1), "a");
+/// let mut seen = Vec::new();
+/// while let Some((t, ev)) = sched.pop() {
+///     seen.push((t.as_nanos(), ev));
+/// }
+/// assert_eq!(seen, vec![(1_000_000_000, "a"), (2_000_000_000, "b")]);
+/// ```
+#[derive(Default)]
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler at `t = 0`.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO, processed: 0 }
+    }
+
+    /// The current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — a discrete-event simulation must
+    /// never rewind.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        self.heap.push(Entry { at, seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after a delay from the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "event queue went backwards");
+        self.now = entry.at;
+        self.processed += 1;
+        Some((entry.at, entry.event))
+    }
+
+    /// Runs `handler` over every event until the queue drains or the
+    /// clock passes `until`, whichever comes first. Events scheduled
+    /// beyond `until` remain queued.
+    pub fn run_until(
+        &mut self,
+        until: SimTime,
+        mut handler: impl FnMut(SimTime, E, &mut Self),
+    ) {
+        while let Some(entry) = self.heap.peek() {
+            if entry.at > until {
+                break;
+            }
+            let (t, ev) = self.pop().expect("peeked entry exists");
+            handler(t, ev, self);
+        }
+        if self.now < until {
+            self.now = until;
+        }
+    }
+}
+
+impl<E> core::fmt::Debug for Scheduler<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(3), 3);
+        s.schedule_at(SimTime::from_secs(1), 1);
+        s.schedule_at(SimTime::from_secs(2), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut s = Scheduler::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            s.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(5), ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn rejects_past_events() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(5), ());
+        s.pop();
+        s.schedule_at(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut s = Scheduler::new();
+        for t in 1..=10u64 {
+            s.schedule_at(SimTime::from_secs(t), t);
+        }
+        let mut seen = Vec::new();
+        s.run_until(SimTime::from_secs(5), |_, e, _| seen.push(e));
+        assert_eq!(seen, vec![1, 2, 3, 4, 5]);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn handler_can_schedule_followups() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(1), 0u64);
+        let mut count = 0;
+        s.run_until(SimTime::from_secs(100), |_, gen, sched| {
+            count += 1;
+            if gen < 4 {
+                sched.schedule_in(SimDuration::from_secs(1), gen + 1);
+            }
+        });
+        assert_eq!(count, 5);
+    }
+
+    proptest! {
+        #[test]
+        fn always_non_decreasing(times in prop::collection::vec(0u64..1_000_000, 1..100)) {
+            let mut s = Scheduler::new();
+            for &t in &times {
+                s.schedule_at(SimTime::from_nanos(t), t);
+            }
+            let mut last = 0;
+            while let Some((t, _)) = s.pop() {
+                prop_assert!(t.as_nanos() >= last);
+                last = t.as_nanos();
+            }
+            prop_assert_eq!(s.processed(), times.len() as u64);
+        }
+    }
+}

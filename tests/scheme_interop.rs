@@ -1,0 +1,160 @@
+//! Cross-scheme integration: signatures never verify under a different
+//! scheme, identity, key, or message, and every wire encoding is
+//! injective and validated.
+
+use mccls::cls::{all_schemes, CertificatelessScheme, Signature};
+use rand::SeedableRng;
+
+#[test]
+fn signatures_do_not_cross_schemes() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let schemes = all_schemes();
+    // One key world per scheme.
+    let mut worlds = Vec::new();
+    for scheme in &schemes {
+        let (params, kgc) = scheme.setup(&mut rng);
+        let partial = scheme.extract_partial_private_key(&kgc, b"node");
+        let keys = scheme.generate_key_pair(&params, &mut rng);
+        let sig = scheme.sign(&params, b"node", &partial, &keys, b"msg", &mut rng);
+        worlds.push((params, keys, sig));
+    }
+    for (i, scheme) in schemes.iter().enumerate() {
+        for (j, (params, keys, sig)) in worlds.iter().enumerate() {
+            let accepted = scheme.verify(params, b"node", &keys.public, b"msg", sig);
+            assert_eq!(
+                accepted,
+                i == j,
+                "{} x world {} must {}",
+                scheme.name(),
+                j,
+                if i == j { "accept" } else { "reject" }
+            );
+        }
+    }
+}
+
+#[test]
+fn wire_encodings_are_injective_and_validated() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+    for scheme in all_schemes() {
+        let (params, kgc) = scheme.setup(&mut rng);
+        let partial = scheme.extract_partial_private_key(&kgc, b"node");
+        let keys = scheme.generate_key_pair(&params, &mut rng);
+        let sig = scheme.sign(&params, b"node", &partial, &keys, b"msg", &mut rng);
+
+        let bytes = sig.to_bytes();
+        assert_eq!(bytes.len(), sig.encoded_len(), "{}", scheme.name());
+        assert_eq!(Signature::from_bytes(&bytes), Some(sig.clone()));
+
+        // Truncation is rejected.
+        assert_eq!(Signature::from_bytes(&bytes[..bytes.len() - 1]), None);
+        // Unknown tags are rejected.
+        let mut bad_tag = bytes.clone();
+        bad_tag[0] = 0xFF;
+        assert_eq!(Signature::from_bytes(&bad_tag), None);
+        // Point corruption is rejected (flipping a byte inside a
+        // compressed point makes it non-canonical or off-curve with
+        // overwhelming probability, or changes the signature).
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x01;
+        match Signature::from_bytes(&corrupt) {
+            None => {}
+            Some(parsed) => {
+                assert!(
+                    !scheme.verify(&params, b"node", &keys.public, b"msg", &parsed),
+                    "{}: corrupted signature must not verify",
+                    scheme.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_and_large_messages_round_trip() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let big = vec![0xAB; 64 * 1024];
+    for scheme in all_schemes() {
+        let (params, kgc) = scheme.setup(&mut rng);
+        let partial = scheme.extract_partial_private_key(&kgc, b"node");
+        let keys = scheme.generate_key_pair(&params, &mut rng);
+        for msg in [&b""[..], &big] {
+            let sig = scheme.sign(&params, b"node", &partial, &keys, msg, &mut rng);
+            assert!(
+                scheme.verify(&params, b"node", &keys.public, msg, &sig),
+                "{} with {} byte message",
+                scheme.name(),
+                msg.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn public_key_replacement_needs_no_authority() {
+    // The defining certificateless property: a user rotates its key pair
+    // unilaterally (no certificate re-issuance), keeping the same
+    // identity and partial private key. Old signatures must stop
+    // verifying under the new public key and vice versa.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    for scheme in all_schemes() {
+        let (params, kgc) = scheme.setup(&mut rng);
+        let partial = scheme.extract_partial_private_key(&kgc, b"node");
+        let old_keys = scheme.generate_key_pair(&params, &mut rng);
+        let old_sig = scheme.sign(&params, b"node", &partial, &old_keys, b"m", &mut rng);
+
+        let new_keys = scheme.generate_key_pair(&params, &mut rng);
+        let new_sig = scheme.sign(&params, b"node", &partial, &new_keys, b"m", &mut rng);
+
+        assert!(scheme.verify(&params, b"node", &new_keys.public, b"m", &new_sig));
+        assert!(scheme.verify(&params, b"node", &old_keys.public, b"m", &old_sig));
+        assert!(
+            !scheme.verify(&params, b"node", &new_keys.public, b"m", &old_sig),
+            "{}: old signature must not verify under the rotated key",
+            scheme.name()
+        );
+        assert!(
+            !scheme.verify(&params, b"node", &old_keys.public, b"m", &new_sig),
+            "{}: new signature must not verify under the retired key",
+            scheme.name()
+        );
+    }
+}
+
+#[test]
+fn batch_api_spans_many_signers() {
+    use mccls::cls::{batch_verify, BatchItem, McCls};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+    let scheme = McCls::new();
+    let (params, kgc) = scheme.setup(&mut rng);
+    let mut storage = Vec::new();
+    for i in 0..8 {
+        let id = format!("n{i}").into_bytes();
+        let partial = scheme.extract_partial_private_key(&kgc, &id);
+        let keys = scheme.generate_key_pair(&params, &mut rng);
+        let msg = format!("payload {i}").into_bytes();
+        let sig = scheme.sign(&params, &id, &partial, &keys, &msg, &mut rng);
+        storage.push((id, keys, msg, sig));
+    }
+    let batch: Vec<BatchItem> = storage
+        .iter()
+        .map(|(id, keys, msg, sig)| BatchItem { id, public: &keys.public, msg, sig })
+        .collect();
+    assert!(batch_verify(&params, &batch, &mut rng));
+}
+
+#[test]
+fn unicode_and_binary_identities() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+    let ids: Vec<&[u8]> = vec![b"", "идентичность".as_bytes(), &[0u8, 255, 1, 254]];
+    for scheme in all_schemes() {
+        let (params, kgc) = scheme.setup(&mut rng);
+        for id in &ids {
+            let partial = scheme.extract_partial_private_key(&kgc, id);
+            let keys = scheme.generate_key_pair(&params, &mut rng);
+            let sig = scheme.sign(&params, id, &partial, &keys, b"m", &mut rng);
+            assert!(scheme.verify(&params, id, &keys.public, b"m", &sig));
+        }
+    }
+}
