@@ -1,12 +1,22 @@
+//! Rushing-attack scratchpad: runs the attacked paper scenario across a
+//! handful of seeds and prints the per-seed metrics so the rushing
+//! attack's effect on RREQ forwarding is easy to eyeball.
+//!
+//! Run with: `cargo run -p mccls-aodv --example debug_rush`
+
 use mccls_aodv::*;
 use mccls_sim::SimDuration;
 
 fn main() {
     // Paper scenario, attacked, 60s, seed 23 — dump per-node involvement.
     for seed in [23u64, 24, 25, 26, 27] {
-        let mut cfg = ScenarioConfig::paper_baseline(5.0, seed).with_attackers(Behavior::Rushing, 2);
+        let mut cfg =
+            ScenarioConfig::paper_baseline(5.0, seed).with_attackers(Behavior::Rushing, 2);
         cfg.duration = SimDuration::from_secs(60);
         let m = Network::new(cfg).run();
-        println!("seed {seed}: {m} | rreq fwd {} init {}", m.rreq_forwarded, m.rreq_initiated);
+        println!(
+            "seed {seed}: {m} | rreq fwd {} init {}",
+            m.rreq_forwarded, m.rreq_initiated
+        );
     }
 }

@@ -1,33 +1,77 @@
+//! Connectivity scratchpad: rebuilds the paper-baseline node placement,
+//! reports how many connected components the initial topology has, and
+//! runs a short simulation to print the raw AODV counters.
+//!
+//! Run with: `cargo run -p mccls-aodv --example debug_sim`
+
 use mccls_aodv::*;
+use mccls_rng::SeedableRng;
 use mccls_sim::*;
-use rand::SeedableRng;
 
 fn main() {
     // Rebuild the same mobility placement as Network::new(seed=42).
     let cfg = ScenarioConfig::paper_baseline(0.0, 42);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(cfg.seed);
     let area = Area::new(cfg.area_width, cfg.area_height);
     let wp = WaypointConfig::paper(cfg.max_speed);
-    let mut mob: Vec<RandomWaypoint> = (0..cfg.num_nodes).map(|_| RandomWaypoint::new(area, wp, &mut rng)).collect();
-    let pos: Vec<Position> = mob.iter_mut().map(|m| m.position_at(SimTime::ZERO, &mut rng)).collect();
+    let mut mob: Vec<RandomWaypoint> = (0..cfg.num_nodes)
+        .map(|_| RandomWaypoint::new(area, wp, &mut rng))
+        .collect();
+    let pos: Vec<Position> = mob
+        .iter_mut()
+        .map(|m| m.position_at(SimTime::ZERO, &mut rng))
+        .collect();
     // connectivity
     let n = pos.len();
     let mut adj = vec![vec![]; n];
-    for i in 0..n { for j in 0..n { if i != j && pos[i].distance(&pos[j]) <= 250.0 { adj[i].push(j); } } }
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && pos[i].distance(&pos[j]) <= 250.0 {
+                adj[i].push(j);
+            }
+        }
+    }
     // components via BFS
     let mut comp = vec![usize::MAX; n];
     let mut c = 0;
     for s in 0..n {
-        if comp[s] != usize::MAX { continue; }
-        let mut stack = vec![s]; comp[s] = c;
-        while let Some(u) = stack.pop() { for &v in &adj[u] { if comp[v] == usize::MAX { comp[v] = c; stack.push(v); } } }
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![s];
+        comp[s] = c;
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u] {
+                if comp[v] == usize::MAX {
+                    comp[v] = c;
+                    stack.push(v);
+                }
+            }
+        }
         c += 1;
     }
     println!("components: {c}");
     for f in &cfg.flows {
-        println!("flow {} -> {}: same component = {}", f.src, f.dst, comp[f.src.index()] == comp[f.dst.index()]);
+        println!(
+            "flow {} -> {}: same component = {}",
+            f.src,
+            f.dst,
+            comp[f.src.index()] == comp[f.dst.index()]
+        );
     }
-    let metrics = Network::new({ let mut c = cfg.clone(); c.duration = SimDuration::from_secs(60); c }).run();
+    let metrics = Network::new({
+        let mut c = cfg.clone();
+        c.duration = SimDuration::from_secs(60);
+        c
+    })
+    .run();
     println!("{metrics}");
-    println!("honest_dropped={} rreq_init={} retried={} rrep={} rerr={}", metrics.honest_dropped, metrics.rreq_initiated, metrics.rreq_retried, metrics.rrep_generated, metrics.rerr_sent);
+    println!(
+        "honest_dropped={} rreq_init={} retried={} rrep={} rerr={}",
+        metrics.honest_dropped,
+        metrics.rreq_initiated,
+        metrics.rreq_retried,
+        metrics.rrep_generated,
+        metrics.rerr_sent
+    );
 }

@@ -26,9 +26,9 @@ use mccls_core::{
     UserPublicKey, VerifierCache,
 };
 use mccls_pairing::{Fr, G1Projective};
+use mccls_rng::rngs::StdRng;
+use mccls_rng::SeedableRng;
 use mccls_sim::SimDuration;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::types::NodeId;
 
@@ -43,8 +43,10 @@ pub struct CryptoCost {
 
 impl CryptoCost {
     /// No crypto cost (plain AODV).
-    pub const FREE: CryptoCost =
-        CryptoCost { sign: SimDuration::ZERO, verify: SimDuration::ZERO };
+    pub const FREE: CryptoCost = CryptoCost {
+        sign: SimDuration::ZERO,
+        verify: SimDuration::ZERO,
+    };
 
     /// Defaults for McCLS measured on this workspace's release build
     /// (Criterion `cls_schemes` bench): sign ≈ 2 scalar mults ≈ 1.2 ms,
@@ -110,6 +112,9 @@ impl Auth {
 }
 
 /// The proof inside an [`Auth`] tag.
+// Proofs are held one-per-packet and short-lived; boxing the signature
+// would cost an allocation per signed frame for no measured benefit.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum AuthProof {
     /// A real certificateless signature.
@@ -146,12 +151,18 @@ impl ModelAuthProvider {
     /// Creates a provider where every node in `legitimate` holds
     /// KGC-issued credentials and everyone else is an outsider.
     pub fn new(legitimate: impl IntoIterator<Item = NodeId>) -> Self {
-        Self { credentialed: legitimate.into_iter().collect() }
+        Self {
+            credentialed: legitimate.into_iter().collect(),
+        }
     }
 
     fn digest(payload: &[u8]) -> u64 {
         let tag = mccls_hash::Sha256::digest(payload);
-        u64::from_be_bytes(tag[..8].try_into().expect("8 bytes"))
+        let mut bytes = [0u8; 8];
+        for (dst, src) in bytes.iter_mut().zip(tag.iter()) {
+            *dst = *src;
+        }
+        u64::from_be_bytes(bytes)
     }
 }
 
@@ -218,7 +229,14 @@ impl RealAuthProvider {
             directory.push(keys.public);
             node_keys.push(NodeKeys { partial, keys });
         }
-        Self { scheme, params, node_keys, directory, cache: VerifierCache::new(), rng }
+        Self {
+            scheme,
+            params,
+            node_keys,
+            directory,
+            cache: VerifierCache::new(),
+            rng,
+        }
     }
 
     /// The public parameters (exposed for tests).
@@ -238,7 +256,10 @@ impl AuthProvider for RealAuthProvider {
             payload,
             &mut self.rng,
         );
-        Auth { signer: node, proof: AuthProof::Real(sig) }
+        Auth {
+            signer: node,
+            proof: AuthProof::Real(sig),
+        }
     }
 
     fn verify(&mut self, payload: &[u8], auth: &Auth) -> bool {
@@ -259,6 +280,7 @@ impl AuthProvider for RealAuthProvider {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
 
@@ -340,7 +362,10 @@ mod tests {
     #[test]
     fn crypto_cost_defaults_are_ordered() {
         let c = CryptoCost::mccls_default();
-        assert!(c.verify > c.sign, "verification (1 pairing) must dominate signing");
+        assert!(
+            c.verify > c.sign,
+            "verification (1 pairing) must dominate signing"
+        );
         assert_eq!(CryptoCost::FREE.sign, SimDuration::ZERO);
     }
 

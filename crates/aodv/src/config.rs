@@ -202,7 +202,10 @@ impl ScenarioConfig {
             .map(NodeId)
             .filter(|id| !attacker_ids.contains(id))
             .collect();
-        assert!(honest.len() >= 2, "need at least two honest nodes for traffic");
+        assert!(
+            honest.len() >= 2,
+            "need at least two honest nodes for traffic"
+        );
         self.flows = (0..n)
             .map(|i| {
                 let src = honest[(2 * i) % honest.len()];
@@ -234,7 +237,10 @@ impl ScenarioConfig {
     /// default flows away from them.
     pub fn with_attackers(mut self, behavior: Behavior, count: usize) -> Self {
         assert!(count < self.num_nodes, "too many attackers");
-        let flows_spec = self.flows.first().map(|f| (self.flows.len(), f.rate_pps, f.payload));
+        let flows_spec = self
+            .flows
+            .first()
+            .map(|f| (self.flows.len(), f.rate_pps, f.payload));
         for i in 0..count {
             let id = NodeId((self.num_nodes - 1 - i) as u16);
             self.behaviors.push((id, behavior));
@@ -265,6 +271,7 @@ impl ScenarioConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
 
@@ -280,8 +287,7 @@ mod tests {
 
     #[test]
     fn flows_avoid_attackers_and_self_loops() {
-        let cfg = ScenarioConfig::paper_baseline(10.0, 1)
-            .with_attackers(Behavior::BlackHole, 2);
+        let cfg = ScenarioConfig::paper_baseline(10.0, 1).with_attackers(Behavior::BlackHole, 2);
         let attackers = cfg.attacker_ids();
         assert_eq!(attackers, vec![NodeId(19), NodeId(18)]);
         for f in &cfg.flows {
@@ -311,6 +317,10 @@ mod tests {
         let mut sorted = starts.clone();
         sorted.sort();
         sorted.dedup();
-        assert_eq!(sorted.len(), starts.len(), "every flow starts at a distinct time");
+        assert_eq!(
+            sorted.len(),
+            starts.len(),
+            "every flow starts at a distinct time"
+        );
     }
 }

@@ -98,10 +98,17 @@ pub fn sweep(
                 let cfg = attack.apply(cfg);
                 pooled.merge(&Network::new(cfg).run());
             }
-            SweepPoint { speed, metrics: pooled }
+            SweepPoint {
+                speed,
+                metrics: pooled,
+            }
         })
         .collect();
-    SweepSeries { protocol, attack, points }
+    SweepSeries {
+        protocol,
+        attack,
+        points,
+    }
 }
 
 /// Renders a set of series as an aligned text table, one row per speed
@@ -135,6 +142,7 @@ pub fn render_table(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
 
@@ -160,7 +168,13 @@ mod tests {
 
     #[test]
     fn render_table_contains_all_rows() {
-        let series = vec![sweep(Protocol::Aodv, AttackKind::None, &tiny_speeds(), 1, 2)];
+        let series = vec![sweep(
+            Protocol::Aodv,
+            AttackKind::None,
+            &tiny_speeds(),
+            1,
+            2,
+        )];
         let table = render_table("Fig. X", "pdr", &series, Metrics::packet_delivery_ratio);
         assert!(table.contains("Fig. X"));
         assert!(table.contains("AODV"));

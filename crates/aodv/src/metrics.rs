@@ -127,6 +127,7 @@ impl core::fmt::Display for Metrics {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
 
@@ -171,8 +172,16 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = Metrics { data_sent: 10, data_delivered: 8, ..Metrics::default() };
-        let b = Metrics { data_sent: 30, data_delivered: 12, ..Metrics::default() };
+        let mut a = Metrics {
+            data_sent: 10,
+            data_delivered: 8,
+            ..Metrics::default()
+        };
+        let b = Metrics {
+            data_sent: 30,
+            data_delivered: 12,
+            ..Metrics::default()
+        };
         a.merge(&b);
         assert_eq!(a.data_sent, 40);
         assert_eq!(a.packet_delivery_ratio(), 0.5);

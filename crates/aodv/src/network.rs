@@ -8,11 +8,11 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use mccls_rng::rngs::StdRng;
+use mccls_rng::{Rng, SeedableRng};
 use mccls_sim::{
     Area, RadioConfig, RandomWaypoint, Scheduler, SimDuration, SimTime, WaypointConfig,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::auth::{Auth, AuthProvider, ModelAuthProvider, RealAuthProvider};
 use crate::config::{Behavior, Flow, Protocol, ScenarioConfig};
@@ -22,6 +22,9 @@ use crate::routing_table::RoutingTable;
 use crate::types::{NodeId, SeqNo};
 
 /// Events flowing through the scheduler.
+// `Receive` dominates the event stream; boxing its packet would trade
+// one heap allocation per delivered frame for a smaller heap entry.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum NetEvent {
     /// A frame arrives at `to`'s radio.
@@ -117,7 +120,11 @@ impl Network {
             .collect();
         let attackers = cfg.attacker_ids().into_iter().collect();
         let provider: Box<dyn AuthProvider> = if cfg.real_crypto {
-            Box::new(RealAuthProvider::new(cfg.num_nodes, &attackers, cfg.seed ^ 0xABCD))
+            Box::new(RealAuthProvider::new(
+                cfg.num_nodes,
+                &attackers,
+                cfg.seed ^ 0xABCD,
+            ))
         } else {
             let legit = (0..cfg.num_nodes as u16)
                 .map(NodeId)
@@ -129,7 +136,15 @@ impl Network {
             range: cfg.radio_range,
             ..RadioConfig::default()
         };
-        Self { cfg, radio, nodes, mobility, provider, rng, metrics: Metrics::default() }
+        Self {
+            cfg,
+            radio,
+            nodes,
+            mobility,
+            provider,
+            rng,
+            metrics: Metrics::default(),
+        }
     }
 
     fn secure(&self) -> bool {
@@ -182,9 +197,12 @@ impl Network {
     fn handle(&mut self, now: SimTime, ev: NetEvent, sched: &mut Scheduler<NetEvent>) {
         match ev {
             NetEvent::FlowTick { flow } => self.handle_flow_tick(now, flow, sched),
-            NetEvent::RreqTimeout { node, dest, attempt, rreq_id } => {
-                self.handle_rreq_timeout(node, dest, attempt, rreq_id, sched)
-            }
+            NetEvent::RreqTimeout {
+                node,
+                dest,
+                attempt,
+                rreq_id,
+            } => self.handle_rreq_timeout(node, dest, attempt, rreq_id, sched),
             NetEvent::Receive { to, from, packet } => match packet {
                 Packet::Rreq(r) => self.handle_rreq(now, to, from, r, sched),
                 Packet::Rrep(r) => self.handle_rrep(now, to, from, r, sched),
@@ -230,7 +248,11 @@ impl Network {
             let prop = self.radio.propagation_delay(src_pos.distance(&pos));
             sched.schedule_at(
                 now + extra_delay + tx + prop,
-                NetEvent::Receive { to: other, from: node, packet: packet.clone() },
+                NetEvent::Receive {
+                    to: other,
+                    from: node,
+                    packet: packet.clone(),
+                },
             );
         }
     }
@@ -257,7 +279,11 @@ impl Network {
         self.nodes[node.index()].suspect.remove(&next_hop);
         sched.schedule_at(
             now + extra_delay + tx + prop,
-            NetEvent::Receive { to: next_hop, from: node, packet },
+            NetEvent::Receive {
+                to: next_hop,
+                from: node,
+                packet,
+            },
         );
         true
     }
@@ -274,7 +300,10 @@ impl Network {
         neighbor: NodeId,
         sched: &mut Scheduler<NetEvent>,
     ) -> bool {
-        let first = *self.nodes[node.index()].suspect.entry(neighbor).or_insert(now);
+        let first = *self.nodes[node.index()]
+            .suspect
+            .entry(neighbor)
+            .or_insert(now);
         if now.duration_since(first) < self.cfg.aodv.link_break_detection {
             return false;
         }
@@ -330,7 +359,10 @@ impl Network {
         sched: &mut Scheduler<NetEvent>,
     ) {
         let dst = pkt.dst;
-        let route = self.nodes[node.index()].table.lookup(dst, now).map(|r| r.next_hop);
+        let route = self.nodes[node.index()]
+            .table
+            .lookup(dst, now)
+            .map(|r| r.next_hop);
         match route {
             Some(next_hop) => {
                 if self.forward_data(now, node, next_hop, pkt.clone(), sched) {
@@ -359,7 +391,14 @@ impl Network {
         sched: &mut Scheduler<NetEvent>,
     ) -> bool {
         let dst = pkt.dst;
-        if !self.unicast(now, node, next_hop, Packet::Data(pkt), SimDuration::ZERO, sched) {
+        if !self.unicast(
+            now,
+            node,
+            next_hop,
+            Packet::Data(pkt),
+            SimDuration::ZERO,
+            sched,
+        ) {
             return false;
         }
         let timeout = self.cfg.aodv.active_route_timeout;
@@ -443,10 +482,19 @@ impl Network {
         let rreq_id = rreq.rreq_id;
         self.broadcast(now, node, Packet::Rreq(rreq), delay, sched);
         // Exponential backoff on retries, as RFC 3561 prescribes.
-        let timeout = self.cfg.aodv.rreq_timeout.saturating_mul(1 << attempt.min(4));
+        let timeout = self
+            .cfg
+            .aodv
+            .rreq_timeout
+            .saturating_mul(1 << attempt.min(4));
         sched.schedule_at(
             now + timeout,
-            NetEvent::RreqTimeout { node, dest, attempt, rreq_id },
+            NetEvent::RreqTimeout {
+                node,
+                dest,
+                attempt,
+                rreq_id,
+            },
         );
     }
 
@@ -470,8 +518,9 @@ impl Network {
                         true
                     } else {
                         // Give up: drop everything buffered.
-                        let p = n.pending.remove(&dest).expect("checked above");
-                        self.metrics.honest_dropped += p.buffered.len() as u64;
+                        if let Some(p) = n.pending.remove(&dest) {
+                            self.metrics.honest_dropped += p.buffered.len() as u64;
+                        }
                         false
                     }
                 }
@@ -580,7 +629,14 @@ impl Network {
                 };
                 let rrep = self.maybe_sign_rrep(node, rrep);
                 self.metrics.rrep_generated += 1;
-                self.unicast(now, node, from, Packet::Rrep(rrep), SimDuration::ZERO, sched);
+                self.unicast(
+                    now,
+                    node,
+                    from,
+                    Packet::Rrep(rrep),
+                    SimDuration::ZERO,
+                    sched,
+                );
                 return;
             }
             Behavior::Rushing => {
@@ -629,7 +685,6 @@ impl Network {
             Behavior::Honest | Behavior::BlackHole | Behavior::GrayHole => {}
         }
 
-
         // Are we the destination?
         if rreq.dest == node {
             let dest_seq = {
@@ -661,13 +716,16 @@ impl Network {
 
         // Intermediate reply when we hold a fresh-enough route.
         if self.cfg.aodv.intermediate_rrep {
-            let fresh = self.nodes[node.index()].table.lookup(rreq.dest, now).and_then(|r| {
-                let fresh_enough = match rreq.dest_seq {
-                    Some(want) => r.dest_seq.is_at_least(want),
-                    None => true,
-                };
-                fresh_enough.then_some((r.hop_count, r.dest_seq))
-            });
+            let fresh = self.nodes[node.index()]
+                .table
+                .lookup(rreq.dest, now)
+                .and_then(|r| {
+                    let fresh_enough = match rreq.dest_seq {
+                        Some(want) => r.dest_seq.is_at_least(want),
+                        None => true,
+                    };
+                    fresh_enough.then_some((r.hop_count, r.dest_seq))
+                });
             if let Some((hops, seq)) = fresh {
                 let rrep = Rrep {
                     origin: rreq.origin,
@@ -718,7 +776,10 @@ impl Network {
         // Forward route to the destination through the sender. Under
         // first-RREP-wins semantics an already-valid route is kept.
         let lifetime = self.cfg.aodv.active_route_timeout;
-        let has_valid = self.nodes[node.index()].table.lookup(rrep.dest, now).is_some();
+        let has_valid = self.nodes[node.index()]
+            .table
+            .lookup(rrep.dest, now)
+            .is_some();
         if !(self.cfg.aodv.first_rrep_wins && has_valid) {
             self.nodes[node.index()].table.offer(
                 rrep.dest,
@@ -732,8 +793,7 @@ impl Network {
 
         if rrep.origin == node {
             // Discovery complete: flush whatever waited for this route.
-            let buffered = self
-                .nodes[node.index()]
+            let buffered = self.nodes[node.index()]
                 .pending
                 .remove(&rrep.dest)
                 .map(|p| p.buffered)
@@ -745,7 +805,10 @@ impl Network {
         }
 
         // Forward along the reverse route towards the originator.
-        let reverse = self.nodes[node.index()].table.lookup(rrep.origin, now).map(|r| r.next_hop);
+        let reverse = self.nodes[node.index()]
+            .table
+            .lookup(rrep.origin, now)
+            .map(|r| r.next_hop);
         let Some(next_hop) = reverse else {
             return; // reverse route evaporated
         };
@@ -783,7 +846,10 @@ impl Network {
         if broken.is_empty() {
             return;
         }
-        let rerr = Rerr { unreachable: broken, ttl: self.cfg.aodv.rerr_ttl };
+        let rerr = Rerr {
+            unreachable: broken,
+            ttl: self.cfg.aodv.rerr_ttl,
+        };
         self.metrics.rerr_sent += 1;
         self.broadcast(now, node, Packet::Rerr(rerr), SimDuration::ZERO, sched);
     }
@@ -811,7 +877,10 @@ impl Network {
             }
         }
         if !invalidated.is_empty() && rerr.ttl > 0 {
-            let fwd = Rerr { unreachable: invalidated, ttl: rerr.ttl - 1 };
+            let fwd = Rerr {
+                unreachable: invalidated,
+                ttl: rerr.ttl - 1,
+            };
             self.metrics.rerr_sent += 1;
             self.broadcast(now, node, Packet::Rerr(fwd), SimDuration::ZERO, sched);
         }
@@ -856,7 +925,10 @@ impl Network {
         // Forward.
         let mut pkt = pkt;
         pkt.hops = pkt.hops.saturating_add(1);
-        let next = self.nodes[node.index()].table.lookup(pkt.dst, now).map(|r| r.next_hop);
+        let next = self.nodes[node.index()]
+            .table
+            .lookup(pkt.dst, now)
+            .map(|r| r.next_hop);
         match next {
             Some(next_hop) => {
                 if self.forward_data(now, node, next_hop, pkt.clone(), sched) {
@@ -886,6 +958,7 @@ impl Network {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
     use crate::config::ScenarioConfig;
@@ -947,7 +1020,10 @@ mod tests {
         let clean = Network::new(quick_cfg(5.0, 17)).run();
         let attacked =
             Network::new(quick_cfg(5.0, 17).with_attackers(Behavior::BlackHole, 2)).run();
-        assert!(attacked.attacker_dropped > 0, "black holes absorbed traffic: {attacked}");
+        assert!(
+            attacked.attacker_dropped > 0,
+            "black holes absorbed traffic: {attacked}"
+        );
         assert!(
             attacked.packet_delivery_ratio() < clean.packet_delivery_ratio(),
             "attacked {attacked} vs clean {clean}"
@@ -957,24 +1033,27 @@ mod tests {
     #[test]
     fn mccls_neutralizes_black_hole() {
         let attacked = Network::new(
-            quick_cfg(5.0, 19).secured().with_attackers(Behavior::BlackHole, 2),
+            quick_cfg(5.0, 19)
+                .secured()
+                .with_attackers(Behavior::BlackHole, 2),
         )
         .run();
         assert_eq!(
             attacked.attacker_dropped, 0,
             "secured run must not lose data to attackers: {attacked}"
         );
-        assert!(attacked.auth_rejected > 0, "forged RREPs were rejected: {attacked}");
+        assert!(
+            attacked.auth_rejected > 0,
+            "forged RREPs were rejected: {attacked}"
+        );
     }
 
     #[test]
     fn forging_black_hole_captures_nearly_everything() {
         // The textbook ablation attacker: inflated sequence numbers
         // attract almost all traffic in plain AODV.
-        let attacked = Network::new(
-            quick_cfg(5.0, 17).with_attackers(Behavior::ForgingBlackHole, 2),
-        )
-        .run();
+        let attacked =
+            Network::new(quick_cfg(5.0, 17).with_attackers(Behavior::ForgingBlackHole, 2)).run();
         assert!(
             attacked.packet_drop_ratio() > 0.5,
             "forging black hole must dominate: {attacked}"
@@ -984,7 +1063,9 @@ mod tests {
     #[test]
     fn mccls_neutralizes_forging_black_hole() {
         let attacked = Network::new(
-            quick_cfg(5.0, 17).secured().with_attackers(Behavior::ForgingBlackHole, 2),
+            quick_cfg(5.0, 17)
+                .secured()
+                .with_attackers(Behavior::ForgingBlackHole, 2),
         )
         .run();
         assert_eq!(attacked.attacker_dropped, 0, "{attacked}");
@@ -1013,12 +1094,13 @@ mod tests {
     #[test]
     fn mccls_neutralizes_rushing() {
         let attacked = Network::new(
-            quick_cfg(5.0, 29).secured().with_attackers(Behavior::Rushing, 2),
+            quick_cfg(5.0, 29)
+                .secured()
+                .with_attackers(Behavior::Rushing, 2),
         )
         .run();
         assert_eq!(attacked.attacker_dropped, 0, "{attacked}");
     }
-
 
     #[test]
     fn gray_hole_drops_roughly_half_of_transit_traffic() {
@@ -1040,7 +1122,9 @@ mod tests {
     #[test]
     fn mccls_neutralizes_gray_hole() {
         let attacked = Network::new(
-            quick_cfg(5.0, 44).secured().with_attackers(Behavior::GrayHole, 2),
+            quick_cfg(5.0, 44)
+                .secured()
+                .with_attackers(Behavior::GrayHole, 2),
         )
         .run();
         assert_eq!(attacked.attacker_dropped, 0, "{attacked}");
@@ -1049,7 +1133,9 @@ mod tests {
     #[test]
     fn replayer_is_rejected_in_secured_runs() {
         let attacked = Network::new(
-            quick_cfg(10.0, 45).secured().with_attackers(Behavior::Replayer, 2),
+            quick_cfg(10.0, 45)
+                .secured()
+                .with_attackers(Behavior::Replayer, 2),
         )
         .run();
         // Re-injected floods carry the original forwarder's signature
@@ -1099,7 +1185,11 @@ mod tests {
     fn path_length_is_tracked() {
         let m = Network::new(quick_cfg(5.0, 50)).run();
         assert!(m.delivered_hops > 0, "multi-hop flows exist");
-        assert!(m.avg_path_length() >= 0.5, "avg path {}", m.avg_path_length());
+        assert!(
+            m.avg_path_length() >= 0.5,
+            "avg path {}",
+            m.avg_path_length()
+        );
     }
 
     #[test]

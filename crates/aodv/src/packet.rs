@@ -148,6 +148,7 @@ impl Rrep {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
 
@@ -178,14 +179,21 @@ mod tests {
             hops: 0,
         });
         assert_eq!(data.size_bytes(), 44 + 512);
-        let rerr = Packet::Rerr(Rerr { unreachable: vec![(NodeId(2), SeqNo(0))], ttl: 2 });
+        let rerr = Packet::Rerr(Rerr {
+            unreachable: vec![(NodeId(2), SeqNo(0))],
+            ttl: 2,
+        });
         assert_eq!(rerr.size_bytes(), 44 + 12);
     }
 
     #[test]
     fn broadcast_classification() {
         assert!(Packet::Rreq(sample_rreq()).is_broadcast());
-        assert!(Packet::Rerr(Rerr { unreachable: vec![], ttl: 1 }).is_broadcast());
+        assert!(Packet::Rerr(Rerr {
+            unreachable: vec![],
+            ttl: 1
+        })
+        .is_broadcast());
         assert!(!Packet::Data(DataPacket {
             src: NodeId(0),
             dst: NodeId(1),

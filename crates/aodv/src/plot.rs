@@ -15,7 +15,9 @@ const MARGIN_T: f64 = 50.0;
 const MARGIN_B: f64 = 60.0;
 
 /// Line colors cycled across series.
-const COLORS: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+const COLORS: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+];
 
 fn fmt(v: f64) -> String {
     if v == 0.0 {
@@ -181,6 +183,7 @@ pub fn render_svg(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
     use crate::config::Protocol;

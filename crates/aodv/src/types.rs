@@ -66,6 +66,7 @@ impl core::fmt::Display for SeqNo {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
 

@@ -2,12 +2,13 @@
 //! times for each CLS scheme, plus McCLS verification with the
 //! per-identity pairing cache warm (the paper's "1p" operating point).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mccls_bench::harness::Criterion;
+use mccls_bench::{criterion_group, criterion_main};
 use mccls_core::{all_schemes, CertificatelessScheme, McCls, VerifierCache};
-use rand::SeedableRng;
+use mccls_rng::SeedableRng;
 
 fn bench_sign_verify(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(1);
     for scheme in all_schemes() {
         let (params, kgc) = scheme.setup(&mut rng);
         let partial = scheme.extract_partial_private_key(&kgc, b"node-1");
@@ -31,7 +32,7 @@ fn bench_sign_verify(c: &mut Criterion) {
 }
 
 fn bench_mccls_cached_verify(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(2);
     let scheme = McCls::new();
     let (params, kgc) = scheme.setup(&mut rng);
     let partial = scheme.extract_partial_private_key(&kgc, b"node-1");

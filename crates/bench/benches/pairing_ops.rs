@@ -1,14 +1,16 @@
 //! Criterion benches of the pairing substrate: the primitive costs
 //! (`p`, `s`, `e`) whose ratios drive Table 1 and the Fig. 3 delay gap.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use mccls_pairing::{
-    hash_to_g1, pairing, Fp, Fp12, Fr, G1Projective, G2Projective, Gt,
-};
-use rand::SeedableRng;
+// Bench code: panicking on a broken invariant is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use mccls_bench::harness::Criterion;
+use mccls_bench::{criterion_group, criterion_main};
+use mccls_pairing::{hash_to_g1, pairing, Fp, Fp12, Fr, G1Projective, G2Projective, Gt};
+use mccls_rng::SeedableRng;
 
 fn bench_group_ops(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(1);
     let k = Fr::random(&mut rng);
     let g1 = G1Projective::generator();
     let g2 = G2Projective::generator();
@@ -26,15 +28,13 @@ fn bench_group_ops(c: &mut Criterion) {
         b.iter(|| hash_to_g1(b"some identity", b"BENCH"))
     });
     group.bench_function("pairing_product_2", |b| {
-        b.iter(|| {
-            mccls_pairing::pairing_product(&[(g1a, g2a), (g1a.neg(), g2a)])
-        })
+        b.iter(|| mccls_pairing::pairing_product(&[(g1a, g2a), (g1a.neg(), g2a)]))
     });
     group.finish();
 }
 
 fn bench_field_ops(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(2);
     let a = Fp::random(&mut rng);
     let b_ = Fp::random(&mut rng);
     let f12 = Fp12::random(&mut rng);

@@ -3,8 +3,9 @@
 //! authentication provider (model vs real BLS12-381), the black hole
 //! variants, and first-RREP-wins route selection.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mccls_aodv::{Behavior, Network, ScenarioConfig};
+use mccls_bench::harness::Criterion;
+use mccls_bench::{criterion_group, criterion_main};
 use mccls_sim::SimDuration;
 
 fn short(speed: f64, seed: u64) -> ScenarioConfig {
@@ -24,7 +25,12 @@ fn bench_scenarios(c: &mut Criterion) {
     });
     group.bench_function("mccls_blackhole_30s", |b| {
         b.iter(|| {
-            Network::new(short(10.0, 1).secured().with_attackers(Behavior::BlackHole, 2)).run()
+            Network::new(
+                short(10.0, 1)
+                    .secured()
+                    .with_attackers(Behavior::BlackHole, 2),
+            )
+            .run()
         })
     });
     group.finish();
@@ -34,14 +40,10 @@ fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation");
     group.sample_size(10);
     group.bench_function("blackhole_drop_only", |b| {
-        b.iter(|| {
-            Network::new(short(10.0, 2).with_attackers(Behavior::BlackHole, 2)).run()
-        })
+        b.iter(|| Network::new(short(10.0, 2).with_attackers(Behavior::BlackHole, 2)).run())
     });
     group.bench_function("blackhole_forging", |b| {
-        b.iter(|| {
-            Network::new(short(10.0, 2).with_attackers(Behavior::ForgingBlackHole, 2)).run()
-        })
+        b.iter(|| Network::new(short(10.0, 2).with_attackers(Behavior::ForgingBlackHole, 2)).run())
     });
     group.bench_function("first_rrep_wins", |b| {
         b.iter(|| {

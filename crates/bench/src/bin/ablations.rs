@@ -25,18 +25,25 @@ fn main() {
     let speed = 10.0;
     let base = |seed: u64| ScenarioConfig::paper_baseline(speed, seed);
 
-    println!("# Ablation study @ {speed} m/s, {} trials pooled", opts.trials);
+    println!(
+        "# Ablation study @ {speed} m/s, {} trials pooled",
+        opts.trials
+    );
     println!();
 
     println!("## 1. Black hole variant (plain AODV)");
     let drop_only = pooled(opts, |s| base(s).with_attackers(Behavior::BlackHole, 2));
-    let forging = pooled(opts, |s| base(s).with_attackers(Behavior::ForgingBlackHole, 2));
+    let forging = pooled(opts, |s| {
+        base(s).with_attackers(Behavior::ForgingBlackHole, 2)
+    });
     println!("drop-only (paper's Marti et al. model): {drop_only}");
     println!("forging   (textbook seq-inflation):     {forging}");
     println!();
 
     println!("## 2. Route selection under the forging black hole");
-    let rfc = pooled(opts, |s| base(s).with_attackers(Behavior::ForgingBlackHole, 2));
+    let rfc = pooled(opts, |s| {
+        base(s).with_attackers(Behavior::ForgingBlackHole, 2)
+    });
     let first_wins = pooled(opts, |s| {
         let mut cfg = base(s).with_attackers(Behavior::ForgingBlackHole, 2);
         cfg.aodv.first_rrep_wins = true;
@@ -53,14 +60,8 @@ fn main() {
         cfg.aodv.expanding_ring = true;
         cfg
     });
-    println!(
-        "flat floods:    {flat} | RREQ fwd {}",
-        flat.rreq_forwarded
-    );
-    println!(
-        "expanding ring: {ring} | RREQ fwd {}",
-        ring.rreq_forwarded
-    );
+    println!("flat floods:    {flat} | RREQ fwd {}", flat.rreq_forwarded);
+    println!("expanding ring: {ring} | RREQ fwd {}", ring.rreq_forwarded);
     println!();
 
     println!("## 4. Link-break sensing latency (no attack)");

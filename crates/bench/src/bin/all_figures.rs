@@ -34,13 +34,19 @@ fn write_svg(
 
 fn main() {
     let opts = FigureOpts::from_args();
-    eprintln!("running baseline sweeps (2 series x 5 speeds x {} trials)...", opts.trials);
+    eprintln!(
+        "running baseline sweeps (2 series x 5 speeds x {} trials)...",
+        opts.trials
+    );
     let baseline = baseline_series(opts);
-    eprintln!("running attack sweeps (4 series x 5 speeds x {} trials)...", opts.trials);
+    eprintln!(
+        "running attack sweeps (4 series x 5 speeds x {} trials)...",
+        opts.trials
+    );
     let attacks = attack_series(opts);
 
-    print!(
-        "{}\n",
+    println!(
+        "{}",
         render_table(
             "Fig. 1 — Packet Delivery Ratio (no attack)",
             "packet delivery ratio",
@@ -48,8 +54,8 @@ fn main() {
             Metrics::packet_delivery_ratio,
         )
     );
-    print!(
-        "{}\n",
+    println!(
+        "{}",
         render_table(
             "Fig. 2 — RREQ Ratio (no attack)",
             "(RREQ initiated + forwarded + retried) / (data sent + forwarded)",
@@ -57,8 +63,8 @@ fn main() {
             Metrics::rreq_ratio,
         )
     );
-    print!(
-        "{}\n",
+    println!(
+        "{}",
         render_table(
             "Fig. 3 — End-to-End Delay (no attack)",
             "mean end-to-end delay of delivered packets (s)",
@@ -66,8 +72,8 @@ fn main() {
             Metrics::avg_end_to_end_delay,
         )
     );
-    print!(
-        "{}\n",
+    println!(
+        "{}",
         render_table(
             "Fig. 4 — Packet Delivery Ratio under attack",
             "packet delivery ratio",
@@ -75,8 +81,8 @@ fn main() {
             Metrics::packet_delivery_ratio,
         )
     );
-    print!(
-        "{}\n",
+    println!(
+        "{}",
         render_table(
             "Fig. 5 — Packet Drop Ratio under attack",
             "packets discarded by attackers / packets sent by sources",
@@ -90,10 +96,45 @@ fn main() {
             eprintln!("cannot create {}: {e}", dir.display());
             return;
         }
-        write_svg(&dir, "fig1.svg", "Fig. 1 — Packet Delivery Ratio", "packet delivery ratio", &baseline, Metrics::packet_delivery_ratio);
-        write_svg(&dir, "fig2.svg", "Fig. 2 — RREQ Ratio", "RREQ ratio", &baseline, Metrics::rreq_ratio);
-        write_svg(&dir, "fig3.svg", "Fig. 3 — End-to-End Delay", "delay (s)", &baseline, Metrics::avg_end_to_end_delay);
-        write_svg(&dir, "fig4.svg", "Fig. 4 — PDR under attack", "packet delivery ratio", &attacks, Metrics::packet_delivery_ratio);
-        write_svg(&dir, "fig5.svg", "Fig. 5 — Packet Drop Ratio under attack", "packet drop ratio", &attacks, Metrics::packet_drop_ratio);
+        write_svg(
+            &dir,
+            "fig1.svg",
+            "Fig. 1 — Packet Delivery Ratio",
+            "packet delivery ratio",
+            &baseline,
+            Metrics::packet_delivery_ratio,
+        );
+        write_svg(
+            &dir,
+            "fig2.svg",
+            "Fig. 2 — RREQ Ratio",
+            "RREQ ratio",
+            &baseline,
+            Metrics::rreq_ratio,
+        );
+        write_svg(
+            &dir,
+            "fig3.svg",
+            "Fig. 3 — End-to-End Delay",
+            "delay (s)",
+            &baseline,
+            Metrics::avg_end_to_end_delay,
+        );
+        write_svg(
+            &dir,
+            "fig4.svg",
+            "Fig. 4 — PDR under attack",
+            "packet delivery ratio",
+            &attacks,
+            Metrics::packet_delivery_ratio,
+        );
+        write_svg(
+            &dir,
+            "fig5.svg",
+            "Fig. 5 — Packet Drop Ratio under attack",
+            "packet drop ratio",
+            &attacks,
+            Metrics::packet_drop_ratio,
+        );
     }
 }

@@ -9,7 +9,7 @@
 use std::time::Instant;
 
 use mccls_core::{all_schemes, ops, CertificatelessScheme};
-use rand::SeedableRng;
+use mccls_rng::SeedableRng;
 
 fn time_op(mut f: impl FnMut(), iters: u32) -> f64 {
     // Warm up once (fills lazy pairing-exponent caches).
@@ -22,7 +22,7 @@ fn time_op(mut f: impl FnMut(), iters: u32) -> f64 {
 }
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(1);
     println!("# Table 1. Comparison of the CLS Schemes");
     println!("# claimed = the paper's symbolic counts; measured = instrumented counts from");
     println!("# this implementation; ms = wall-clock on this host (release build).");

@@ -1,0 +1,226 @@
+//! A minimal, dependency-free stand-in for the Criterion benchmarking
+//! API surface the workspace uses.
+//!
+//! The workspace builds with no network access, so it cannot depend on
+//! the external `criterion` crate. This module implements the same call
+//! shapes (`Criterion::benchmark_group`, `sample_size`,
+//! `bench_function`, `Bencher::iter`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros) over `std::time::Instant`: per benchmark
+//! it calibrates an iteration batch to a minimum sample duration, takes
+//! the configured number of samples, and reports min/median/mean
+//! nanoseconds per iteration.
+//!
+//! It is a measurement harness, not a statistics engine — good enough to
+//! rank the Table 1 operations and catch order-of-magnitude regressions,
+//! and trivially swappable for real Criterion where the registry is
+//! reachable.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock duration of one sample batch.
+const MIN_SAMPLE: Duration = Duration::from_millis(10);
+
+/// Top-level benchmark context; collects results for the final summary.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+/// One benchmark's timing summary, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// Mean over all samples.
+    pub mean_ns: f64,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Prints the collected results as an aligned table.
+    pub fn final_summary(&self) {
+        let width = self.results.iter().map(|r| r.id.len()).max().unwrap_or(0);
+        println!(
+            "\n{:width$}  {:>12} {:>12} {:>12}",
+            "benchmark", "min", "median", "mean"
+        );
+        for r in &self.results {
+            println!(
+                "{:width$}  {:>12} {:>12} {:>12}",
+                r.id,
+                format_ns(r.min_ns),
+                format_ns(r.median_ns),
+                format_ns(r.mean_ns),
+            );
+        }
+    }
+}
+
+/// Renders nanoseconds with an adaptive unit.
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] exactly once per invocation.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let mut per_iter: Vec<f64> = bencher.samples;
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let min_ns = per_iter.first().copied().unwrap_or(f64::NAN);
+        let median_ns = per_iter
+            .get(per_iter.len() / 2)
+            .copied()
+            .unwrap_or(f64::NAN);
+        let mean_ns = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+        let result = BenchResult {
+            id: format!("{}/{id}", self.name),
+            min_ns,
+            median_ns,
+            mean_ns,
+        };
+        println!(
+            "{:<48} min {:>12}  median {:>12}  mean {:>12}",
+            result.id,
+            format_ns(result.min_ns),
+            format_ns(result.median_ns),
+            format_ns(result.mean_ns),
+        );
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Ends the group (all bookkeeping already happened; kept for API
+    /// compatibility with Criterion).
+    pub fn finish(self) {}
+}
+
+/// Times a closure over calibrated iteration batches.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, storing nanoseconds-per-iteration samples.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Calibrate: how many iterations fill MIN_SAMPLE?
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MIN_SAMPLE || batch >= 1 << 30 {
+                break;
+            }
+            // Aim past the threshold with headroom; at least double.
+            let scale = (MIN_SAMPLE.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).ceil();
+            batch = (batch.saturating_mul(scale as u64 + 1)).min(1 << 30);
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+/// Declares a benchmark-group function from a list of `fn(&mut
+/// Criterion)` benchmarks, mirroring Criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::harness::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring Criterion's macro of
+/// the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_result() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(2);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].id, "unit/noop");
+        assert!(c.results[0].min_ns <= c.results[0].mean_ns * 1.001);
+    }
+
+    #[test]
+    fn format_ns_picks_sane_units() {
+        assert!(format_ns(12.3).ends_with("ns"));
+        assert!(format_ns(12_300.0).ends_with("µs"));
+        assert!(format_ns(12_300_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with('s'));
+    }
+}

@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use mccls_aodv::experiment::{sweep, AttackKind, SweepSeries, PAPER_SPEEDS};
 use mccls_aodv::Protocol;
 
@@ -22,7 +24,10 @@ pub struct FigureOpts {
 
 impl Default for FigureOpts {
     fn default() -> Self {
-        Self { trials: 3, seed: 2008 }
+        Self {
+            trials: 3,
+            seed: 2008,
+        }
     }
 }
 
@@ -58,8 +63,20 @@ impl FigureOpts {
 /// Runs the two no-attack series (AODV, McCLS) used by Figures 1–3.
 pub fn baseline_series(opts: FigureOpts) -> Vec<SweepSeries> {
     vec![
-        sweep(Protocol::Aodv, AttackKind::None, &PAPER_SPEEDS, opts.trials, opts.seed),
-        sweep(Protocol::McClsSecured, AttackKind::None, &PAPER_SPEEDS, opts.trials, opts.seed),
+        sweep(
+            Protocol::Aodv,
+            AttackKind::None,
+            &PAPER_SPEEDS,
+            opts.trials,
+            opts.seed,
+        ),
+        sweep(
+            Protocol::McClsSecured,
+            AttackKind::None,
+            &PAPER_SPEEDS,
+            opts.trials,
+            opts.seed,
+        ),
     ]
 }
 
@@ -67,8 +84,20 @@ pub fn baseline_series(opts: FigureOpts) -> Vec<SweepSeries> {
 /// by Figures 4 and 5.
 pub fn attack_series(opts: FigureOpts) -> Vec<SweepSeries> {
     vec![
-        sweep(Protocol::Aodv, AttackKind::BlackHole2, &PAPER_SPEEDS, opts.trials, opts.seed),
-        sweep(Protocol::Aodv, AttackKind::Rushing2, &PAPER_SPEEDS, opts.trials, opts.seed),
+        sweep(
+            Protocol::Aodv,
+            AttackKind::BlackHole2,
+            &PAPER_SPEEDS,
+            opts.trials,
+            opts.seed,
+        ),
+        sweep(
+            Protocol::Aodv,
+            AttackKind::Rushing2,
+            &PAPER_SPEEDS,
+            opts.trials,
+            opts.seed,
+        ),
         sweep(
             Protocol::McClsSecured,
             AttackKind::BlackHole2,
@@ -87,6 +116,7 @@ pub fn attack_series(opts: FigureOpts) -> Vec<SweepSeries> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
 

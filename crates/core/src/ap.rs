@@ -19,7 +19,7 @@
 //! `e(Q_A, Y_A)^{-v} = e(Q_A, P)^{-v·x·s}`, so the product is `ρ`.
 
 use mccls_pairing::{Fr, Gt};
-use rand::RngCore;
+use mccls_rng::RngCore;
 
 use crate::ops;
 use crate::params::{h2_scalar, PartialPrivateKey, SystemParams, UserKeyPair, UserPublicKey};
@@ -31,9 +31,9 @@ use crate::scheme::{CertificatelessScheme, ClaimedOps, Signature};
 ///
 /// ```
 /// use mccls_core::{Ap, CertificatelessScheme};
-/// use rand::SeedableRng;
+/// use mccls_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(2);
 /// let scheme = Ap::new();
 /// let (params, kgc) = scheme.setup(&mut rng);
 /// let partial = scheme.extract_partial_private_key(&kgc, b"alice");
@@ -66,7 +66,10 @@ impl CertificatelessScheme for Ap {
         let y_a = ops::mul_g2(&params.p_pub, &x);
         UserKeyPair {
             secret: x,
-            public: UserPublicKey { primary: y_a, secondary: Some(x_a) },
+            public: UserPublicKey {
+                primary: y_a,
+                secondary: Some(x_a),
+            },
         }
     }
 
@@ -128,13 +131,19 @@ impl CertificatelessScheme for Ap {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
     use mccls_pairing::G1Projective;
-    use rand::SeedableRng;
+    use mccls_rng::SeedableRng;
 
-    fn setup() -> (SystemParams, PartialPrivateKey, UserKeyPair, rand::rngs::StdRng) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(60);
+    fn setup() -> (
+        SystemParams,
+        PartialPrivateKey,
+        UserKeyPair,
+        mccls_rng::rngs::StdRng,
+    ) {
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(60);
         let scheme = Ap::new();
         let (params, kgc) = scheme.setup(&mut rng);
         let partial = kgc.extract_partial_private_key(b"alice");
@@ -185,14 +194,12 @@ mod tests {
     fn operation_counts_match_claims_shape() {
         let (params, partial, keys, mut rng) = setup();
         let scheme = Ap::new();
-        let (sig, sign_counts) = ops::measure(|| {
-            scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng)
-        });
+        let (sig, sign_counts) =
+            ops::measure(|| scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng));
         assert_eq!(sign_counts.pairings, 1, "Table 1: AP sign = 1p");
         assert_eq!(sign_counts.scalar_muls(), 3, "Table 1: AP sign = 3s");
-        let (ok, verify_counts) = ops::measure(|| {
-            scheme.verify(&params, b"alice", &keys.public, b"m", &sig)
-        });
+        let (ok, verify_counts) =
+            ops::measure(|| scheme.verify(&params, b"alice", &keys.public, b"m", &sig));
         assert!(ok);
         assert_eq!(verify_counts.pairings, 4, "Table 1: AP verify = 4p");
         assert_eq!(verify_counts.gt_exps, 1, "Table 1: AP verify = 1e");

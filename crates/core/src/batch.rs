@@ -4,7 +4,7 @@
 //! (reference \[15\] of the paper).
 
 use mccls_pairing::{pairing_product, Fr, G1Affine, G1Projective, G2Affine, G2Projective};
-use rand::RngCore;
+use mccls_rng::RngCore;
 
 use crate::mccls::McCls;
 use crate::ops;
@@ -36,11 +36,7 @@ pub struct BatchItem<'a> {
 /// signature, or any invalid entry. A `true` result implies every entry
 /// would individually verify (up to the randomization error bound) —
 /// asserted against one-by-one verification in tests.
-pub fn batch_verify(
-    params: &SystemParams,
-    items: &[BatchItem<'_>],
-    rng: &mut dyn RngCore,
-) -> bool {
+pub fn batch_verify(params: &SystemParams, items: &[BatchItem<'_>], rng: &mut dyn RngCore) -> bool {
     if items.is_empty() {
         return true;
     }
@@ -58,6 +54,8 @@ pub fn batch_verify(
         let z = Fr::from_u64(rng.next_u64() | 1);
         let s_over_h = ops::mul_g1(s, &h_inv.mul(&z));
         let lhs_g2 = ops::mul_g2(&params.p(), v).sub(&ops::mul_g2(r, &h));
+        // ct-ok: verifier-side check over public signature components;
+        // the blinder z only randomises a public linear combination.
         if s_over_h.is_identity() || lhs_g2.is_identity() {
             return false;
         }
@@ -93,16 +91,22 @@ impl OfflineSigner {
         n: usize,
         rng: &mut dyn RngCore,
     ) -> Self {
-        let x_inv = keys.secret.invert().expect("secret value is nonzero");
-        let s = ops::mul_g1(&partial.d, &x_inv);
+        // Same secret-scalar discipline as the online sign path: Fermat
+        // inverse (x is nonzero by construction) and ct ladders.
+        let x_inv = keys.secret.invert_ct();
+        let s = ops::mul_g1_ct(&partial.d, &x_inv);
         let tokens = (0..n)
             .map(|_| {
                 let r = Fr::random_nonzero(rng);
-                let big_r = ops::mul_g2(&params.p(), &r.sub(&keys.secret));
+                let big_r = ops::mul_g2_ct(&params.p(), &r.sub(&keys.secret));
                 (r, big_r)
             })
             .collect();
-        Self { s, public: keys.public, tokens }
+        Self {
+            s,
+            public: keys.public,
+            tokens,
+        }
     }
 
     /// Remaining one-time tokens.
@@ -117,16 +121,21 @@ impl OfflineSigner {
     pub fn sign_online(&mut self, msg: &[u8]) -> Option<Signature> {
         let (r, big_r) = self.tokens.pop()?;
         let h = McCls::challenge_for_batch(msg, &big_r, &self.public);
-        Some(Signature::McCls { v: h.mul(&r), s: self.s, r: big_r })
+        Some(Signature::McCls {
+            v: h.mul(&r),
+            s: self.s,
+            r: big_r,
+        })
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
     use crate::scheme::CertificatelessScheme;
     use crate::McCls;
-    use rand::SeedableRng;
+    use mccls_rng::SeedableRng;
 
     struct World {
         params: SystemParams,
@@ -135,7 +144,7 @@ mod tests {
     }
 
     fn world(n: usize, seed: u64) -> World {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(seed);
         let scheme = McCls::new();
         let (params, kgc) = scheme.setup(&mut rng);
         let mut entries = Vec::new();
@@ -149,7 +158,11 @@ mod tests {
             entries.push((id, keys, msg, sig));
             partials.push(partial);
         }
-        World { params, entries, partials }
+        World {
+            params,
+            entries,
+            partials,
+        }
     }
 
     fn items(w: &World) -> Vec<BatchItem<'_>> {
@@ -167,14 +180,14 @@ mod tests {
     #[test]
     fn valid_batch_verifies() {
         let w = world(5, 1);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(2);
         assert!(batch_verify(&w.params, &items(&w), &mut rng));
     }
 
     #[test]
     fn empty_batch_is_vacuously_true() {
         let w = world(0, 1);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(2);
         assert!(batch_verify(&w.params, &[], &mut rng));
         drop(w);
     }
@@ -184,7 +197,7 @@ mod tests {
         let w = world(4, 3);
         let mut batch = items(&w);
         batch[2].msg = b"tampered";
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(4);
         assert!(!batch_verify(&w.params, &batch, &mut rng));
     }
 
@@ -197,10 +210,16 @@ mod tests {
         let mut batch = items(&w);
         batch.swap(0, 1);
         let batch = vec![
-            BatchItem { sig: batch[1].sig, ..batch[0].clone() },
-            BatchItem { sig: batch[0].sig, ..batch[1].clone() },
+            BatchItem {
+                sig: batch[1].sig,
+                ..batch[0].clone()
+            },
+            BatchItem {
+                sig: batch[0].sig,
+                ..batch[1].clone()
+            },
         ];
-        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(6);
         assert!(!batch_verify(&w.params, &batch, &mut rng));
     }
 
@@ -208,7 +227,7 @@ mod tests {
     fn batch_uses_n_plus_one_miller_loops_worth_of_pairings() {
         let w = world(6, 7);
         let batch = items(&w);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(8);
         let (ok, counts) = ops::measure(|| batch_verify(&w.params, &batch, &mut rng));
         assert!(ok);
         // pairing_product counts as one "pairing" op per call in the
@@ -233,13 +252,13 @@ mod tests {
             msg: &w.entries[0].2,
             sig: &alien,
         }];
-        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(10);
         assert!(!batch_verify(&w.params, &batch, &mut rng));
     }
 
     #[test]
     fn offline_signer_produces_verifying_signatures() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(11);
         let scheme = McCls::new();
         let (params, kgc) = scheme.setup(&mut rng);
         let partial = kgc.extract_partial_private_key(b"node");
@@ -257,7 +276,7 @@ mod tests {
 
     #[test]
     fn online_phase_uses_no_group_operations() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(12);
         let scheme = McCls::new();
         let (params, kgc) = scheme.setup(&mut rng);
         let partial = kgc.extract_partial_private_key(b"node");
@@ -265,14 +284,18 @@ mod tests {
         let mut signer = OfflineSigner::precompute(&params, &partial, &keys, 1, &mut rng);
         let (sig, counts) = ops::measure(|| signer.sign_online(b"deadline message"));
         assert!(sig.is_some());
-        assert_eq!(counts, ops::OpCounts::default(), "online signing is group-op free");
+        assert_eq!(
+            counts,
+            ops::OpCounts::default(),
+            "online signing is group-op free"
+        );
     }
 
     #[test]
     fn offline_tokens_are_single_use_but_s_is_shared() {
         // Two signatures from the same signer share S (it is
         // message-independent by construction) but differ in (V, R).
-        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(13);
         let scheme = McCls::new();
         let (params, kgc) = scheme.setup(&mut rng);
         let partial = kgc.extract_partial_private_key(b"node");
@@ -293,11 +316,12 @@ mod tests {
     fn batch_and_individual_verification_agree() {
         let w = world(5, 14);
         let scheme = McCls::new();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(15);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(15);
         let batch_ok = batch_verify(&w.params, &items(&w), &mut rng);
-        let individual_ok = w.entries.iter().all(|(id, keys, msg, sig)| {
-            scheme.verify(&w.params, id, &keys.public, msg, sig)
-        });
+        let individual_ok = w
+            .entries
+            .iter()
+            .all(|(id, keys, msg, sig)| scheme.verify(&w.params, id, &keys.public, msg, sig));
         assert_eq!(batch_ok, individual_ok);
         assert!(batch_ok);
         let _ = &w.partials;

@@ -28,9 +28,9 @@
 //!
 //! ```
 //! use mccls_core::{CertificatelessScheme, McCls};
-//! use rand::SeedableRng;
+//! use mccls_rng::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(7);
 //! let scheme = McCls::new();
 //!
 //! // KGC side.
@@ -61,12 +61,14 @@ mod zwxf;
 
 pub use ap::Ap;
 pub use batch::{batch_verify, BatchItem, OfflineSigner};
-pub use threshold::{combine_shares, threshold_setup, KgcShareServer, PartialKeyShare, ThresholdSetup};
 pub use mccls::{McCls, VerifierCache};
 pub use params::{
     h2_scalar, Kgc, MasterSecret, PartialPrivateKey, SystemParams, UserKeyPair, UserPublicKey,
 };
 pub use scheme::{CertificatelessScheme, ClaimedOps, Signature};
+pub use threshold::{
+    combine_shares, threshold_setup, KgcShareServer, PartialKeyShare, ThresholdSetup,
+};
 pub use yhg::Yhg;
 pub use zwxf::Zwxf;
 
@@ -82,13 +84,14 @@ pub fn all_schemes() -> Vec<Box<dyn CertificatelessScheme>> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use mccls_rng::SeedableRng;
 
     #[test]
     fn all_schemes_round_trip_and_cross_reject() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(100);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(100);
         for scheme in all_schemes() {
             let (params, kgc) = scheme.setup(&mut rng);
             let partial = scheme.extract_partial_private_key(&kgc, b"n1");
@@ -124,7 +127,7 @@ mod tests {
 
     #[test]
     fn generated_public_keys_have_claimed_point_count() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(101);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(101);
         for scheme in all_schemes() {
             let (params, _kgc) = scheme.setup(&mut rng);
             let keys = scheme.generate_key_pair(&params, &mut rng);

@@ -27,7 +27,7 @@
 use std::collections::HashMap;
 
 use mccls_pairing::{Fr, G2Projective, Gt};
-use rand::RngCore;
+use mccls_rng::RngCore;
 
 use crate::ops;
 use crate::params::{h2_scalar, PartialPrivateKey, SystemParams, UserKeyPair, UserPublicKey};
@@ -39,9 +39,9 @@ use crate::scheme::{CertificatelessScheme, ClaimedOps, Signature};
 ///
 /// ```
 /// use mccls_core::{CertificatelessScheme, McCls};
-/// use rand::SeedableRng;
+/// use mccls_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(1);
 /// let scheme = McCls::new();
 /// let (params, kgc) = scheme.setup(&mut rng);
 /// let partial = scheme.extract_partial_private_key(&kgc, b"node-7");
@@ -60,11 +60,7 @@ impl McCls {
     }
 
     /// Computes `h = H2(M, R, P_ID)`.
-    pub(crate) fn challenge_for_batch(
-        msg: &[u8],
-        r: &G2Projective,
-        public: &UserPublicKey,
-    ) -> Fr {
+    pub(crate) fn challenge_for_batch(msg: &[u8], r: &G2Projective, public: &UserPublicKey) -> Fr {
         Self::challenge(msg, r, public)
     }
 
@@ -112,11 +108,15 @@ impl CertificatelessScheme for McCls {
 
     fn generate_key_pair(&self, params: &SystemParams, rng: &mut dyn RngCore) -> UserKeyPair {
         let x = Fr::random_nonzero(rng);
-        // P_ID = x·P_pub, exactly as in Section 4.
-        let p_id = ops::mul_g2(&params.p_pub, &x);
+        // P_ID = x·P_pub, exactly as in Section 4. `x` is the long-term
+        // user secret, so the uniform-schedule ladder is used.
+        let p_id = ops::mul_g2_ct(&params.p_pub, &x);
         UserKeyPair {
             secret: x,
-            public: UserPublicKey { primary: p_id, secondary: None },
+            public: UserPublicKey {
+                primary: p_id,
+                secondary: None,
+            },
         }
     }
 
@@ -129,11 +129,15 @@ impl CertificatelessScheme for McCls {
         msg: &[u8],
         rng: &mut dyn RngCore,
     ) -> Signature {
-        let x_inv = keys.secret.invert().expect("secret value is nonzero");
+        // `x` is drawn nonzero at key generation, so the fixed-exponent
+        // Fermat inverse is the true inverse; unlike `invert()` its
+        // schedule does not depend on the secret.
+        let x_inv = keys.secret.invert_ct();
         let r_scalar = Fr::random_nonzero(rng);
-        // S = x⁻¹·D_ID (message independent), R = (r - x)·P.
-        let s = ops::mul_g1(&partial.d, &x_inv);
-        let r = ops::mul_g2(&params.p(), &r_scalar.sub(&keys.secret));
+        // S = x⁻¹·D_ID (message independent), R = (r - x)·P. Both
+        // scalars are secret, so the sign path uses the ct ladders.
+        let s = ops::mul_g1_ct(&partial.d, &x_inv);
+        let r = ops::mul_g2_ct(&params.p(), &r_scalar.sub(&keys.secret));
         let h = Self::challenge(msg, &r, &keys.public);
         let v = h.mul(&r_scalar);
         Signature::McCls { v, s, r }
@@ -212,14 +216,21 @@ impl VerifierCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
     use crate::params::Kgc;
     use mccls_pairing::G1Projective;
-    use rand::SeedableRng;
+    use mccls_rng::SeedableRng;
 
-    fn setup() -> (SystemParams, Kgc, PartialPrivateKey, UserKeyPair, rand::rngs::StdRng) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(50);
+    fn setup() -> (
+        SystemParams,
+        Kgc,
+        PartialPrivateKey,
+        UserKeyPair,
+        mccls_rng::rngs::StdRng,
+    ) {
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(50);
         let scheme = McCls::new();
         let (params, kgc) = scheme.setup(&mut rng);
         let partial = kgc.extract_partial_private_key(b"alice");
@@ -265,10 +276,24 @@ mod tests {
         let (params, _kgc, partial, keys, mut rng) = setup();
         let scheme = McCls::new();
         let sig = scheme.sign(&params, b"alice", &partial, &keys, b"hello", &mut rng);
-        let Signature::McCls { v, s, r } = sig.clone() else { unreachable!() };
-        let bad_v = Signature::McCls { v: v.add(&Fr::one()), s, r };
-        let bad_s = Signature::McCls { v, s: s.add(&G1Projective::generator()), r };
-        let bad_r = Signature::McCls { v, s, r: r.double() };
+        let Signature::McCls { v, s, r } = sig.clone() else {
+            unreachable!()
+        };
+        let bad_v = Signature::McCls {
+            v: v.add(&Fr::one()),
+            s,
+            r,
+        };
+        let bad_s = Signature::McCls {
+            v,
+            s: s.add(&G1Projective::generator()),
+            r,
+        };
+        let bad_r = Signature::McCls {
+            v,
+            s,
+            r: r.double(),
+        };
         assert!(!scheme.verify(&params, b"alice", &keys.public, b"hello", &bad_v));
         assert!(!scheme.verify(&params, b"alice", &keys.public, b"hello", &bad_s));
         assert!(!scheme.verify(&params, b"alice", &keys.public, b"hello", &bad_r));
@@ -318,9 +343,8 @@ mod tests {
         let sig = scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng);
         // Warm the cache.
         assert!(cache.verify(&params, b"alice", &keys.public, b"m", &sig));
-        let (ok, counts) = ops::measure(|| {
-            cache.verify(&params, b"alice", &keys.public, b"m", &sig)
-        });
+        let (ok, counts) =
+            ops::measure(|| cache.verify(&params, b"alice", &keys.public, b"m", &sig));
         assert!(ok);
         assert_eq!(counts.pairings, 1, "Table 1: verify = 1p with warm cache");
         assert_eq!(counts.g1_muls, 1);
@@ -331,9 +355,8 @@ mod tests {
     fn sign_uses_no_pairings_and_two_scalar_muls() {
         let (params, _kgc, partial, keys, mut rng) = setup();
         let scheme = McCls::new();
-        let (_, counts) = ops::measure(|| {
-            scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng)
-        });
+        let (_, counts) =
+            ops::measure(|| scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng));
         assert_eq!(counts.pairings, 0, "Table 1: sign has no pairings");
         assert_eq!(counts.scalar_muls(), 2, "Table 1: sign = 2s");
     }

@@ -9,9 +9,7 @@
 
 use std::cell::Cell;
 
-use mccls_pairing::{
-    pairing, Fr, G1Affine, G1Projective, G2Affine, G2Projective, Gt,
-};
+use mccls_pairing::{pairing, Fr, G1Affine, G1Projective, G2Affine, G2Projective, Gt};
 
 thread_local! {
     static PAIRINGS: Cell<u64> = const { Cell::new(0) };
@@ -115,6 +113,24 @@ pub fn mul_g2(p: &G2Projective, k: &Fr) -> G2Projective {
     p.mul_scalar(k)
 }
 
+/// Counted G1 scalar multiplication with the uniform-schedule ladder.
+///
+/// Use this (not [`mul_g1`]) whenever `k` is secret — signing nonces,
+/// inverted user secrets, partial private keys. Counts in the same
+/// `g1_muls` bucket so Table 1 profiles are unaffected by which ladder
+/// a scheme picks.
+pub fn mul_g1_ct(p: &G1Projective, k: &Fr) -> G1Projective {
+    G1_MULS.with(|c| c.set(c.get() + 1));
+    p.mul_scalar_ct(k)
+}
+
+/// Counted G2 scalar multiplication with the uniform-schedule ladder,
+/// for secret scalars (see [`mul_g1_ct`]).
+pub fn mul_g2_ct(p: &G2Projective, k: &Fr) -> G2Projective {
+    G2_MULS.with(|c| c.set(c.get() + 1));
+    p.mul_scalar_ct(k)
+}
+
 /// Counted GT exponentiation.
 pub fn exp_gt(g: &Gt, k: &Fr) -> Gt {
     GT_EXPS.with(|c| c.set(c.get() + 1));
@@ -128,14 +144,14 @@ pub fn hash_to_g1(msg: &[u8], dst: &[u8]) -> G1Projective {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
-    use mccls_pairing::Field;
-    use rand::SeedableRng;
+    use mccls_rng::SeedableRng;
 
     #[test]
     fn counters_track_operations() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(1);
         let (_, counts) = measure(|| {
             let k = Fr::random(&mut rng);
             let p = mul_g1(&G1Projective::generator(), &k);
@@ -158,10 +174,19 @@ mod tests {
 
     #[test]
     fn shorthand_formats_like_table_1() {
-        let c = OpCounts { pairings: 4, g1_muls: 1, g2_muls: 0, gt_exps: 1, hashes_to_g1: 0 };
+        let c = OpCounts {
+            pairings: 4,
+            g1_muls: 1,
+            g2_muls: 0,
+            gt_exps: 1,
+            hashes_to_g1: 0,
+        };
         assert_eq!(c.shorthand(), "4p+1s+1e");
         assert_eq!(OpCounts::default().shorthand(), "-");
-        let sign_only = OpCounts { g1_muls: 2, ..OpCounts::default() };
+        let sign_only = OpCounts {
+            g1_muls: 2,
+            ..OpCounts::default()
+        };
         assert_eq!(sign_only.shorthand(), "2s");
     }
 

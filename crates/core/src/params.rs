@@ -12,7 +12,7 @@
 //!   `x·P` (ZWXF/YHG) in G2 — plus, for AP, a second component in G1.
 
 use mccls_pairing::{Fr, G1Projective, G2Projective};
-use rand::RngCore;
+use mccls_rng::RngCore;
 
 use crate::ops;
 
@@ -79,14 +79,21 @@ impl Kgc {
     /// `P_pub = s·P`.
     pub fn setup(rng: &mut (impl RngCore + ?Sized)) -> Self {
         let s = Fr::random_nonzero(rng);
-        let p_pub = ops::mul_g2(&G2Projective::generator(), &s);
-        Self { params: SystemParams { p_pub }, master: MasterSecret { s } }
+        // The master secret drives this multiplication: ct ladder.
+        let p_pub = ops::mul_g2_ct(&G2Projective::generator(), &s);
+        Self {
+            params: SystemParams { p_pub },
+            master: MasterSecret { s },
+        }
     }
 
     /// Test-only deterministic setup from a fixed master secret.
     pub fn from_master_secret(s: Fr) -> Self {
         let p_pub = G2Projective::generator().mul_scalar(&s);
-        Self { params: SystemParams { p_pub }, master: MasterSecret { s } }
+        Self {
+            params: SystemParams { p_pub },
+            master: MasterSecret { s },
+        }
     }
 
     /// The public system parameters.
@@ -97,7 +104,9 @@ impl Kgc {
     /// `Extract-Partial-Private-Key`: `D_ID = s·H1(ID)`.
     pub fn extract_partial_private_key(&self, id: &[u8]) -> PartialPrivateKey {
         let q_id = self.params.hash_identity(id);
-        PartialPrivateKey { d: ops::mul_g1(&q_id, &self.master.s) }
+        PartialPrivateKey {
+            d: ops::mul_g1_ct(&q_id, &self.master.s),
+        }
     }
 
     /// Exposes the master secret for Type II adversary experiments
@@ -185,9 +194,10 @@ pub fn h2_scalar(parts: &[&[u8]]) -> Fr {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use mccls_rng::SeedableRng;
 
     #[test]
     fn setup_publishes_s_times_p() {
@@ -200,7 +210,7 @@ mod tests {
 
     #[test]
     fn partial_key_validates_against_params() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(40);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(40);
         let kgc = Kgc::setup(&mut rng);
         let ppk = kgc.extract_partial_private_key(b"alice");
         assert!(ppk.validate(kgc.params(), b"alice"));
@@ -209,7 +219,7 @@ mod tests {
 
     #[test]
     fn partial_key_from_wrong_kgc_fails_validation() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(41);
         let kgc1 = Kgc::setup(&mut rng);
         let kgc2 = Kgc::setup(&mut rng);
         let ppk = kgc2.extract_partial_private_key(b"alice");
@@ -233,7 +243,10 @@ mod tests {
 
     #[test]
     fn public_key_sizes() {
-        let pk1 = UserPublicKey { primary: G2Projective::generator(), secondary: None };
+        let pk1 = UserPublicKey {
+            primary: G2Projective::generator(),
+            secondary: None,
+        };
         assert_eq!(pk1.encoded_len(), 96);
         assert_eq!(pk1.num_points(), 1);
         let pk2 = UserPublicKey {

@@ -2,7 +2,7 @@
 //! shared [`Signature`] container.
 
 use mccls_pairing::{Fr, G1Affine, G1Projective, G2Affine, G2Projective};
-use rand::RngCore;
+use mccls_rng::RngCore;
 
 use crate::params::{Kgc, PartialPrivateKey, SystemParams, UserKeyPair, UserPublicKey};
 
@@ -77,7 +77,11 @@ pub struct ClaimedOps {
 impl ClaimedOps {
     /// Convenience constructor.
     pub const fn new(pairings: u64, scalar_muls: u64, exponentiations: u64) -> Self {
-        Self { pairings, scalar_muls, exponentiations }
+        Self {
+            pairings,
+            scalar_muls,
+            exponentiations,
+        }
     }
 }
 
@@ -93,7 +97,15 @@ impl core::fmt::Display for ClaimedOps {
         if self.exponentiations > 0 {
             parts.push(format!("{}e", self.exponentiations));
         }
-        write!(f, "{}", if parts.is_empty() { "-".into() } else { parts.join("+") })
+        write!(
+            f,
+            "{}",
+            if parts.is_empty() {
+                "-".into()
+            } else {
+                parts.join("+")
+            }
+        )
     }
 }
 
@@ -187,39 +199,67 @@ impl Signature {
         let (&tag, rest) = bytes.split_first()?;
         match tag {
             TAG_MCCLS => {
-                if rest.len() != 32 + 48 + 96 {
+                let (v_bytes, rest) = take::<32>(rest)?;
+                let (s_bytes, rest) = take::<48>(rest)?;
+                let (r_bytes, rest) = take::<96>(rest)?;
+                if !rest.is_empty() {
                     return None;
                 }
-                let v = Fr::from_be_bytes(rest[..32].try_into().ok()?)?;
-                let s = G1Affine::from_compressed(rest[32..80].try_into().ok()?)?;
-                let r = G2Affine::from_compressed(rest[80..].try_into().ok()?)?;
-                Some(Signature::McCls { v, s: s.to_projective(), r: r.to_projective() })
+                let v = Fr::from_be_bytes(v_bytes)?;
+                let s = G1Affine::from_compressed(s_bytes)?;
+                let r = G2Affine::from_compressed(r_bytes)?;
+                Some(Signature::McCls {
+                    v,
+                    s: s.to_projective(),
+                    r: r.to_projective(),
+                })
             }
             TAG_AP => {
-                if rest.len() != 48 + 32 {
+                let (u_bytes, rest) = take::<48>(rest)?;
+                let (v_bytes, rest) = take::<32>(rest)?;
+                if !rest.is_empty() {
                     return None;
                 }
-                let u = G1Affine::from_compressed(rest[..48].try_into().ok()?)?;
-                let v = Fr::from_be_bytes(rest[48..].try_into().ok()?)?;
-                Some(Signature::Ap { u: u.to_projective(), v })
+                let u = G1Affine::from_compressed(u_bytes)?;
+                let v = Fr::from_be_bytes(v_bytes)?;
+                Some(Signature::Ap {
+                    u: u.to_projective(),
+                    v,
+                })
             }
             TAG_ZWXF => {
-                if rest.len() != 96 + 48 {
+                let (u_bytes, rest) = take::<96>(rest)?;
+                let (v_bytes, rest) = take::<48>(rest)?;
+                if !rest.is_empty() {
                     return None;
                 }
-                let u = G2Affine::from_compressed(rest[..96].try_into().ok()?)?;
-                let v = G1Affine::from_compressed(rest[96..].try_into().ok()?)?;
-                Some(Signature::Zwxf { u: u.to_projective(), v: v.to_projective() })
+                let u = G2Affine::from_compressed(u_bytes)?;
+                let v = G1Affine::from_compressed(v_bytes)?;
+                Some(Signature::Zwxf {
+                    u: u.to_projective(),
+                    v: v.to_projective(),
+                })
             }
             TAG_YHG => {
-                if rest.len() != 48 + 48 {
+                let (u_bytes, rest) = take::<48>(rest)?;
+                let (v_bytes, rest) = take::<48>(rest)?;
+                if !rest.is_empty() {
                     return None;
                 }
-                let u = G1Affine::from_compressed(rest[..48].try_into().ok()?)?;
-                let v = G1Affine::from_compressed(rest[48..].try_into().ok()?)?;
-                Some(Signature::Yhg { u: u.to_projective(), v: v.to_projective() })
+                let u = G1Affine::from_compressed(u_bytes)?;
+                let v = G1Affine::from_compressed(v_bytes)?;
+                Some(Signature::Yhg {
+                    u: u.to_projective(),
+                    v: v.to_projective(),
+                })
             }
             _ => None,
         }
     }
+}
+
+/// Splits off a fixed-size prefix without any panicking indexing.
+fn take<const N: usize>(bytes: &[u8]) -> Option<(&[u8; N], &[u8])> {
+    let head = bytes.get(..N)?;
+    Some((head.try_into().ok()?, bytes.get(N..)?))
 }

@@ -20,7 +20,7 @@
 //! contradicted by any strategy in this harness.
 
 use mccls_pairing::{Fr, G1Projective, G2Projective};
-use rand::RngCore;
+use mccls_rng::RngCore;
 
 use crate::params::{h2_scalar, Kgc, SystemParams, UserPublicKey};
 use crate::scheme::{CertificatelessScheme, Signature};
@@ -56,8 +56,15 @@ fn random_signature_like(template: &Signature, rng: &mut dyn RngCore) -> Signatu
     let g1 = G1Projective::generator().mul_scalar(&Fr::random_nonzero(rng));
     let g2 = G2Projective::generator().mul_scalar(&Fr::random_nonzero(rng));
     match template {
-        Signature::McCls { .. } => Signature::McCls { v: Fr::random_nonzero(rng), s: g1, r: g2 },
-        Signature::Ap { .. } => Signature::Ap { u: g1, v: Fr::random_nonzero(rng) },
+        Signature::McCls { .. } => Signature::McCls {
+            v: Fr::random_nonzero(rng),
+            s: g1,
+            r: g2,
+        },
+        Signature::Ap { .. } => Signature::Ap {
+            u: g1,
+            v: Fr::random_nonzero(rng),
+        },
         Signature::Zwxf { .. } => Signature::Zwxf { u: g2, v: g1 },
         Signature::Yhg { .. } => {
             let g1b = G1Projective::generator().mul_scalar(&Fr::random_nonzero(rng));
@@ -76,10 +83,7 @@ fn random_signature_like(template: &Signature, rng: &mut dyn RngCore) -> Signatu
 ///    public key the adversary fully controls,
 /// 3. transplanting a valid signature from a different identity,
 /// 4. replaying a valid signature on a different message.
-pub fn run_type1_game(
-    scheme: &dyn CertificatelessScheme,
-    rng: &mut dyn RngCore,
-) -> GameReport {
+pub fn run_type1_game(scheme: &dyn CertificatelessScheme, rng: &mut dyn RngCore) -> GameReport {
     let (params, kgc) = scheme.setup(rng);
     let victim_id: &[u8] = b"victim";
     let victim_partial = kgc.extract_partial_private_key(victim_id);
@@ -89,8 +93,14 @@ pub fn run_type1_game(
     let mut outcomes = Vec::new();
 
     // A reference signature fixes the shape for strategy 1.
-    let reference =
-        scheme.sign(&params, victim_id, &victim_partial, &victim_keys, b"other msg", rng);
+    let reference = scheme.sign(
+        &params,
+        victim_id,
+        &victim_partial,
+        &victim_keys,
+        b"other msg",
+        rng,
+    );
 
     // Strategy 1: random components.
     let random_sig = random_signature_like(&reference, rng);
@@ -128,7 +138,11 @@ pub fn run_type1_game(
         forged: scheme.verify(&params, victim_id, &victim_keys.public, msg, &reference),
     });
 
-    GameReport { scheme: scheme.name(), adversary: "Type I", outcomes }
+    GameReport {
+        scheme: scheme.name(),
+        adversary: "Type I",
+        outcomes,
+    }
 }
 
 /// Runs the Type II game with *generic* strategies: the adversary holds
@@ -138,10 +152,7 @@ pub fn run_type1_game(
 /// Scheme-specific algebraic attacks (like [`mccls_type2_forgery`]) are
 /// separate, deliberately: this function captures what a lazy malicious
 /// KGC tries against *any* scheme.
-pub fn run_type2_game(
-    scheme: &dyn CertificatelessScheme,
-    rng: &mut dyn RngCore,
-) -> GameReport {
+pub fn run_type2_game(scheme: &dyn CertificatelessScheme, rng: &mut dyn RngCore) -> GameReport {
     let (params, kgc) = scheme.setup(rng);
     let victim_id: &[u8] = b"victim";
     let victim_partial = kgc.extract_partial_private_key(victim_id);
@@ -171,7 +182,11 @@ pub fn run_type2_game(
         forged: scheme.verify(&params, victim_id, &victim_keys.public, msg, &sig),
     });
 
-    GameReport { scheme: scheme.name(), adversary: "Type II", outcomes }
+    GameReport {
+        scheme: scheme.name(),
+        adversary: "Type II",
+        outcomes,
+    }
 }
 
 /// The constructive Type II break of McCLS (refutes the paper's
@@ -211,10 +226,11 @@ pub fn mccls_type2_forgery(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
     use crate::{Ap, McCls, Yhg, Zwxf};
-    use rand::SeedableRng;
+    use mccls_rng::SeedableRng;
 
     fn schemes() -> Vec<Box<dyn CertificatelessScheme>> {
         vec![
@@ -227,7 +243,7 @@ mod tests {
 
     #[test]
     fn type1_strategies_all_rejected() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(90);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(90);
         for scheme in schemes() {
             let report = run_type1_game(scheme.as_ref(), &mut rng);
             assert!(
@@ -241,8 +257,12 @@ mod tests {
 
     #[test]
     fn generic_type2_strategies_rejected_by_baselines() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(91);
-        for scheme in [&Ap::new() as &dyn CertificatelessScheme, &Zwxf::new(), &Yhg::new()] {
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(91);
+        for scheme in [
+            &Ap::new() as &dyn CertificatelessScheme,
+            &Zwxf::new(),
+            &Yhg::new(),
+        ] {
             let report = run_type2_game(scheme, &mut rng);
             assert!(
                 report.all_rejected(),
@@ -259,7 +279,7 @@ mod tests {
         // the hash input, so a KGC signing with the correct partial key
         // and *any* guessed secret value produces a verifying signature.
         // The baselines reject this (previous test); McCLS does not.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(94);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(94);
         let report = run_type2_game(&McCls::new(), &mut rng);
         let guessed = report
             .outcomes
@@ -275,14 +295,17 @@ mod tests {
             .iter()
             .find(|o| o.strategy == "KGC key pair against registered public key")
             .expect("strategy present");
-        assert!(!cross_key.forged, "challenge binding still rejects key confusion");
+        assert!(
+            !cross_key.forged,
+            "challenge binding still rejects key confusion"
+        );
     }
 
     #[test]
     fn mccls_algebraic_type2_forgery_verifies() {
         // This is the reproduction finding: the malicious-KGC forgery
         // *succeeds*, contradicting the paper's (unproved) Theorem 2.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(92);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(92);
         let scheme = McCls::new();
         let (params, kgc) = scheme.setup(&mut rng);
         let victim_keys = scheme.generate_key_pair(&params, &mut rng);
@@ -310,7 +333,7 @@ mod tests {
     fn mccls_type2_forgery_needs_the_master_secret() {
         // The same template built with a *wrong* master secret fails,
         // confirming the forgery genuinely uses the KGC's knowledge.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(93);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(93);
         let scheme = McCls::new();
         let (params, _kgc) = scheme.setup(&mut rng);
         let wrong_kgc = Kgc::from_master_secret(Fr::from_u64(12345));

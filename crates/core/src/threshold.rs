@@ -16,7 +16,7 @@
 //! the exponent to `D_ID = s·H1(ID)`.
 
 use mccls_pairing::{pairing_product, Fr, G1Projective, G2Projective};
-use rand::RngCore;
+use mccls_rng::RngCore;
 
 use crate::ops;
 use crate::params::{PartialPrivateKey, SystemParams};
@@ -43,7 +43,10 @@ impl KgcShareServer {
     /// Produces this server's contribution `D_i = s_i·H1(ID)`.
     pub fn extract_share(&self, params: &SystemParams, id: &[u8]) -> PartialKeyShare {
         let q_id = params.hash_identity(id);
-        PartialKeyShare { index: self.index, d: ops::mul_g1(&q_id, &self.share) }
+        PartialKeyShare {
+            index: self.index,
+            d: ops::mul_g1(&q_id, &self.share),
+        }
     }
 
     /// The server's evaluation point.
@@ -93,7 +96,9 @@ pub fn threshold_setup(n: usize, t: usize, rng: &mut (impl RngCore + ?Sized)) ->
     // f(x) = s + c1 x + ... + c_{t-1} x^{t-1}
     let coeffs: Vec<Fr> = (0..t).map(|_| Fr::random_nonzero(rng)).collect();
     let s = coeffs[0];
-    let params = SystemParams { p_pub: ops::mul_g2(&G2Projective::generator(), &s) };
+    let params = SystemParams {
+        p_pub: ops::mul_g2(&G2Projective::generator(), &s),
+    };
     let servers = (1..=n as u32)
         .map(|i| {
             // Horner evaluation of f(i).
@@ -109,7 +114,11 @@ pub fn threshold_setup(n: usize, t: usize, rng: &mut (impl RngCore + ?Sized)) ->
             }
         })
         .collect();
-    ThresholdSetup { params, servers, threshold: t }
+    ThresholdSetup {
+        params,
+        servers,
+        threshold: t,
+    }
 }
 
 /// Combines at least `t` verified shares into `D_ID = s·H1(ID)` by
@@ -119,13 +128,10 @@ pub fn threshold_setup(n: usize, t: usize, rng: &mut (impl RngCore + ?Sized)) ->
 /// result is *not* validated here — callers holding the public
 /// parameters use [`PartialPrivateKey::validate`].
 pub fn combine_shares(shares: &[PartialKeyShare], t: usize) -> Option<PartialPrivateKey> {
-    if shares.len() < t {
-        return None;
-    }
-    let shares = &shares[..t];
+    let shares = shares.get(..t)?;
     // Reject duplicate evaluation points.
     for (i, a) in shares.iter().enumerate() {
-        if shares[i + 1..].iter().any(|b| b.index == a.index) {
+        if shares.iter().skip(i + 1).any(|b| b.index == a.index) {
             return None;
         }
     }
@@ -150,14 +156,15 @@ pub fn combine_shares(shares: &[PartialKeyShare], t: usize) -> Option<PartialPri
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
     use crate::scheme::CertificatelessScheme;
     use crate::McCls;
-    use rand::SeedableRng;
+    use mccls_rng::SeedableRng;
 
-    fn rng(seed: u64) -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(seed)
+    fn rng(seed: u64) -> mccls_rng::rngs::StdRng {
+        mccls_rng::rngs::StdRng::seed_from_u64(seed)
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! `e(Q_ID, P)^{(r+h)(s+x)}`.
 
 use mccls_pairing::{Fr, G1Projective};
-use rand::RngCore;
+use mccls_rng::RngCore;
 
 use crate::ops;
 use crate::params::{h2_scalar, PartialPrivateKey, SystemParams, UserKeyPair, UserPublicKey};
@@ -30,9 +30,9 @@ use crate::scheme::{CertificatelessScheme, ClaimedOps, Signature};
 ///
 /// ```
 /// use mccls_core::{CertificatelessScheme, Yhg};
-/// use rand::SeedableRng;
+/// use mccls_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(4);
 /// let scheme = Yhg::new();
 /// let (params, kgc) = scheme.setup(&mut rng);
 /// let partial = scheme.extract_partial_private_key(&kgc, b"alice");
@@ -69,7 +69,10 @@ impl CertificatelessScheme for Yhg {
         let p_id = ops::mul_g2(&params.p(), &x);
         UserKeyPair {
             secret: x,
-            public: UserPublicKey { primary: p_id, secondary: None },
+            public: UserPublicKey {
+                primary: p_id,
+                secondary: None,
+            },
         }
     }
 
@@ -126,12 +129,18 @@ impl CertificatelessScheme for Yhg {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use mccls_rng::SeedableRng;
 
-    fn setup() -> (SystemParams, PartialPrivateKey, UserKeyPair, rand::rngs::StdRng) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(80);
+    fn setup() -> (
+        SystemParams,
+        PartialPrivateKey,
+        UserKeyPair,
+        mccls_rng::rngs::StdRng,
+    ) {
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(80);
         let scheme = Yhg::new();
         let (params, kgc) = scheme.setup(&mut rng);
         let partial = kgc.extract_partial_private_key(b"alice");
@@ -162,14 +171,12 @@ mod tests {
     fn operation_counts_match_claims_shape() {
         let (params, partial, keys, mut rng) = setup();
         let scheme = Yhg::new();
-        let (sig, sign_counts) = ops::measure(|| {
-            scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng)
-        });
+        let (sig, sign_counts) =
+            ops::measure(|| scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng));
         assert_eq!(sign_counts.pairings, 0, "Table 1: YHG sign has no pairings");
         assert_eq!(sign_counts.scalar_muls(), 2, "Table 1: YHG sign = 2s");
-        let (ok, verify_counts) = ops::measure(|| {
-            scheme.verify(&params, b"alice", &keys.public, b"m", &sig)
-        });
+        let (ok, verify_counts) =
+            ops::measure(|| scheme.verify(&params, b"alice", &keys.public, b"m", &sig));
         assert!(ok);
         assert_eq!(verify_counts.pairings, 2, "Table 1: YHG verify = 2p");
         assert_eq!(verify_counts.g1_muls, 1);

@@ -17,7 +17,7 @@
 //! = e(Q_ID, s·P)·e(W, r·P)·e(W', x·P)`.
 
 use mccls_pairing::{Fr, G1Projective, G2Projective};
-use rand::RngCore;
+use mccls_rng::RngCore;
 
 use crate::ops;
 use crate::params::{PartialPrivateKey, SystemParams, UserKeyPair, UserPublicKey, DST_HW};
@@ -29,9 +29,9 @@ use crate::scheme::{CertificatelessScheme, ClaimedOps, Signature};
 ///
 /// ```
 /// use mccls_core::{CertificatelessScheme, Zwxf};
-/// use rand::SeedableRng;
+/// use mccls_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(3);
 /// let scheme = Zwxf::new();
 /// let (params, kgc) = scheme.setup(&mut rng);
 /// let partial = scheme.extract_partial_private_key(&kgc, b"alice");
@@ -56,7 +56,12 @@ impl Zwxf {
         u: &G2Projective,
     ) -> (G1Projective, G1Projective) {
         let mut material = Vec::new();
-        for part in [msg, id, &public.to_bytes()[..], &u.to_affine().to_compressed()[..]] {
+        for part in [
+            msg,
+            id,
+            &public.to_bytes()[..],
+            &u.to_affine().to_compressed()[..],
+        ] {
             material.extend_from_slice(&(part.len() as u64).to_be_bytes());
             material.extend_from_slice(part);
         }
@@ -81,7 +86,10 @@ impl CertificatelessScheme for Zwxf {
         let p_id = ops::mul_g2(&params.p(), &x);
         UserKeyPair {
             secret: x,
-            public: UserPublicKey { primary: p_id, secondary: None },
+            public: UserPublicKey {
+                primary: p_id,
+                secondary: None,
+            },
         }
     }
 
@@ -134,12 +142,18 @@ impl CertificatelessScheme for Zwxf {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use mccls_rng::SeedableRng;
 
-    fn setup() -> (SystemParams, PartialPrivateKey, UserKeyPair, rand::rngs::StdRng) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(70);
+    fn setup() -> (
+        SystemParams,
+        PartialPrivateKey,
+        UserKeyPair,
+        mccls_rng::rngs::StdRng,
+    ) {
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(70);
         let scheme = Zwxf::new();
         let (params, kgc) = scheme.setup(&mut rng);
         let partial = kgc.extract_partial_private_key(b"alice");
@@ -163,8 +177,7 @@ mod tests {
         let scheme = Zwxf::new();
         let s1 = scheme.sign(&params, b"alice", &partial, &keys, b"m1", &mut rng);
         let s2 = scheme.sign(&params, b"alice", &partial, &keys, b"m2", &mut rng);
-        let (Signature::Zwxf { u: u1, .. }, Signature::Zwxf { v: v2, .. }) = (&s1, &s2)
-        else {
+        let (Signature::Zwxf { u: u1, .. }, Signature::Zwxf { v: v2, .. }) = (&s1, &s2) else {
             unreachable!()
         };
         let franken = Signature::Zwxf { u: *u1, v: *v2 };
@@ -176,15 +189,16 @@ mod tests {
     fn operation_counts_match_claims_shape() {
         let (params, partial, keys, mut rng) = setup();
         let scheme = Zwxf::new();
-        let (sig, sign_counts) = ops::measure(|| {
-            scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng)
-        });
-        assert_eq!(sign_counts.pairings, 0, "Table 1: ZWXF sign has no pairings");
+        let (sig, sign_counts) =
+            ops::measure(|| scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng));
+        assert_eq!(
+            sign_counts.pairings, 0,
+            "Table 1: ZWXF sign has no pairings"
+        );
         assert_eq!(sign_counts.scalar_muls(), 3);
         assert_eq!(sign_counts.hashes_to_g1, 2);
-        let (ok, verify_counts) = ops::measure(|| {
-            scheme.verify(&params, b"alice", &keys.public, b"m", &sig)
-        });
+        let (ok, verify_counts) =
+            ops::measure(|| scheme.verify(&params, b"alice", &keys.public, b"m", &sig));
         assert!(ok);
         assert_eq!(verify_counts.pairings, 4, "Table 1: ZWXF verify = 4p");
     }

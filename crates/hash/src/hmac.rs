@@ -23,20 +23,23 @@ impl<D: Digest> Hmac<D> {
     /// Creates an HMAC instance keyed with `key`.
     pub fn new(key: &[u8]) -> Self {
         let block = D::BLOCK_LEN;
-        let mut key_block = vec![0u8; block];
-        if key.len() > block {
+        let mut key_block = if key.len() > block {
             let mut h = D::default();
             h.update(key);
-            let digest = h.finalize_vec();
-            key_block[..digest.len()].copy_from_slice(&digest);
+            h.finalize_vec()
         } else {
-            key_block[..key.len()].copy_from_slice(key);
-        }
+            key.to_vec()
+        };
+        // Zero-pad to the block length (digests never exceed it).
+        key_block.resize(block, 0);
         let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
         let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
         let mut inner = D::default();
         inner.update(&ipad);
-        Self { inner, opad_key: opad }
+        Self {
+            inner,
+            opad_key: opad,
+        }
     }
 
     /// Absorbs message bytes.
@@ -71,6 +74,7 @@ pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
     use crate::Sha512;

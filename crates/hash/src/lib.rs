@@ -117,6 +117,7 @@ pub fn expand_message(msg: &[u8], dst: &[u8], out_len: usize) -> Vec<u8> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
 

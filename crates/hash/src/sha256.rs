@@ -46,7 +46,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
-        Self { state: H0, buf: [0u8; 64], buf_len: 0, total_len: 0 }
+        Self {
+            state: H0,
+            buf: [0u8; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
     }
 
     /// One-shot convenience: hashes `data` and returns the 32-byte digest.
@@ -61,9 +66,11 @@ impl Sha256 {
         self.total_len = self.total_len.wrapping_add(data.len() as u64);
         if self.buf_len > 0 {
             let take = (64 - self.buf_len).min(data.len());
-            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            for (dst, src) in self.buf.iter_mut().skip(self.buf_len).zip(data) {
+                *dst = *src;
+            }
             self.buf_len += take;
-            data = &data[take..];
+            data = data.get(take..).unwrap_or(&[]);
             if self.buf_len == 64 {
                 let block = self.buf;
                 self.compress(&block);
@@ -78,7 +85,9 @@ impl Sha256 {
             data = rest;
         }
         if !data.is_empty() {
-            self.buf[..data.len()].copy_from_slice(data);
+            for (dst, src) in self.buf.iter_mut().zip(data) {
+                *dst = *src;
+            }
             self.buf_len = data.len();
         }
     }
@@ -90,13 +99,16 @@ impl Sha256 {
         while self.buf_len != 56 {
             self.update(&[0x00]);
         }
-        let mut last = [0u8; 64];
-        last[..56].copy_from_slice(&self.buf[..56]);
-        last[56..].copy_from_slice(&bit_len.to_be_bytes());
+        // The buffer holds the padded message head; the length field
+        // overwrites the final eight (stale) bytes.
+        let mut last = self.buf;
+        for (dst, src) in last.iter_mut().skip(56).zip(bit_len.to_be_bytes()) {
+            *dst = src;
+        }
         self.compress(&last);
         let mut out = [0u8; 32];
-        for (i, word) in self.state.iter().enumerate() {
-            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state) {
+            chunk.copy_from_slice(&word.to_be_bytes());
         }
         out
     }
@@ -107,12 +119,11 @@ impl Sha256 {
             w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
         }
         for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
+            // lint:allow(panic) offsets i-16..=i-2 lie in 0..64 for i in 16..64
+            let (w15, w2, w16, w7) = (w[i - 15], w[i - 2], w[i - 16], w[i - 7]);
+            let s0 = w15.rotate_right(7) ^ w15.rotate_right(18) ^ (w15 >> 3);
+            let s1 = w2.rotate_right(17) ^ w2.rotate_right(19) ^ (w2 >> 10);
+            w[i] = w16.wrapping_add(s0).wrapping_add(w7).wrapping_add(s1);
         }
         let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
         for i in 0..64 {
@@ -160,6 +171,7 @@ impl Digest for Sha256 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
 

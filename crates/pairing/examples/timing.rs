@@ -6,7 +6,7 @@
 use std::time::Instant;
 
 use mccls_pairing::{hash_to_g1, pairing, Fr, G1Projective, G2Projective};
-use rand::SeedableRng;
+use mccls_rng::SeedableRng;
 
 fn time(label: &str, iters: u32, mut f: impl FnMut()) {
     f(); // warm-up (fills the lazy pairing-exponent caches)
@@ -18,7 +18,7 @@ fn time(label: &str, iters: u32, mut f: impl FnMut()) {
 }
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(1);
     let k = Fr::random(&mut rng);
     let g1 = G1Projective::generator();
     let g2 = G2Projective::generator();

@@ -45,18 +45,30 @@ pub struct ProjectivePoint<C: Curve> {
 impl<C: Curve> AffinePoint<C> {
     /// The identity element.
     pub fn identity() -> Self {
-        Self { x: C::Base::zero(), y: C::Base::one(), infinity: true }
+        Self {
+            x: C::Base::zero(),
+            y: C::Base::one(),
+            infinity: true,
+        }
     }
 
     /// The subgroup generator.
     pub fn generator() -> Self {
         let (x, y) = C::generator_affine();
-        Self { x, y, infinity: false }
+        Self {
+            x,
+            y,
+            infinity: false,
+        }
     }
 
     /// Builds a point from coordinates after checking the curve equation.
     pub fn from_xy(x: C::Base, y: C::Base) -> Option<Self> {
-        let p = Self { x, y, infinity: false };
+        let p = Self {
+            x,
+            y,
+            infinity: false,
+        };
         p.is_on_curve().then_some(p)
     }
 
@@ -77,7 +89,11 @@ impl<C: Curve> AffinePoint<C> {
 
     /// Negation (mirror in the x-axis).
     pub fn neg(&self) -> Self {
-        Self { x: self.x, y: self.y.neg(), infinity: self.infinity }
+        Self {
+            x: self.x,
+            y: self.y.neg(),
+            infinity: self.infinity,
+        }
     }
 
     /// Lifts to Jacobian coordinates.
@@ -85,7 +101,11 @@ impl<C: Curve> AffinePoint<C> {
         if self.infinity {
             ProjectivePoint::identity()
         } else {
-            ProjectivePoint { x: self.x, y: self.y, z: C::Base::one() }
+            ProjectivePoint {
+                x: self.x,
+                y: self.y,
+                z: C::Base::one(),
+            }
         }
     }
 
@@ -98,7 +118,11 @@ impl<C: Curve> AffinePoint<C> {
 impl<C: Curve> ProjectivePoint<C> {
     /// The identity element (`Z = 0`).
     pub fn identity() -> Self {
-        Self { x: C::Base::one(), y: C::Base::one(), z: C::Base::zero() }
+        Self {
+            x: C::Base::one(),
+            y: C::Base::one(),
+            z: C::Base::zero(),
+        }
     }
 
     /// The subgroup generator.
@@ -125,7 +149,11 @@ impl<C: Curve> ProjectivePoint<C> {
         let x3 = f.sub(&d.double());
         let y3 = e.mul(&d.sub(&x3)).sub(&c.double().double().double());
         let z3 = self.y.mul(&self.z).double();
-        Self { x: x3, y: y3, z: z3 }
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// General Jacobian addition (`add-2007-bl` with complete edge-case
@@ -156,14 +184,12 @@ impl<C: Curve> ProjectivePoint<C> {
         let v = u1.mul(&i);
         let x3 = rr.square().sub(&j).sub(&v.double());
         let y3 = rr.mul(&v.sub(&x3)).sub(&s1.mul(&j).double());
-        let z3 = self
-            .z
-            .add(&other.z)
-            .square()
-            .sub(&z1z1)
-            .sub(&z2z2)
-            .mul(&h);
-        Self { x: x3, y: y3, z: z3 }
+        let z3 = self.z.add(&other.z).square().sub(&z1z1).sub(&z2z2).mul(&h);
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Mixed addition with an affine addend.
@@ -178,7 +204,11 @@ impl<C: Curve> ProjectivePoint<C> {
 
     /// Negation.
     pub fn neg(&self) -> Self {
-        Self { x: self.x, y: self.y.neg(), z: self.z }
+        Self {
+            x: self.x,
+            y: self.y.neg(),
+            z: self.z,
+        }
     }
 
     /// Scalar multiplication by a field scalar (width-4 signed NAF:
@@ -195,6 +225,7 @@ impl<C: Curve> ProjectivePoint<C> {
         let twice = self.double();
         let mut table = [*self; 4];
         for i in 1..4 {
+            // lint:allow(panic) i - 1 < 4 for i in 1..4
             table[i] = table[i - 1].add(&twice);
         }
         let mut acc = Self::identity();
@@ -202,12 +233,52 @@ impl<C: Curve> ProjectivePoint<C> {
             acc = acc.double();
             match d.cmp(&0) {
                 core::cmp::Ordering::Greater => {
+                    // lint:allow(panic) wNAF digits are odd with |d| < 8
                     acc = acc.add(&table[d as usize / 2]);
                 }
                 core::cmp::Ordering::Less => {
+                    // lint:allow(panic) wNAF digits are odd with |d| < 8
                     acc = acc.add(&table[(-d) as usize / 2].neg());
                 }
                 core::cmp::Ordering::Equal => {}
+            }
+        }
+        acc
+    }
+
+    /// Constant-time two-way select: `b` when `choice` is true, else
+    /// `a`, applied coordinate-wise.
+    pub fn ct_select(a: &Self, b: &Self, choice: crate::ct::Choice) -> Self {
+        Self {
+            x: C::Base::ct_select(&a.x, &b.x, choice),
+            y: C::Base::ct_select(&a.y, &b.y, choice),
+            z: C::Base::ct_select(&a.z, &b.z, choice),
+        }
+    }
+
+    /// Scalar multiplication with a uniform double-and-add-always
+    /// schedule, for secret scalars (signing nonces, user secret values,
+    /// partial private keys).
+    ///
+    /// Every one of the 256 iterations performs exactly one doubling and
+    /// one addition; the scalar bit only chooses — via
+    /// [`Self::ct_select`] — which result to keep, so the *schedule* of
+    /// group operations never depends on the scalar. Residual caveat:
+    /// the Jacobian addition formulas themselves are not complete (they
+    /// shortcut on identity and doubling inputs), so the identity fast
+    /// path still fires during the scalar's leading zero window. This
+    /// narrows the leak to roughly the scalar's bit length rather than
+    /// its bit pattern; [`Self::mul_scalar`] (wNAF, variable schedule)
+    /// remains the right choice for public scalars.
+    pub fn mul_scalar_ct(&self, k: &Fr) -> Self {
+        let limbs = k.to_raw();
+        let mut acc = Self::identity();
+        for &limb in limbs.iter().rev() {
+            for i in (0..64).rev() {
+                acc = acc.double();
+                let sum = acc.add(self);
+                let bit = crate::ct::Choice::from_lsb(limb >> i);
+                acc = Self::ct_select(&acc, &sum, bit);
             }
         }
         acc
@@ -338,6 +409,7 @@ fn wnaf4(limbs: &[u64]) -> Vec<i8> {
         }
         // k >>= 1
         for i in 0..k.len() {
+            // lint:allow(panic) guarded by i + 1 < k.len()
             let hi = if i + 1 < k.len() { k[i + 1] } else { 0 };
             k[i] = (k[i] >> 1) | (hi << 63);
         }

@@ -11,16 +11,7 @@
 ///
 /// The methods mirror what generic curve and pairing code needs; concrete
 /// types additionally implement the `std::ops` operators for ergonomics.
-pub trait Field:
-    Copy
-    + Clone
-    + core::fmt::Debug
-    + PartialEq
-    + Eq
-    + Send
-    + Sync
-    + 'static
-{
+pub trait Field: Copy + Clone + core::fmt::Debug + PartialEq + Eq + Send + Sync + 'static {
     /// Additive identity.
     fn zero() -> Self;
     /// Multiplicative identity.
@@ -42,7 +33,20 @@ pub trait Field:
     /// Multiplicative inverse; `None` for zero.
     fn invert(&self) -> Option<Self>;
     /// Uniformly random element.
-    fn random(rng: &mut (impl rand::RngCore + ?Sized)) -> Self;
+    fn random(rng: &mut (impl mccls_rng::RngCore + ?Sized)) -> Self;
+    /// Constant-time two-way select: `b` when `choice` is true, else `a`.
+    ///
+    /// Both inputs are read unconditionally; tower fields select
+    /// component-wise so no coefficient's access pattern depends on the
+    /// choice.
+    fn ct_select(a: &Self, b: &Self, choice: crate::ct::Choice) -> Self;
+    /// Constant-time equality over the internal representation.
+    fn ct_eq(&self, other: &Self) -> crate::ct::Choice;
+
+    /// Constant-time zero test.
+    fn ct_is_zero(&self) -> crate::ct::Choice {
+        self.ct_eq(&Self::zero())
+    }
 
     /// Exponentiation by a little-endian limb slice.
     fn pow(&self, exp: &[u64]) -> Self {
@@ -137,8 +141,8 @@ macro_rules! montgomery_field {
             pub fn to_be_bytes(&self) -> [u8; 8 * $n] {
                 let raw = self.to_raw();
                 let mut out = [0u8; 8 * $n];
-                for (i, limb) in raw.iter().rev().enumerate() {
-                    out[i * 8..i * 8 + 8].copy_from_slice(&limb.to_be_bytes());
+                for (chunk, limb) in out.chunks_exact_mut(8).zip(raw.iter().rev()) {
+                    chunk.copy_from_slice(&limb.to_be_bytes());
                 }
                 out
             }
@@ -149,11 +153,11 @@ macro_rules! montgomery_field {
             /// (`>= p`), making the encoding injective.
             pub fn from_be_bytes(bytes: &[u8; 8 * $n]) -> Option<Self> {
                 let mut raw = [0u64; $n];
-                for i in 0..$n {
-                    let start = (($n - 1) - i) * 8;
-                    let mut limb = [0u8; 8];
-                    limb.copy_from_slice(&bytes[start..start + 8]);
-                    raw[i] = u64::from_be_bytes(limb);
+                // Big-endian input: the last 8 bytes are limb 0.
+                for (limb, chunk) in raw.iter_mut().zip(bytes.rchunks_exact(8)) {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(chunk);
+                    *limb = u64::from_be_bytes(b);
                 }
                 if $crate::arith::geq(&raw, &Self::MODULUS)
                     && raw != Self::MODULUS
@@ -281,14 +285,58 @@ macro_rules! montgomery_field {
             }
 
             /// Uniformly random element (rejection-free wide reduction).
-            pub fn random(rng: &mut (impl rand::RngCore + ?Sized)) -> Self {
+            pub fn random(rng: &mut (impl mccls_rng::RngCore + ?Sized)) -> Self {
                 let mut wide = [0u8; 16 * $n];
                 rng.fill_bytes(&mut wide);
                 Self::from_be_bytes_mod(&wide)
             }
 
+            /// Constant-time two-way select: `b` when `choice` is true,
+            /// else `a`. Reads both inputs unconditionally.
+            #[inline]
+            pub fn ct_select(a: &Self, b: &Self, choice: $crate::ct::Choice) -> Self {
+                Self($crate::ct::select_limbs(&a.0, &b.0, choice))
+            }
+
+            /// Constant-time equality on the Montgomery representatives.
+            ///
+            /// Representatives are kept canonical (`< p`), so this agrees
+            /// with field equality.
+            #[inline]
+            pub fn ct_eq(&self, other: &Self) -> $crate::ct::Choice {
+                $crate::ct::eq_limbs(&self.0, &other.0)
+            }
+
+            /// Constant-time zero test.
+            #[inline]
+            pub fn ct_is_zero(&self) -> $crate::ct::Choice {
+                self.ct_eq(&Self::zero())
+            }
+
+            /// True when the internal representative is fully reduced
+            /// (`< p`). Every constructor maintains this; the accessor
+            /// exists so callers can `debug_assert!` it at trust
+            /// boundaries (decoding, hashing, sampling).
+            #[inline]
+            pub fn is_canonical(&self) -> bool {
+                !$crate::arith::geq(&self.0, &Self::MODULUS)
+            }
+
+            /// Branch-free multiplicative inverse via Fermat's little
+            /// theorem (`a^{p-2}`), mapping zero to zero.
+            ///
+            /// The exponent is a public compile-time constant, so the
+            /// square-and-multiply schedule is fixed and independent of
+            /// the (possibly secret) base — unlike [`Self::invert`],
+            /// whose binary-GCD iteration count leaks the operand.
+            pub fn invert_ct(&self) -> Self {
+                <Self as $crate::field::Field>::pow(self, &Self::MODULUS_MINUS_2)
+            }
+
             #[inline]
             fn mont_mul(a: &[u64; $n], b: &[u64; $n]) -> [u64; $n] {
+                // The scratch buffer has $n + 2 limbs, so every index in
+                // 0..=$n + 1 below is in bounds by construction.
                 let mut t = [0u64; $n + 2];
                 for i in 0..$n {
                     let mut carry = 0u64;
@@ -299,7 +347,7 @@ macro_rules! montgomery_field {
                     }
                     let (v, c) = $crate::arith::adc(t[$n], carry, 0);
                     t[$n] = v;
-                    t[$n + 1] = c;
+                    t[$n + 1] = c; // lint:allow(panic) scratch holds $n + 2 limbs
 
                     let m = t[0].wrapping_mul(Self::INV);
                     let (_, mut carry) =
@@ -307,15 +355,16 @@ macro_rules! montgomery_field {
                     for j in 1..$n {
                         let (v, c) =
                             $crate::arith::mac(t[j], m, Self::MODULUS[j], carry);
-                        t[j - 1] = v;
+                        t[j - 1] = v; // lint:allow(panic) j >= 1 in this loop
                         carry = c;
                     }
                     let (v, c) = $crate::arith::adc(t[$n], carry, 0);
-                    t[$n - 1] = v;
-                    t[$n] = t[$n + 1] + c;
-                    t[$n + 1] = 0;
+                    t[$n - 1] = v; // lint:allow(panic) scratch holds $n + 2 limbs
+                    t[$n] = t[$n + 1] + c; // lint:allow(panic) scratch holds $n + 2 limbs
+                    t[$n + 1] = 0; // lint:allow(panic) scratch holds $n + 2 limbs
                 }
                 let mut out = [0u64; $n];
+                // lint:allow(panic) scratch is strictly longer than $n
                 out.copy_from_slice(&t[..$n]);
                 if t[$n] != 0 || $crate::arith::geq(&out, &Self::MODULUS) {
                     out = $crate::arith::sub_limbs(&out, &Self::MODULUS);
@@ -355,8 +404,14 @@ macro_rules! montgomery_field {
             fn invert(&self) -> Option<Self> {
                 self.invert()
             }
-            fn random(rng: &mut (impl rand::RngCore + ?Sized)) -> Self {
+            fn random(rng: &mut (impl mccls_rng::RngCore + ?Sized)) -> Self {
                 Self::random(rng)
+            }
+            fn ct_select(a: &Self, b: &Self, choice: $crate::ct::Choice) -> Self {
+                Self::ct_select(a, b, choice)
+            }
+            fn ct_eq(&self, other: &Self) -> $crate::ct::Choice {
+                Self::ct_eq(self, other)
             }
         }
 

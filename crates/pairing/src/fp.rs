@@ -43,6 +43,7 @@ impl Fp {
     /// Returns the root `r` with unspecified sign; callers that care use
     /// [`Fp::is_lexicographically_largest`] to normalize.
     pub fn sqrt(&self) -> Option<Self> {
+        debug_assert!(self.is_canonical());
         let candidate = Field::pow(self, &SQRT_EXP);
         if candidate.square() == *self {
             Some(candidate)
@@ -56,6 +57,7 @@ impl Fp {
     /// This is the standard tie-break used to encode the sign of a curve
     /// point's `y` coordinate in one bit.
     pub fn is_lexicographically_largest(&self) -> bool {
+        debug_assert!(self.is_canonical());
         let raw = self.to_raw();
         // raw > (p-1)/2  <=>  raw >= (p-1)/2 + 1
         geq(&raw, &HALF_P) && raw != HALF_P
@@ -63,13 +65,21 @@ impl Fp {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::SeedableRng;
+    use mccls_rng::SeedableRng;
 
-    fn arb_fp() -> impl Strategy<Value = Fp> {
-        any::<[u8; 64]>().prop_map(|bytes| Fp::from_be_bytes_mod(&bytes))
+    /// Runs `body` on `n` random field elements drawn from a fixed seed.
+    fn for_random_fp(n: usize, seed: u64, mut body: impl FnMut(Fp, Fp, Fp)) {
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..n {
+            body(
+                Fp::random(&mut rng),
+                Fp::random(&mut rng),
+                Fp::random(&mut rng),
+            );
+        }
     }
 
     #[test]
@@ -117,7 +127,7 @@ mod tests {
 
     #[test]
     fn bytes_round_trip() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(1);
         for _ in 0..20 {
             let a = Fp::random(&mut rng);
             let bytes = a.to_be_bytes();
@@ -136,7 +146,7 @@ mod tests {
 
     #[test]
     fn lexicographic_sign_is_antisymmetric() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(2);
         for _ in 0..20 {
             let a = Fp::random(&mut rng);
             if a.is_zero() {
@@ -149,60 +159,72 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn field_axioms_hold_on_random_elements() {
+        for_random_fp(64, 0xF0, |a, b, c| {
+            assert_eq!(a.add(&b), b.add(&a));
+            assert_eq!(a.mul(&b), b.mul(&a));
+            assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+            assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+            assert_eq!(a.sub(&b), a.add(&b.neg()));
+            assert_eq!(a.square(), a.mul(&a));
+        });
+    }
 
-        #[test]
-        fn add_commutes(a in arb_fp(), b in arb_fp()) {
-            prop_assert_eq!(a.add(&b), b.add(&a));
-        }
+    #[test]
+    fn inverse_is_inverse() {
+        for_random_fp(64, 0xF1, |a, _, _| {
+            if a.is_zero() {
+                return;
+            }
+            assert_eq!(a.mul(&a.invert().unwrap()), Fp::one());
+        });
+    }
 
-        #[test]
-        fn mul_commutes(a in arb_fp(), b in arb_fp()) {
-            prop_assert_eq!(a.mul(&b), b.mul(&a));
-        }
+    #[test]
+    fn binary_gcd_matches_fermat() {
+        for_random_fp(64, 0xF2, |a, _, _| {
+            assert_eq!(a.invert(), a.invert_fermat());
+        });
+    }
 
-        #[test]
-        fn mul_associates(a in arb_fp(), b in arb_fp(), c in arb_fp()) {
-            prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
-        }
-
-        #[test]
-        fn distributive(a in arb_fp(), b in arb_fp(), c in arb_fp()) {
-            prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
-        }
-
-        #[test]
-        fn sub_is_add_neg(a in arb_fp(), b in arb_fp()) {
-            prop_assert_eq!(a.sub(&b), a.add(&b.neg()));
-        }
-
-        #[test]
-        fn inverse_is_inverse(a in arb_fp()) {
-            prop_assume!(!a.is_zero());
-            prop_assert_eq!(a.mul(&a.invert().unwrap()), Fp::one());
-        }
-
-        #[test]
-        fn binary_gcd_matches_fermat(a in arb_fp()) {
-            prop_assert_eq!(a.invert(), a.invert_fermat());
-        }
-
-        #[test]
-        fn square_matches_mul(a in arb_fp()) {
-            prop_assert_eq!(a.square(), a.mul(&a));
-        }
-
-        #[test]
-        fn sqrt_round_trips(a in arb_fp()) {
+    #[test]
+    fn sqrt_round_trips() {
+        for_random_fp(64, 0xF3, |a, _, _| {
             let sq = a.square();
             let r = sq.sqrt().expect("squares are QRs");
-            prop_assert!(r == a || r == a.neg());
-        }
+            assert!(r == a || r == a.neg());
+        });
+    }
 
-        #[test]
-        fn byte_codec_round_trips(a in arb_fp()) {
-            prop_assert_eq!(Fp::from_be_bytes(&a.to_be_bytes()), Some(a));
-        }
+    #[test]
+    fn byte_codec_round_trips() {
+        for_random_fp(64, 0xF4, |a, _, _| {
+            assert_eq!(Fp::from_be_bytes(&a.to_be_bytes()), Some(a));
+        });
+    }
+
+    #[test]
+    fn ct_helpers_agree_with_plain_ops() {
+        for_random_fp(32, 0xF5, |a, b, _| {
+            assert_eq!(a.ct_eq(&b).leak(), a == b);
+            assert!(a.ct_eq(&a).leak());
+            assert_eq!(Fp::ct_select(&a, &b, crate::ct::Choice::FALSE), a);
+            assert_eq!(Fp::ct_select(&a, &b, crate::ct::Choice::TRUE), b);
+            assert!(a.is_canonical());
+        });
+        assert!(Fp::zero().ct_is_zero().leak());
+        assert!(!Fp::one().ct_is_zero().leak());
+    }
+
+    #[test]
+    fn invert_ct_matches_invert_and_maps_zero_to_zero() {
+        for_random_fp(16, 0xF6, |a, _, _| {
+            if a.is_zero() {
+                return;
+            }
+            assert_eq!(Some(a.invert_ct()), a.invert());
+        });
+        assert_eq!(Fp::zero().invert_ct(), Fp::zero());
     }
 }

@@ -40,7 +40,11 @@ fn frobenius_coeffs() -> &'static FrobeniusCoeffs {
         let gamma_w = Field::pow(&xi, exp6.limbs());
         let gamma_v1 = gamma_w.square();
         let gamma_v2 = gamma_v1.square();
-        FrobeniusCoeffs { gamma_w, gamma_v1, gamma_v2 }
+        FrobeniusCoeffs {
+            gamma_w,
+            gamma_v1,
+            gamma_v2,
+        }
     })
 }
 
@@ -63,17 +67,26 @@ impl Fp12 {
 
     /// The zero element.
     pub const fn zero() -> Self {
-        Self { c0: Fp6::zero(), c1: Fp6::zero() }
+        Self {
+            c0: Fp6::zero(),
+            c1: Fp6::zero(),
+        }
     }
 
     /// The one element.
     pub fn one() -> Self {
-        Self { c0: Fp6::one(), c1: Fp6::zero() }
+        Self {
+            c0: Fp6::one(),
+            c1: Fp6::zero(),
+        }
     }
 
     /// Embeds an `Fp6` element.
     pub fn from_fp6(c0: Fp6) -> Self {
-        Self { c0, c1: Fp6::zero() }
+        Self {
+            c0,
+            c1: Fp6::zero(),
+        }
     }
 
     /// True for the additive identity.
@@ -83,22 +96,34 @@ impl Fp12 {
 
     /// Component-wise addition.
     pub fn add(&self, other: &Self) -> Self {
-        Self { c0: self.c0.add(&other.c0), c1: self.c1.add(&other.c1) }
+        Self {
+            c0: self.c0.add(&other.c0),
+            c1: self.c1.add(&other.c1),
+        }
     }
 
     /// Component-wise subtraction.
     pub fn sub(&self, other: &Self) -> Self {
-        Self { c0: self.c0.sub(&other.c0), c1: self.c1.sub(&other.c1) }
+        Self {
+            c0: self.c0.sub(&other.c0),
+            c1: self.c1.sub(&other.c1),
+        }
     }
 
     /// Doubling.
     pub fn double(&self) -> Self {
-        Self { c0: self.c0.double(), c1: self.c1.double() }
+        Self {
+            c0: self.c0.double(),
+            c1: self.c1.double(),
+        }
     }
 
     /// Additive inverse.
     pub fn neg(&self) -> Self {
-        Self { c0: self.c0.neg(), c1: self.c1.neg() }
+        Self {
+            c0: self.c0.neg(),
+            c1: self.c1.neg(),
+        }
     }
 
     /// Karatsuba multiplication over `w² = v`.
@@ -117,10 +142,7 @@ impl Fp12 {
         // (a + bw)^2 = (a^2 + b^2 v) + 2ab w
         //            = ((a+b)(a+bv) - ab - ab v) + 2ab w
         let ab = self.c0.mul(&self.c1);
-        let t = self
-            .c0
-            .add(&self.c1)
-            .mul(&self.c0.add(&self.c1.mul_by_v()));
+        let t = self.c0.add(&self.c1).mul(&self.c0.add(&self.c1.mul_by_v()));
         Self {
             c0: t.sub(&ab).sub(&ab.mul_by_v()),
             c1: ab.double(),
@@ -141,7 +163,10 @@ impl Fp12 {
     /// For elements of the cyclotomic subgroup (every pairing output),
     /// this equals the inverse and is far cheaper.
     pub fn conjugate(&self) -> Self {
-        Self { c0: self.c0, c1: self.c1.neg() }
+        Self {
+            c0: self.c0,
+            c1: self.c1.neg(),
+        }
     }
 
     /// One application of the Frobenius endomorphism `x ↦ x^p`.
@@ -173,8 +198,11 @@ impl Fp12 {
     }
 
     /// Uniformly random element.
-    pub fn random(rng: &mut (impl rand::RngCore + ?Sized)) -> Self {
-        Self { c0: Fp6::random(rng), c1: Fp6::random(rng) }
+    pub fn random(rng: &mut (impl mccls_rng::RngCore + ?Sized)) -> Self {
+        Self {
+            c0: Fp6::random(rng),
+            c1: Fp6::random(rng),
+        }
     }
 
     /// Granger–Scott squaring, valid **only** for elements of the
@@ -263,8 +291,17 @@ impl Field for Fp12 {
     fn invert(&self) -> Option<Self> {
         self.invert()
     }
-    fn random(rng: &mut (impl rand::RngCore + ?Sized)) -> Self {
+    fn random(rng: &mut (impl mccls_rng::RngCore + ?Sized)) -> Self {
         Self::random(rng)
+    }
+    fn ct_select(a: &Self, b: &Self, choice: crate::ct::Choice) -> Self {
+        Self {
+            c0: Field::ct_select(&a.c0, &b.c0, choice),
+            c1: Field::ct_select(&a.c1, &b.c1, choice),
+        }
+    }
+    fn ct_eq(&self, other: &Self) -> crate::ct::Choice {
+        Field::ct_eq(&self.c0, &other.c0).and(Field::ct_eq(&self.c1, &other.c1))
     }
 }
 
@@ -277,16 +314,21 @@ impl core::fmt::Debug for Fp12 {
 field_operators!(Fp12);
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::SeedableRng;
+    use mccls_rng::SeedableRng;
 
-    fn arb_fp12() -> impl Strategy<Value = Fp12> {
-        any::<u64>().prop_map(|seed| {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            Fp12::random(&mut rng)
-        })
+    /// Runs `body` on `n` random elements drawn from a fixed seed.
+    fn for_random_fp12(n: usize, seed: u64, mut body: impl FnMut(Fp12, Fp12, Fp12)) {
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..n {
+            body(
+                Fp12::random(&mut rng),
+                Fp12::random(&mut rng),
+                Fp12::random(&mut rng),
+            );
+        }
     }
 
     #[test]
@@ -299,14 +341,14 @@ mod tests {
 
     #[test]
     fn frobenius_matches_pow_p() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(20);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(20);
         let a = Fp12::random(&mut rng);
         assert_eq!(a.frobenius_map(), Field::pow(&a, &Fp::MODULUS));
     }
 
     #[test]
     fn frobenius_order_twelve() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(21);
         let a = Fp12::random(&mut rng);
         let mut b = a;
         for _ in 0..12 {
@@ -318,7 +360,7 @@ mod tests {
     #[test]
     fn cyclotomic_square_matches_generic_on_cyclotomic_elements() {
         use crate::fr::Fr;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(23);
         for _ in 0..5 {
             let f = Fp12::random(&mut rng);
             // Push into the cyclotomic subgroup via the easy part
@@ -336,14 +378,14 @@ mod tests {
     fn cyclotomic_square_diverges_outside_subgroup() {
         // Sanity: for a generic element the shortcut is *not* the
         // square, confirming the test above exercises the subgroup.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(24);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(24);
         let f = Fp12::random(&mut rng);
         assert_ne!(f.cyclotomic_square(), f.square());
     }
 
     #[test]
     fn mul_by_line_matches_dense_mul() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(22);
         for _ in 0..5 {
             let f = Fp12::random(&mut rng);
             let a = Fp2::random(&mut rng);
@@ -357,25 +399,23 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn ring_axioms() {
+        for_random_fp12(16, 0xE0, |a, b, c| {
+            assert_eq!(a.mul(&b), b.mul(&a));
+            assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+            assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+            assert_eq!(a.square(), a.mul(&a));
+        });
+    }
 
-        #[test]
-        fn ring_axioms(a in arb_fp12(), b in arb_fp12(), c in arb_fp12()) {
-            prop_assert_eq!(a.mul(&b), b.mul(&a));
-            prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
-            prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
-        }
-
-        #[test]
-        fn square_matches_mul(a in arb_fp12()) {
-            prop_assert_eq!(a.square(), a.mul(&a));
-        }
-
-        #[test]
-        fn inverse(a in arb_fp12()) {
-            prop_assume!(!a.is_zero());
-            prop_assert_eq!(a.mul(&a.invert().unwrap()), Fp12::one());
-        }
+    #[test]
+    fn inverse() {
+        for_random_fp12(16, 0xE1, |a, _, _| {
+            if a.is_zero() {
+                return;
+            }
+            assert_eq!(a.mul(&a.invert().unwrap()), Fp12::one());
+        });
     }
 }

@@ -29,12 +29,18 @@ impl Fp2 {
 
     /// The zero element.
     pub const fn zero() -> Self {
-        Self { c0: Fp::zero(), c1: Fp::zero() }
+        Self {
+            c0: Fp::zero(),
+            c1: Fp::zero(),
+        }
     }
 
     /// The one element.
     pub fn one() -> Self {
-        Self { c0: Fp::one(), c1: Fp::zero() }
+        Self {
+            c0: Fp::one(),
+            c1: Fp::zero(),
+        }
     }
 
     /// Embeds an `Fp` element.
@@ -49,22 +55,34 @@ impl Fp2 {
 
     /// Component-wise addition.
     pub fn add(&self, other: &Self) -> Self {
-        Self { c0: self.c0.add(&other.c0), c1: self.c1.add(&other.c1) }
+        Self {
+            c0: self.c0.add(&other.c0),
+            c1: self.c1.add(&other.c1),
+        }
     }
 
     /// Component-wise subtraction.
     pub fn sub(&self, other: &Self) -> Self {
-        Self { c0: self.c0.sub(&other.c0), c1: self.c1.sub(&other.c1) }
+        Self {
+            c0: self.c0.sub(&other.c0),
+            c1: self.c1.sub(&other.c1),
+        }
     }
 
     /// Doubling.
     pub fn double(&self) -> Self {
-        Self { c0: self.c0.double(), c1: self.c1.double() }
+        Self {
+            c0: self.c0.double(),
+            c1: self.c1.double(),
+        }
     }
 
     /// Additive inverse.
     pub fn neg(&self) -> Self {
-        Self { c0: self.c0.neg(), c1: self.c1.neg() }
+        Self {
+            c0: self.c0.neg(),
+            c1: self.c1.neg(),
+        }
     }
 
     /// Karatsuba multiplication over `u² = -1`.
@@ -83,12 +101,18 @@ impl Fp2 {
         let a = self.c0.add(&self.c1);
         let b = self.c0.sub(&self.c1);
         let c = self.c0.double();
-        Self { c0: a.mul(&b), c1: c.mul(&self.c1) }
+        Self {
+            c0: a.mul(&b),
+            c1: c.mul(&self.c1),
+        }
     }
 
     /// Multiplies by a base-field scalar.
     pub fn mul_by_fp(&self, k: &Fp) -> Self {
-        Self { c0: self.c0.mul(k), c1: self.c1.mul(k) }
+        Self {
+            c0: self.c0.mul(k),
+            c1: self.c1.mul(k),
+        }
     }
 
     /// Multiplies by the sextic non-residue `ξ = 1 + u`
@@ -103,7 +127,10 @@ impl Fp2 {
     /// Complex conjugation `c0 - c1·u`, the Frobenius endomorphism on
     /// `Fp2` (because `p ≡ 3 mod 4`).
     pub fn conjugate(&self) -> Self {
-        Self { c0: self.c0, c1: self.c1.neg() }
+        Self {
+            c0: self.c0,
+            c1: self.c1.neg(),
+        }
     }
 
     /// Multiplicative inverse via the norm: `(c0 - c1 u) / (c0² + c1²)`.
@@ -116,29 +143,36 @@ impl Fp2 {
     }
 
     /// Uniformly random element.
-    pub fn random(rng: &mut (impl rand::RngCore + ?Sized)) -> Self {
-        Self { c0: Fp::random(rng), c1: Fp::random(rng) }
+    pub fn random(rng: &mut (impl mccls_rng::RngCore + ?Sized)) -> Self {
+        Self {
+            c0: Fp::random(rng),
+            c1: Fp::random(rng),
+        }
     }
 
     /// Canonical encoding: `c1 || c0`, 96 bytes.
     pub fn to_be_bytes(&self) -> [u8; 96] {
         let mut out = [0u8; 96];
-        out[..48].copy_from_slice(&self.c1.to_be_bytes());
-        out[48..].copy_from_slice(&self.c0.to_be_bytes());
+        let (c1_half, c0_half) = out.split_at_mut(48);
+        c1_half.copy_from_slice(&self.c1.to_be_bytes());
+        c0_half.copy_from_slice(&self.c0.to_be_bytes());
         out
     }
 
     /// Parses the canonical encoding; `None` if either coefficient is
     /// out of range.
     pub fn from_be_bytes(bytes: &[u8; 96]) -> Option<Self> {
+        let (c1_half, c0_half) = bytes.split_at(48);
         let mut c1b = [0u8; 48];
-        c1b.copy_from_slice(&bytes[..48]);
+        c1b.copy_from_slice(c1_half);
         let mut c0b = [0u8; 48];
-        c0b.copy_from_slice(&bytes[48..]);
-        Some(Self {
+        c0b.copy_from_slice(c0_half);
+        let out = Self {
             c0: Fp::from_be_bytes(&c0b)?,
             c1: Fp::from_be_bytes(&c1b)?,
-        })
+        };
+        debug_assert!(out.c0.is_canonical() && out.c1.is_canonical());
+        Some(out)
     }
 
     /// Lexicographic tie-break, extending [`Fp::is_lexicographically_largest`]
@@ -183,8 +217,17 @@ impl Field for Fp2 {
     fn invert(&self) -> Option<Self> {
         self.invert()
     }
-    fn random(rng: &mut (impl rand::RngCore + ?Sized)) -> Self {
+    fn random(rng: &mut (impl mccls_rng::RngCore + ?Sized)) -> Self {
         Self::random(rng)
+    }
+    fn ct_select(a: &Self, b: &Self, choice: crate::ct::Choice) -> Self {
+        Self {
+            c0: Fp::ct_select(&a.c0, &b.c0, choice),
+            c1: Fp::ct_select(&a.c1, &b.c1, choice),
+        }
+    }
+    fn ct_eq(&self, other: &Self) -> crate::ct::Choice {
+        self.c0.ct_eq(&other.c0).and(self.c1.ct_eq(&other.c1))
     }
 }
 
@@ -197,14 +240,20 @@ impl core::fmt::Debug for Fp2 {
 field_operators!(Fp2);
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
-    pub(crate) fn arb_fp2() -> impl Strategy<Value = Fp2> {
-        (any::<[u8; 64]>(), any::<[u8; 64]>()).prop_map(|(a, b)| {
-            Fp2::new(Fp::from_be_bytes_mod(&a), Fp::from_be_bytes_mod(&b))
-        })
+    /// Runs `body` on `n` random elements drawn from a fixed seed.
+    fn for_random_fp2(n: usize, seed: u64, mut body: impl FnMut(Fp2, Fp2, Fp2)) {
+        let mut rng = <mccls_rng::rngs::StdRng as mccls_rng::SeedableRng>::seed_from_u64(seed);
+        for _ in 0..n {
+            body(
+                Fp2::random(&mut rng),
+                Fp2::random(&mut rng),
+                Fp2::random(&mut rng),
+            );
+        }
     }
 
     #[test]
@@ -216,7 +265,7 @@ mod tests {
     #[test]
     fn nonresidue_matches_explicit_mul() {
         let xi = Fp2::new(Fp::one(), Fp::one());
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+        let mut rng = <mccls_rng::rngs::StdRng as mccls_rng::SeedableRng>::seed_from_u64(9);
         for _ in 0..10 {
             let a = Fp2::random(&mut rng);
             assert_eq!(a.mul_by_nonresidue(), a.mul(&xi));
@@ -232,35 +281,35 @@ mod tests {
     #[test]
     fn conjugation_is_frobenius() {
         // conj(a) == a^p must hold for the Frobenius endomorphism.
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(10);
+        let mut rng = <mccls_rng::rngs::StdRng as mccls_rng::SeedableRng>::seed_from_u64(10);
         let a = Fp2::random(&mut rng);
         assert_eq!(a.conjugate(), Field::pow(&a, &Fp::MODULUS));
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn ring_axioms() {
+        for_random_fp2(32, 0xC0, |a, b, c| {
+            assert_eq!(a.mul(&b), b.mul(&a));
+            assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+            assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+            assert_eq!(a.square(), a.mul(&a));
+        });
+    }
 
-        #[test]
-        fn ring_axioms(a in arb_fp2(), b in arb_fp2(), c in arb_fp2()) {
-            prop_assert_eq!(a.mul(&b), b.mul(&a));
-            prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
-            prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
-        }
+    #[test]
+    fn inverse() {
+        for_random_fp2(32, 0xC1, |a, _, _| {
+            if a.is_zero() {
+                return;
+            }
+            assert_eq!(a.mul(&a.invert().unwrap()), Fp2::one());
+        });
+    }
 
-        #[test]
-        fn square_matches_mul(a in arb_fp2()) {
-            prop_assert_eq!(a.square(), a.mul(&a));
-        }
-
-        #[test]
-        fn inverse(a in arb_fp2()) {
-            prop_assume!(!a.is_zero());
-            prop_assert_eq!(a.mul(&a.invert().unwrap()), Fp2::one());
-        }
-
-        #[test]
-        fn bytes_round_trip(a in arb_fp2()) {
-            prop_assert_eq!(Fp2::from_be_bytes(&a.to_be_bytes()), Some(a));
-        }
+    #[test]
+    fn bytes_round_trip() {
+        for_random_fp2(32, 0xC2, |a, _, _| {
+            assert_eq!(Fp2::from_be_bytes(&a.to_be_bytes()), Some(a));
+        });
     }
 }

@@ -22,17 +22,29 @@ impl Fp6 {
 
     /// The zero element.
     pub const fn zero() -> Self {
-        Self { c0: Fp2::zero(), c1: Fp2::zero(), c2: Fp2::zero() }
+        Self {
+            c0: Fp2::zero(),
+            c1: Fp2::zero(),
+            c2: Fp2::zero(),
+        }
     }
 
     /// The one element.
     pub fn one() -> Self {
-        Self { c0: Fp2::one(), c1: Fp2::zero(), c2: Fp2::zero() }
+        Self {
+            c0: Fp2::one(),
+            c1: Fp2::zero(),
+            c2: Fp2::zero(),
+        }
     }
 
     /// Embeds an `Fp2` element.
     pub fn from_fp2(c0: Fp2) -> Self {
-        Self { c0, c1: Fp2::zero(), c2: Fp2::zero() }
+        Self {
+            c0,
+            c1: Fp2::zero(),
+            c2: Fp2::zero(),
+        }
     }
 
     /// True for the additive identity.
@@ -60,12 +72,20 @@ impl Fp6 {
 
     /// Doubling.
     pub fn double(&self) -> Self {
-        Self { c0: self.c0.double(), c1: self.c1.double(), c2: self.c2.double() }
+        Self {
+            c0: self.c0.double(),
+            c1: self.c1.double(),
+            c2: self.c2.double(),
+        }
     }
 
     /// Additive inverse.
     pub fn neg(&self) -> Self {
-        Self { c0: self.c0.neg(), c1: self.c1.neg(), c2: self.c2.neg() }
+        Self {
+            c0: self.c0.neg(),
+            c1: self.c1.neg(),
+            c2: self.c2.neg(),
+        }
     }
 
     /// Schoolbook multiplication with `v³ = ξ` folds.
@@ -76,30 +96,27 @@ impl Fp6 {
         let v1 = a.c1.mul(&b.c1);
         let v2 = a.c2.mul(&b.c2);
         // c0 = v0 + ξ((a1+a2)(b1+b2) - v1 - v2)
-        let c0 = a
-            .c1
-            .add(&a.c2)
-            .mul(&b.c1.add(&b.c2))
-            .sub(&v1)
-            .sub(&v2)
-            .mul_by_nonresidue()
-            .add(&v0);
+        let c0 =
+            a.c1.add(&a.c2)
+                .mul(&b.c1.add(&b.c2))
+                .sub(&v1)
+                .sub(&v2)
+                .mul_by_nonresidue()
+                .add(&v0);
         // c1 = (a0+a1)(b0+b1) - v0 - v1 + ξ v2
-        let c1 = a
-            .c0
-            .add(&a.c1)
-            .mul(&b.c0.add(&b.c1))
-            .sub(&v0)
-            .sub(&v1)
-            .add(&v2.mul_by_nonresidue());
+        let c1 =
+            a.c0.add(&a.c1)
+                .mul(&b.c0.add(&b.c1))
+                .sub(&v0)
+                .sub(&v1)
+                .add(&v2.mul_by_nonresidue());
         // c2 = (a0+a2)(b0+b2) - v0 - v2 + v1
-        let c2 = a
-            .c0
-            .add(&a.c2)
-            .mul(&b.c0.add(&b.c2))
-            .sub(&v0)
-            .sub(&v2)
-            .add(&v1);
+        let c2 =
+            a.c0.add(&a.c2)
+                .mul(&b.c0.add(&b.c2))
+                .sub(&v0)
+                .sub(&v2)
+                .add(&v1);
         Self { c0, c1, c2 }
     }
 
@@ -130,13 +147,24 @@ impl Fp6 {
 
     /// Multiplies by an `Fp2` scalar.
     pub fn mul_by_fp2(&self, k: &Fp2) -> Self {
-        Self { c0: self.c0.mul(k), c1: self.c1.mul(k), c2: self.c2.mul(k) }
+        Self {
+            c0: self.c0.mul(k),
+            c1: self.c1.mul(k),
+            c2: self.c2.mul(k),
+        }
     }
 
     /// Multiplicative inverse (standard cubic-extension formula).
     pub fn invert(&self) -> Option<Self> {
-        let t0 = self.c0.square().sub(&self.c1.mul(&self.c2).mul_by_nonresidue());
-        let t1 = self.c2.square().mul_by_nonresidue().sub(&self.c0.mul(&self.c1));
+        let t0 = self
+            .c0
+            .square()
+            .sub(&self.c1.mul(&self.c2).mul_by_nonresidue());
+        let t1 = self
+            .c2
+            .square()
+            .mul_by_nonresidue()
+            .sub(&self.c0.mul(&self.c1));
         let t2 = self.c1.square().sub(&self.c0.mul(&self.c2));
         let denom = self
             .c0
@@ -151,8 +179,12 @@ impl Fp6 {
     }
 
     /// Uniformly random element.
-    pub fn random(rng: &mut (impl rand::RngCore + ?Sized)) -> Self {
-        Self { c0: Fp2::random(rng), c1: Fp2::random(rng), c2: Fp2::random(rng) }
+    pub fn random(rng: &mut (impl mccls_rng::RngCore + ?Sized)) -> Self {
+        Self {
+            c0: Fp2::random(rng),
+            c1: Fp2::random(rng),
+            c2: Fp2::random(rng),
+        }
     }
 }
 
@@ -187,8 +219,20 @@ impl Field for Fp6 {
     fn invert(&self) -> Option<Self> {
         self.invert()
     }
-    fn random(rng: &mut (impl rand::RngCore + ?Sized)) -> Self {
+    fn random(rng: &mut (impl mccls_rng::RngCore + ?Sized)) -> Self {
         Self::random(rng)
+    }
+    fn ct_select(a: &Self, b: &Self, choice: crate::ct::Choice) -> Self {
+        Self {
+            c0: Field::ct_select(&a.c0, &b.c0, choice),
+            c1: Field::ct_select(&a.c1, &b.c1, choice),
+            c2: Field::ct_select(&a.c2, &b.c2, choice),
+        }
+    }
+    fn ct_eq(&self, other: &Self) -> crate::ct::Choice {
+        Field::ct_eq(&self.c0, &other.c0)
+            .and(Field::ct_eq(&self.c1, &other.c1))
+            .and(Field::ct_eq(&self.c2, &other.c2))
     }
 }
 
@@ -201,17 +245,22 @@ impl core::fmt::Debug for Fp6 {
 field_operators!(Fp6);
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
     use crate::fp::Fp;
-    use proptest::prelude::*;
-    use rand::SeedableRng;
+    use mccls_rng::SeedableRng;
 
-    fn arb_fp6() -> impl Strategy<Value = Fp6> {
-        (any::<u64>()).prop_map(|seed| {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            Fp6::random(&mut rng)
-        })
+    /// Runs `body` on `n` random elements drawn from a fixed seed.
+    fn for_random_fp6(n: usize, seed: u64, mut body: impl FnMut(Fp6, Fp6, Fp6)) {
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..n {
+            body(
+                Fp6::random(&mut rng),
+                Fp6::random(&mut rng),
+                Fp6::random(&mut rng),
+            );
+        }
     }
 
     #[test]
@@ -223,7 +272,7 @@ mod tests {
 
     #[test]
     fn mul_by_v_matches_explicit() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(11);
         let v = Fp6::new(Fp2::zero(), Fp2::one(), Fp2::zero());
         for _ in 0..10 {
             let a = Fp6::random(&mut rng);
@@ -231,25 +280,23 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn ring_axioms() {
+        for_random_fp6(24, 0xD0, |a, b, c| {
+            assert_eq!(a.mul(&b), b.mul(&a));
+            assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+            assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+            assert_eq!(a.square(), a.mul(&a));
+        });
+    }
 
-        #[test]
-        fn ring_axioms(a in arb_fp6(), b in arb_fp6(), c in arb_fp6()) {
-            prop_assert_eq!(a.mul(&b), b.mul(&a));
-            prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
-            prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
-        }
-
-        #[test]
-        fn square_matches_mul(a in arb_fp6()) {
-            prop_assert_eq!(a.square(), a.mul(&a));
-        }
-
-        #[test]
-        fn inverse(a in arb_fp6()) {
-            prop_assume!(!a.is_zero());
-            prop_assert_eq!(a.mul(&a.invert().unwrap()), Fp6::one());
-        }
+    #[test]
+    fn inverse() {
+        for_random_fp6(24, 0xD1, |a, _, _| {
+            if a.is_zero() {
+                return;
+            }
+            assert_eq!(a.mul(&a.invert().unwrap()), Fp6::one());
+        });
     }
 }

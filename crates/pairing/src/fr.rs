@@ -34,9 +34,13 @@ impl Fr {
     ///
     /// The schemes in the paper repeatedly draw secrets from `Z_p^*`; zero
     /// would make keys or signatures degenerate, so it is excluded here.
-    pub fn random_nonzero(rng: &mut (impl rand::RngCore + ?Sized)) -> Self {
+    pub fn random_nonzero(rng: &mut (impl mccls_rng::RngCore + ?Sized)) -> Self {
         loop {
             let v = Self::random(rng);
+            debug_assert!(v.is_canonical());
+            // ct-ok: rejection sampling only reveals whether a fresh
+            // candidate was zero (probability ~2^-255), nothing about
+            // the value that is eventually returned.
             if !v.is_zero() {
                 return v;
             }
@@ -47,18 +51,28 @@ impl Fr {
     /// `H2`-style random oracle onto `Z_p`.
     pub fn hash_from_bytes(msg: &[u8], dst: &[u8]) -> Self {
         let wide = mccls_hash::expand_message(msg, dst, 64);
-        Self::from_be_bytes_mod(&wide)
+        let out = Self::from_be_bytes_mod(&wide);
+        debug_assert!(out.is_canonical());
+        out
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::SeedableRng;
+    use mccls_rng::SeedableRng;
 
-    fn arb_fr() -> impl Strategy<Value = Fr> {
-        any::<[u8; 48]>().prop_map(|bytes| Fr::from_be_bytes_mod(&bytes))
+    /// Runs `body` on `n` random scalars drawn from a fixed seed.
+    fn for_random_fr(n: usize, seed: u64, mut body: impl FnMut(Fr, Fr, Fr)) {
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..n {
+            body(
+                Fr::random(&mut rng),
+                Fr::random(&mut rng),
+                Fr::random(&mut rng),
+            );
+        }
     }
 
     #[test]
@@ -83,7 +97,7 @@ mod tests {
 
     #[test]
     fn random_nonzero_never_zero() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(3);
         for _ in 0..50 {
             assert!(!Fr::random_nonzero(&mut rng).is_zero());
         }
@@ -97,42 +111,74 @@ mod tests {
         assert_ne!(a, Fr::hash_from_bytes(b"n", b"D1"));
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn field_axioms() {
+        for_random_fr(64, 0xB0, |a, b, c| {
+            assert_eq!(a.add(&b), b.add(&a));
+            assert_eq!(a.mul(&b), b.mul(&a));
+            assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+            assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+            assert_eq!(a.sub(&a), Fr::zero());
+        });
+    }
 
-        #[test]
-        fn field_axioms(a in arb_fr(), b in arb_fr(), c in arb_fr()) {
-            prop_assert_eq!(a.add(&b), b.add(&a));
-            prop_assert_eq!(a.mul(&b), b.mul(&a));
-            prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
-            prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
-            prop_assert_eq!(a.sub(&a), Fr::zero());
-        }
+    #[test]
+    fn inverse() {
+        for_random_fr(64, 0xB1, |a, _, _| {
+            if a.is_zero() {
+                return;
+            }
+            assert_eq!(a.mul(&a.invert().unwrap()), Fr::one());
+        });
+    }
 
-        #[test]
-        fn inverse(a in arb_fr()) {
-            prop_assume!(!a.is_zero());
-            prop_assert_eq!(a.mul(&a.invert().unwrap()), Fr::one());
-        }
+    #[test]
+    fn binary_gcd_matches_fermat() {
+        for_random_fr(64, 0xB2, |a, _, _| {
+            assert_eq!(a.invert(), a.invert_fermat());
+        });
+    }
 
-        #[test]
-        fn binary_gcd_matches_fermat(a in arb_fr()) {
-            prop_assert_eq!(a.invert(), a.invert_fermat());
-        }
-
-        #[test]
-        fn pow_addition_law(a in arb_fr(), x in any::<u64>(), y in any::<u64>()) {
+    #[test]
+    fn pow_addition_law() {
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(0xB3);
+        for _ in 0..64 {
             // a^x * a^y == a^(x+y) with x+y < 2^65 represented in 2 limbs.
-            prop_assume!(!a.is_zero());
+            let a = Fr::random_nonzero(&mut rng);
+            let (x, y) = (rng.next_u64(), rng.next_u64());
             let lhs = Field::pow(&a, &[x]).mul(&Field::pow(&a, &[y]));
             let (sum, carry) = x.overflowing_add(y);
             let rhs = Field::pow(&a, &[sum, carry as u64]);
-            prop_assert_eq!(lhs, rhs);
+            assert_eq!(lhs, rhs);
         }
+    }
 
-        #[test]
-        fn bytes_round_trip(a in arb_fr()) {
-            prop_assert_eq!(Fr::from_be_bytes(&a.to_be_bytes()), Some(a));
-        }
+    #[test]
+    fn bytes_round_trip() {
+        for_random_fr(64, 0xB4, |a, _, _| {
+            assert_eq!(Fr::from_be_bytes(&a.to_be_bytes()), Some(a));
+        });
+    }
+
+    #[test]
+    fn ct_helpers_agree_with_plain_ops() {
+        for_random_fr(32, 0xB5, |a, b, _| {
+            assert_eq!(a.ct_eq(&b).leak(), a == b);
+            assert_eq!(Fr::ct_select(&a, &b, crate::ct::Choice::FALSE), a);
+            assert_eq!(Fr::ct_select(&a, &b, crate::ct::Choice::TRUE), b);
+            assert!(a.is_canonical());
+        });
+        assert!(Fr::zero().ct_is_zero().leak());
+    }
+
+    #[test]
+    fn invert_ct_matches_invert_and_maps_zero_to_zero() {
+        for_random_fr(16, 0xB6, |a, _, _| {
+            if a.is_zero() {
+                return;
+            }
+            assert_eq!(Some(a.invert_ct()), a.invert());
+        });
+        assert_eq!(Fr::zero().invert_ct(), Fr::zero());
     }
 }

@@ -23,13 +23,17 @@ const G1_H_EFF: [u64; 1] = [0xd201_0000_0001_0001];
 fn g1_generator() -> &'static (Fp, Fp) {
     static GEN: OnceLock<(Fp, Fp)> = OnceLock::new();
     GEN.get_or_init(|| {
+        #[allow(clippy::expect_used)]
         let x = Fp::from_be_bytes(&hex_to_be_bytes::<48>(
             "17f1d3a73197d7942695638c4fa9ac0fc3688c4f9774b905a14e3a3f171bac586c55e83ff97a1aeffb3af00adb22c6bb",
         ))
+        // lint:allow(panic) compile-time constant, checked by every test
         .expect("generator x is canonical");
+        #[allow(clippy::expect_used)]
         let y = Fp::from_be_bytes(&hex_to_be_bytes::<48>(
             "08b3f481e3aaa0f1a09e30ed741d8ae4fcf5e095d5d00af600db18cb2c04b3edd03cc744a2888ae40caa232946c5e7e1",
         ))
+        // lint:allow(panic) compile-time constant, checked by every test
         .expect("generator y is canonical");
         (x, y)
     })
@@ -90,7 +94,11 @@ impl G1Affine {
         if y.is_lexicographically_largest() != sign {
             y = y.neg();
         }
-        let point = Self { x, y, infinity: false };
+        let point = Self {
+            x,
+            y,
+            infinity: false,
+        };
         point.is_torsion_free().then_some(point)
     }
 }
@@ -119,8 +127,17 @@ pub fn hash_to_g1(msg: &[u8], dst: &[u8]) -> G1Projective {
         let y2 = x.square().mul(&x).add(&G1Params::b());
         if let Some(y) = y2.sqrt() {
             // Normalize the root so the map is deterministic.
-            let y = if y.is_lexicographically_largest() { y.neg() } else { y };
-            let p = G1Affine { x, y, infinity: false }.to_projective();
+            let y = if y.is_lexicographically_largest() {
+                y.neg()
+            } else {
+                y
+            };
+            let p = G1Affine {
+                x,
+                y,
+                infinity: false,
+            }
+            .to_projective();
             let cleared = p.mul_bits(&G1_H_EFF);
             if !cleared.is_identity() {
                 return cleared;
@@ -131,10 +148,11 @@ pub fn hash_to_g1(msg: &[u8], dst: &[u8]) -> G1Projective {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
     use crate::fr::Fr;
-    use rand::SeedableRng;
+    use mccls_rng::SeedableRng;
 
     #[test]
     fn generator_is_on_curve_and_torsion_free() {
@@ -162,7 +180,7 @@ mod tests {
 
     #[test]
     fn scalar_mul_distributes() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(5);
         let g = G1Projective::generator();
         for _ in 0..5 {
             let a = Fr::random(&mut rng);
@@ -171,31 +189,35 @@ mod tests {
                 g.mul_scalar(&a).add(&g.mul_scalar(&b)),
                 g.mul_scalar(&a.add(&b))
             );
-            assert_eq!(
-                g.mul_scalar(&a).mul_scalar(&b),
-                g.mul_scalar(&a.mul(&b))
-            );
+            assert_eq!(g.mul_scalar(&a).mul_scalar(&b), g.mul_scalar(&a.mul(&b)));
         }
     }
 
     #[test]
     fn wnaf_mul_matches_double_and_add() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(55);
         let g = G1Projective::generator();
         for _ in 0..10 {
             let k = Fr::random(&mut rng);
             assert_eq!(g.mul_scalar(&k), g.mul_bits(&k.to_raw()));
         }
         // Edge scalars.
-        for k in [Fr::zero(), Fr::one(), Fr::from_u64(7), Fr::zero().sub(&Fr::one())] {
+        for k in [
+            Fr::zero(),
+            Fr::one(),
+            Fr::from_u64(7),
+            Fr::zero().sub(&Fr::one()),
+        ] {
             assert_eq!(g.mul_scalar(&k), g.mul_bits(&k.to_raw()), "{k:?}");
         }
-        assert!(G1Projective::identity().mul_scalar(&Fr::from_u64(5)).is_identity());
+        assert!(G1Projective::identity()
+            .mul_scalar(&Fr::from_u64(5))
+            .is_identity());
     }
 
     #[test]
     fn affine_round_trip() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(6);
         let p = G1Projective::generator().mul_scalar(&Fr::random(&mut rng));
         let a = p.to_affine();
         assert!(a.is_on_curve());
@@ -204,7 +226,7 @@ mod tests {
 
     #[test]
     fn batch_to_affine_matches_individual() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(7);
         let g = G1Projective::generator();
         let mut points: Vec<G1Projective> = (0..6)
             .map(|_| g.mul_scalar(&Fr::random(&mut rng)))
@@ -218,7 +240,7 @@ mod tests {
 
     #[test]
     fn compression_round_trip() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(8);
         for _ in 0..10 {
             let p = G1Projective::generator()
                 .mul_scalar(&Fr::random(&mut rng))
@@ -254,6 +276,29 @@ mod tests {
             }
         }
         assert!(rejected, "some x must fail to decode");
+    }
+
+    #[test]
+    fn ct_ladder_matches_wnaf() {
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(0xC7);
+        let g = G1Projective::generator();
+        for _ in 0..8 {
+            let k = Fr::random(&mut rng);
+            assert_eq!(g.mul_scalar_ct(&k), g.mul_scalar(&k));
+        }
+        // Edge cases: zero scalar, one, and the identity point.
+        assert!(g.mul_scalar_ct(&Fr::zero()).is_identity());
+        assert_eq!(g.mul_scalar_ct(&Fr::one()), g);
+        let id = G1Projective::identity();
+        assert!(id.mul_scalar_ct(&Fr::from_u64(42)).is_identity());
+    }
+
+    #[test]
+    fn ct_select_picks_points() {
+        let g = G1Projective::generator();
+        let h = g.double();
+        assert_eq!(G1Projective::ct_select(&g, &h, crate::ct::Choice::FALSE), g);
+        assert_eq!(G1Projective::ct_select(&g, &h, crate::ct::Choice::TRUE), h);
     }
 
     #[test]

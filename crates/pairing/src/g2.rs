@@ -20,7 +20,9 @@ pub type G2Affine = AffinePoint<G2Params>;
 /// Jacobian G2 point.
 pub type G2Projective = ProjectivePoint<G2Params>;
 
+#[allow(clippy::expect_used)]
 fn fp_from_hex(s: &str) -> Fp {
+    // lint:allow(panic) compile-time constants only, checked by every test
     Fp::from_be_bytes(&hex_to_be_bytes::<48>(s)).expect("constant is canonical")
 }
 
@@ -100,7 +102,11 @@ impl G2Affine {
         if y.is_lexicographically_largest() != sign {
             y = y.neg();
         }
-        let point = Self { x, y, infinity: false };
+        let point = Self {
+            x,
+            y,
+            infinity: false,
+        };
         (point.is_on_curve() && point.is_torsion_free()).then_some(point)
     }
 }
@@ -124,13 +130,20 @@ pub fn sqrt_fp2(a: &Fp2) -> Option<Fp2> {
     }
     let norm = a.c0.square().add(&a.c1.square());
     let alpha = norm.sqrt()?;
+    #[allow(clippy::expect_used)]
+    // lint:allow(panic) 2 is a unit in Fp (p is an odd prime)
     let two_inv = Fp::from_u64(2).invert().expect("2 != 0");
     // Try both candidate values for x0².
-    for cand in [a.c0.add(&alpha).mul(&two_inv), a.c0.sub(&alpha).mul(&two_inv)] {
+    for cand in [
+        a.c0.add(&alpha).mul(&two_inv),
+        a.c0.sub(&alpha).mul(&two_inv),
+    ] {
         if let Some(x0) = cand.sqrt() {
             if x0.is_zero() {
                 continue;
             }
+            #[allow(clippy::expect_used)]
+            // lint:allow(panic) x0 = 0 is skipped by the guard above
             let x1 = a.c1.mul(&two_inv).mul(&x0.invert().expect("nonzero"));
             let root = Fp2::new(x0, x1);
             if root.square() == *a {
@@ -142,10 +155,11 @@ pub fn sqrt_fp2(a: &Fp2) -> Option<Fp2> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
     use crate::fr::Fr;
-    use rand::SeedableRng;
+    use mccls_rng::SeedableRng;
 
     #[test]
     fn generator_is_on_curve_and_torsion_free() {
@@ -158,28 +172,22 @@ mod tests {
     fn group_laws() {
         let g = G2Projective::generator();
         assert_eq!(g.double(), g.add(&g));
-        assert_eq!(
-            g.double().add(&g),
-            g.mul_scalar(&Fr::from_u64(3))
-        );
+        assert_eq!(g.double().add(&g), g.mul_scalar(&Fr::from_u64(3)));
         assert_eq!(g.add(&g.neg()), G2Projective::identity());
     }
 
     #[test]
     fn scalar_mul_composes() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(12);
         let g = G2Projective::generator();
         let a = Fr::random(&mut rng);
         let b = Fr::random(&mut rng);
-        assert_eq!(
-            g.mul_scalar(&a).mul_scalar(&b),
-            g.mul_scalar(&a.mul(&b))
-        );
+        assert_eq!(g.mul_scalar(&a).mul_scalar(&b), g.mul_scalar(&a.mul(&b)));
     }
 
     #[test]
     fn wnaf_mul_matches_double_and_add() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(56);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(56);
         let g = G2Projective::generator();
         for _ in 0..5 {
             let k = Fr::random(&mut rng);
@@ -190,10 +198,11 @@ mod tests {
 
     #[test]
     fn batch_to_affine_matches_individual() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(57);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(57);
         let g = G2Projective::generator();
-        let points: Vec<G2Projective> =
-            (0..4).map(|_| g.mul_scalar(&Fr::random(&mut rng))).collect();
+        let points: Vec<G2Projective> = (0..4)
+            .map(|_| g.mul_scalar(&Fr::random(&mut rng)))
+            .collect();
         let batch = G2Projective::batch_to_affine(&points);
         for (p, a) in points.iter().zip(&batch) {
             assert_eq!(p.to_affine(), *a);
@@ -202,7 +211,7 @@ mod tests {
 
     #[test]
     fn sqrt_fp2_round_trips() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(13);
         for _ in 0..10 {
             let a = Fp2::random(&mut rng);
             let sq = a.square();
@@ -224,7 +233,7 @@ mod tests {
 
     #[test]
     fn compression_round_trip() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(14);
         for _ in 0..5 {
             let p = G2Projective::generator()
                 .mul_scalar(&Fr::random(&mut rng))

@@ -19,9 +19,9 @@
 //!
 //! ```
 //! use mccls_pairing::{pairing, Fr, G1Projective, G2Projective};
-//! use rand::SeedableRng;
+//! use mccls_rng::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(1);
 //! let a = Fr::random(&mut rng);
 //! let b = Fr::random(&mut rng);
 //! let p = G1Projective::generator() * a;
@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod arith;
+pub mod ct;
 mod curve;
 mod field;
 mod fp;

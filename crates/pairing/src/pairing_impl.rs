@@ -130,10 +130,12 @@ fn miller_loop(p: &G1Affine, q: &G2Affine) -> Fp12 {
     for i in (0..63).rev() {
         f = f.square();
         // Doubling step: λ = 3x² / 2y.
+        #[allow(clippy::expect_used)]
         let lambda = t
             .x
             .square()
             .mul(&Fp2::new(Fp::from_u64(3), Fp::zero()))
+            // lint:allow(panic) y = 0 only on 2-torsion; inputs have odd order r
             .mul(&t.y.double().invert().expect("2y != 0 on odd-order points"));
         f = line_eval(&f, &t.x, &t.y, &lambda, &p.x, &p.y);
         let x3 = lambda.square().sub(&t.x.double());
@@ -141,9 +143,11 @@ fn miller_loop(p: &G1Affine, q: &G2Affine) -> Fp12 {
         t = G2Point { x: x3, y: y3 };
         if (BLS_X >> i) & 1 == 1 {
             // Addition step: λ = (y_Q - y_T) / (x_Q - x_T).
+            #[allow(clippy::expect_used)]
             let lambda = q_pt
                 .y
                 .sub(&t.y)
+                // lint:allow(panic) T = ±Q mid-loop would need x = |u|
                 .mul(&q_pt.x.sub(&t.x).invert().expect("T != ±Q mid-loop"));
             f = line_eval(&f, &t.x, &t.y, &lambda, &p.x, &p.y);
             let x3 = lambda.square().sub(&t.x).sub(&q_pt.x);
@@ -158,6 +162,7 @@ fn miller_loop(p: &G1Affine, q: &G2Affine) -> Fp12 {
 
 /// Base-p digits of the hard exponent `(p⁴ - p² + 1)/r`, least
 /// significant first, cached after the first computation.
+#[allow(clippy::expect_used)] // the digit count is asserted right above
 fn hard_exponent_digits() -> &'static [Vec<u64>; 4] {
     static DIGITS: OnceLock<[Vec<u64>; 4]> = OnceLock::new();
     DIGITS.get_or_init(|| {
@@ -176,6 +181,7 @@ fn hard_exponent_digits() -> &'static [Vec<u64>; 4] {
             cur = q;
         }
         assert!(cur.is_zero(), "hard exponent must have 4 base-p digits");
+        // lint:allow(panic) the loop above pushes exactly 4 digits
         digits.try_into().expect("exactly 4 digits")
     })
 }
@@ -201,6 +207,7 @@ pub fn final_exponentiation(f: &Fp12) -> Gt {
     let mut table = [Fp12::one(); 16];
     for mask in 1usize..16 {
         let lsb = mask.trailing_zeros() as usize;
+        // lint:allow(panic) mask & (mask - 1) < mask < 16 = table.len()
         table[mask] = table[mask & (mask - 1)].mul(&bases[lsb]);
     }
 
@@ -276,12 +283,13 @@ impl AffinePoint<G2Params> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
     use crate::curve::ProjectivePoint;
     use crate::g1::G1Projective;
     use crate::g2::G2Projective;
-    use rand::SeedableRng;
+    use mccls_rng::SeedableRng;
 
     fn gen_pairing() -> Gt {
         pairing(&G1Affine::generator(), &G2Affine::generator())
@@ -298,7 +306,7 @@ mod tests {
 
     #[test]
     fn pairing_is_bilinear_left() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(30);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(30);
         let a = Fr::random(&mut rng);
         let pa = (G1Projective::generator() * a).to_affine();
         let q = G2Affine::generator();
@@ -307,7 +315,7 @@ mod tests {
 
     #[test]
     fn pairing_is_bilinear_right() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(31);
         let b = Fr::random(&mut rng);
         let qb = (G2Projective::generator() * b).to_affine();
         let p = G1Affine::generator();
@@ -316,7 +324,7 @@ mod tests {
 
     #[test]
     fn pairing_is_bilinear_both() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(32);
         let a = Fr::random(&mut rng);
         let b = Fr::random(&mut rng);
         let pa = (G1Projective::generator() * a).to_affine();
@@ -326,7 +334,7 @@ mod tests {
 
     #[test]
     fn pairing_additivity_in_g1() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(33);
         let a = Fr::random(&mut rng);
         let b = Fr::random(&mut rng);
         let g = G1Projective::generator();
@@ -355,7 +363,7 @@ mod tests {
     #[test]
     fn pairing_product_checks_dh_tuples() {
         // e(aG, bH) * e(-abG, H) == 1.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(34);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(34);
         let a = Fr::random(&mut rng);
         let b = Fr::random(&mut rng);
         let g = G1Projective::generator();
@@ -406,7 +414,7 @@ mod tests {
     #[test]
     fn final_exponentiation_output_has_order_r() {
         // For random f, final_exponentiation(f)^r must be the identity.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(35);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(35);
         let f = Fp12::random(&mut rng);
         let e = final_exponentiation(&f);
         let r_minus_1 = Fr::zero().sub(&Fr::one());
@@ -415,7 +423,7 @@ mod tests {
 
     #[test]
     fn gt_pow_matches_generic_field_pow() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(37);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(37);
         let e = gen_pairing();
         for _ in 0..3 {
             let k = Fr::random(&mut rng);
@@ -427,7 +435,7 @@ mod tests {
 
     #[test]
     fn gt_pow_respects_scalar_arithmetic() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(36);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(36);
         let e = gen_pairing();
         let a = Fr::random(&mut rng);
         let b = Fr::random(&mut rng);
@@ -440,7 +448,7 @@ mod tests {
         let e = gen_pairing();
         assert_eq!(e.to_bytes().len(), 576);
         assert_eq!(e.to_bytes(), e.to_bytes());
-        let mut rng = rand::rngs::StdRng::seed_from_u64(38);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(38);
         let other = e.pow(&Fr::random(&mut rng));
         assert_ne!(e.to_bytes(), other.to_bytes());
         assert_eq!(Gt::identity().to_bytes()[..48], Fp::one().to_be_bytes());

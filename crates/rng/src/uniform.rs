@@ -1,0 +1,109 @@
+//! Uniform range sampling for the types the workspace draws.
+
+use crate::RngCore;
+
+/// Converts a raw word into a double in `[0, 1)` using the top 53 bits.
+#[inline]
+pub(crate) fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+///
+/// Integer sampling uses Lemire's multiply-shift reduction with a
+/// rejection step, so integer draws are exactly uniform. Float sampling
+/// maps the top 53 bits onto `[low, high)`.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Samples uniformly from `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty (`low >= high`).
+    fn sample_range(rng: &mut (impl RngCore + ?Sized), low: Self, high: Self) -> Self;
+}
+
+/// Draws a uniform value below `bound` (exclusive) without modulo bias:
+/// Lemire, "Fast random integer generation in an interval" (TOMS 2019).
+fn uniform_below(rng: &mut (impl RngCore + ?Sized), bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let mut m = (rng.next_u64() as u128).wrapping_mul(bound as u128);
+    let mut lo = m as u64;
+    if lo < bound {
+        let threshold = bound.wrapping_neg() % bound;
+        while lo < threshold {
+            m = (rng.next_u64() as u128).wrapping_mul(bound as u128);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(
+                rng: &mut (impl RngCore + ?Sized),
+                low: Self,
+                high: Self,
+            ) -> Self {
+                assert!(low < high, "cannot sample from empty range");
+                let span = (high as u64) - (low as u64);
+                low + (uniform_below(rng, span) as Self)
+            }
+        }
+    )*};
+}
+
+sample_uniform_int!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample_range(rng: &mut (impl RngCore + ?Sized), low: Self, high: Self) -> Self {
+        assert!(low < high, "cannot sample from empty range");
+        let sampled = low + (high - low) * unit_f64(rng.next_u64());
+        // Floating-point rounding can land exactly on `high`; clamp back
+        // inside the half-open interval.
+        if sampled >= high {
+            high - (high - low) * f64::EPSILON
+        } else {
+            sampled
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range(rng: &mut (impl RngCore + ?Sized), low: Self, high: Self) -> Self {
+        assert!(low < high, "cannot sample from empty range");
+        let sampled = f64::sample_range(rng, low as f64, high as f64) as f32;
+        if sampled >= high {
+            low
+        } else {
+            sampled
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+mod tests {
+    use super::*;
+    use crate::SeedableRng;
+
+    #[test]
+    fn uniform_below_is_unbiased_over_small_bound() {
+        let mut rng = crate::rngs::StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[uniform_below(&mut rng, 3) as usize] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn unit_f64_spans_the_unit_interval() {
+        assert_eq!(unit_f64(0), 0.0);
+        let max = unit_f64(u64::MAX);
+        assert!(max < 1.0 && max > 0.999_999);
+    }
+}

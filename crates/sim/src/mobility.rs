@@ -2,7 +2,7 @@
 //! uses: nodes in a rectangle repeatedly pick a uniform destination and
 //! speed, travel there in a straight line, pause, repeat).
 
-use rand::Rng;
+use mccls_rng::Rng;
 
 use crate::time::{SimDuration, SimTime};
 
@@ -45,7 +45,10 @@ impl Area {
 
     /// Uniformly random point inside the area.
     pub fn random_point(&self, rng: &mut impl Rng) -> Position {
-        Position { x: rng.gen_range(0.0..self.width), y: rng.gen_range(0.0..self.height) }
+        Position {
+            x: rng.gen_range(0.0..self.width),
+            y: rng.gen_range(0.0..self.height),
+        }
     }
 
     /// True when `p` lies inside (inclusive of the border).
@@ -72,17 +75,33 @@ impl WaypointConfig {
     /// minimum speed 10% of the maximum (floored at 0.1 m/s).
     pub fn paper(max_speed: f64) -> Self {
         assert!(max_speed >= 0.0 && max_speed.is_finite(), "invalid speed");
-        let min_speed = if max_speed == 0.0 { 0.0 } else { (0.1 * max_speed).max(0.1) };
-        Self { max_speed, min_speed, pause: SimDuration::ZERO }
+        let min_speed = if max_speed == 0.0 {
+            0.0
+        } else {
+            (0.1 * max_speed).max(0.1)
+        };
+        Self {
+            max_speed,
+            min_speed,
+            pause: SimDuration::ZERO,
+        }
     }
 }
 
 #[derive(Debug, Clone, Copy)]
 enum Leg {
     /// Standing still (pausing, or `max_speed == 0`) since/at `at`.
-    Idle { at: Position, until: Option<SimTime> },
+    Idle {
+        at: Position,
+        until: Option<SimTime>,
+    },
     /// Moving from `from` (at `start`) towards `to` at `speed` m/s.
-    Moving { from: Position, to: Position, start: SimTime, speed: f64 },
+    Moving {
+        from: Position,
+        to: Position,
+        start: SimTime,
+        speed: f64,
+    },
 }
 
 /// The mobility state of one node.
@@ -94,9 +113,9 @@ enum Leg {
 ///
 /// ```
 /// use mccls_sim::{Area, RandomWaypoint, SimTime, WaypointConfig};
-/// use rand::SeedableRng;
+/// use mccls_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(1);
 /// let area = Area::new(1500.0, 300.0);
 /// let mut node = RandomWaypoint::new(area, WaypointConfig::paper(10.0), &mut rng);
 /// let p = node.position_at(SimTime::from_secs(30), &mut rng);
@@ -119,7 +138,10 @@ impl RandomWaypoint {
         let mut node = Self {
             area,
             config,
-            leg: Leg::Idle { at: start, until: Some(SimTime::ZERO) },
+            leg: Leg::Idle {
+                at: start,
+                until: Some(SimTime::ZERO),
+            },
             horizon: SimTime::ZERO,
         };
         node.advance_to(SimTime::ZERO, rng);
@@ -137,7 +159,12 @@ impl RandomWaypoint {
         self.advance_to(t, rng);
         match self.leg {
             Leg::Idle { at, .. } => at,
-            Leg::Moving { from, to, start, speed } => {
+            Leg::Moving {
+                from,
+                to,
+                start,
+                speed,
+            } => {
                 let elapsed = (t - start).as_secs_f64();
                 let total = from.distance(&to);
                 let travelled = (speed * elapsed).min(total);
@@ -155,7 +182,10 @@ impl RandomWaypoint {
         loop {
             match self.leg {
                 Leg::Idle { until: None, .. } => return, // parked forever
-                Leg::Idle { at, until: Some(until) } => {
+                Leg::Idle {
+                    at,
+                    until: Some(until),
+                } => {
                     if until > t {
                         return;
                     }
@@ -169,16 +199,29 @@ impl RandomWaypoint {
                     } else {
                         rng.gen_range(self.config.min_speed..self.config.max_speed)
                     };
-                    self.leg = Leg::Moving { from: at, to, start: until, speed };
+                    self.leg = Leg::Moving {
+                        from: at,
+                        to,
+                        start: until,
+                        speed,
+                    };
                 }
-                Leg::Moving { from, to, start, speed } => {
+                Leg::Moving {
+                    from,
+                    to,
+                    start,
+                    speed,
+                } => {
                     let total = from.distance(&to);
                     let arrival = start
                         + SimDuration::from_secs_f64(if speed > 0.0 { total / speed } else { 0.0 });
                     if arrival > t {
                         return;
                     }
-                    self.leg = Leg::Idle { at: to, until: Some(arrival + self.config.pause) };
+                    self.leg = Leg::Idle {
+                        at: to,
+                        until: Some(arrival + self.config.pause),
+                    };
                 }
             }
         }
@@ -186,12 +229,13 @@ impl RandomWaypoint {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use mccls_rng::SeedableRng;
 
-    fn rng(seed: u64) -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(seed)
+    fn rng(seed: u64) -> mccls_rng::rngs::StdRng {
+        mccls_rng::rngs::StdRng::seed_from_u64(seed)
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! the first-copy-wins race that jitter creates (the lever the rushing
 //! attack pulls).
 
-use rand::Rng;
+use mccls_rng::Rng;
 
 use crate::mobility::Position;
 use crate::time::SimDuration;
@@ -74,9 +74,10 @@ impl RadioConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use mccls_rng::SeedableRng;
 
     #[test]
     fn range_check() {
@@ -100,7 +101,7 @@ mod tests {
     #[test]
     fn jitter_is_bounded() {
         let cfg = RadioConfig::default();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(1);
         for _ in 0..100 {
             let j = cfg.sample_jitter(&mut rng);
             assert!(j < cfg.max_jitter);
@@ -109,22 +110,28 @@ mod tests {
 
     #[test]
     fn zero_jitter_config() {
-        let cfg = RadioConfig { max_jitter: SimDuration::ZERO, ..Default::default() };
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let cfg = RadioConfig {
+            max_jitter: SimDuration::ZERO,
+            ..Default::default()
+        };
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(2);
         assert_eq!(cfg.sample_jitter(&mut rng), SimDuration::ZERO);
     }
 
     #[test]
     fn loss_rate_zero_never_loses() {
         let cfg = RadioConfig::default();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(3);
         assert!((0..1000).all(|_| !cfg.frame_lost(&mut rng)));
     }
 
     #[test]
     fn loss_rate_one_always_loses() {
-        let cfg = RadioConfig { loss_rate: 1.0, ..Default::default() };
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let cfg = RadioConfig {
+            loss_rate: 1.0,
+            ..Default::default()
+        };
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(4);
         assert!((0..100).all(|_| cfg.frame_lost(&mut rng)));
     }
 

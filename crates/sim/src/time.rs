@@ -45,6 +45,7 @@ impl SimTime {
     /// # Panics
     ///
     /// Panics if `earlier` is later than `self`.
+    #[allow(clippy::expect_used)] // the panic is this method's documented contract
     pub fn duration_since(&self, earlier: SimTime) -> SimDuration {
         SimDuration(
             self.0
@@ -151,6 +152,7 @@ impl core::fmt::Display for SimDuration {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
 
@@ -158,7 +160,10 @@ mod tests {
     fn arithmetic() {
         let t = SimTime::from_secs(2) + SimDuration::from_millis(500);
         assert_eq!(t.as_nanos(), 2_500_000_000);
-        assert_eq!(t.duration_since(SimTime::from_secs(1)).as_nanos(), 1_500_000_000);
+        assert_eq!(
+            t.duration_since(SimTime::from_secs(1)).as_nanos(),
+            1_500_000_000
+        );
         assert_eq!((t - SimTime::from_secs(2)).as_nanos(), 500_000_000);
     }
 
@@ -166,7 +171,10 @@ mod tests {
     fn conversions() {
         assert_eq!(SimDuration::from_secs_f64(0.25).as_nanos(), 250_000_000);
         assert!((SimDuration::from_micros(1500).as_secs_f64() - 0.0015).abs() < 1e-12);
-        assert_eq!(SimDuration::from_millis(2).saturating_mul(3).as_nanos(), 6_000_000);
+        assert_eq!(
+            SimDuration::from_millis(2).saturating_mul(3).as_nanos(),
+            6_000_000
+        );
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Seeded violations for the constant-time lint. NOT compiled — parsed
+//! as text by `ct_lint` unit tests. Lines marked CLEAN must never be
+//! flagged.
+
+fn direct_branch_on_rng_draw(rng: &mut Rng) -> Fr {
+    let x = Fr::random(rng);
+    if x.is_zero() {
+        // finding is reported on the `if` line above
+        return Fr::one();
+    }
+    x
+}
+
+fn propagated_taint(keys: &KeyPair, point: &G1) -> G1 {
+    let inv = keys.secret.invert_ct();
+    let derived = point.mul_scalar(&inv);
+    while derived.is_identity() {
+        // finding on the `while` line: `derived` carries the secret
+        break;
+    }
+    derived
+}
+
+fn variable_time_inverse(keys: &KeyPair) -> Fr {
+    let x = keys.secret;
+    x.invert() // finding: variable-time invert on a secret
+}
+
+fn bare_marker(rng: &mut Rng) -> bool {
+    let n = rng.next_u64();
+    // ct-ok:
+    n > 7 && n < 100 // finding: marker without a reason
+}
+
+fn public_control_flow(msg: &[u8]) -> bool {
+    let digest = hash(msg); // CLEAN: hashes of public data are public
+    if digest.is_empty() {
+        return false; // CLEAN
+    }
+    digest.len() > 16 && msg.len() > 4 // CLEAN
+}
+
+fn justified(rng: &mut Rng) -> Fr {
+    let candidate = Fr::random(rng);
+    // ct-ok: rejection sampling reveals only that a discarded candidate
+    // was zero, which happens with probability ~2^-255
+    if candidate.is_zero() {
+        return Fr::one(); // CLEAN: governed by the justified branch
+    }
+    candidate
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_branch_on_secrets() {
+        let x = keys.secret;
+        if x.is_zero() {
+            panic!("CLEAN: test code is exempt");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Seeded violations for the panic lint. NOT compiled — parsed as text
+//! by `panic_lint` unit tests. Lines marked CLEAN must never be flagged.
+
+fn violations(v: &[u8], opt: Option<u8>) -> u8 {
+    let a = opt.unwrap(); // finding: unwrap
+    let b = opt.expect("present"); // finding: expect
+    if v.is_empty() {
+        panic!("empty input"); // finding: panic!
+    }
+    match a {
+        0 => unreachable!(), // finding: unreachable!
+        _ => {}
+    }
+    let head = &v[..4]; // finding: range indexing
+    let x = v[usize::from(a) + 1]; // finding: computed index
+    // lint:allow(panic)
+    let y = v[usize::from(b) * 2]; // finding: bare marker, no reason
+    x ^ y ^ head[0]
+}
+
+fn tolerated(v: &[u8], i: usize) -> u8 {
+    let a = v[i]; // CLEAN single-token index
+    let b = v[0]; // CLEAN literal index
+    // lint:allow(panic) caller guarantees at least one element
+    let c = v[i + 1]; // CLEAN justified suppression
+    let d = v.first().copied().unwrap_or(0); // CLEAN unwrap_or is fine
+    a ^ b ^ c ^ d
+}
+
+/// Docs may say `.unwrap()` or even panic! without tripping. // CLEAN
+fn strings_and_docs() -> &'static str {
+    "call .unwrap() then panic!(now)" // CLEAN string literal
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Vec<u8> = vec![];
+        v[10..20].to_vec(); // CLEAN test code is exempt
+        panic!("fine in tests"); // CLEAN
+    }
+}

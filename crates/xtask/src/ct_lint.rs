@@ -1,0 +1,341 @@
+//! The constant-time discipline lint.
+//!
+//! McCLS's selling point is a cheap signing path on exposed mobile
+//! nodes, which makes timing leaks part of the threat model. This lint
+//! flags data-dependent control flow on secret values in the scheme and
+//! curve crates.
+//!
+//! It runs a deliberately small, function-local taint pass:
+//!
+//! 1. **Seed**: an initializer that touches key material or an RNG draw
+//!    (`.secret`, `.master`, `master_secret`, `random_nonzero(..)`,
+//!    `Fr::random(..)`, `.invert_ct(..)`, `.next_u64()`/`.next_u32()`)
+//!    marks its `let` binding as secret-carrying.
+//! 2. **Propagate**: any `let` whose initializer mentions a tainted
+//!    name is tainted too, to a fixed point, within the same function
+//!    body — taint never crosses function boundaries, so a `b` that is
+//!    secret in one function does not condemn every other `b` in the
+//!    file.
+//! 3. **Flag**: a non-test line containing `if`/`while`/`match`, `&&`,
+//!    or `||` together with a tainted name (or a direct `.secret` /
+//!    `.master` access) is a finding, as is a call to the
+//!    variable-time `invert()` on a tainted name.
+//!
+//! Function parameters are *not* taint sources — the lint tracks where
+//! secrets are born, not every value they might flow into across calls.
+//! That keeps the signal high; the generic curve ladder is instead
+//! covered by the runtime `mul_scalar_ct`/`ct_select` API this lint
+//! pushes callers toward.
+//!
+//! A reviewed site is suppressed with `// ct-ok: <reason>`; the reason
+//! is mandatory, and a bare marker is itself reported.
+
+use crate::lexer::{self, contains_word, is_ident_char};
+use crate::{suppression_near, Finding, Suppression};
+
+/// The suppression marker for this lint.
+pub const ALLOW_MARKER: &str = "ct-ok:";
+
+/// Initializer fragments that mark a binding as secret-carrying.
+const TAINT_SOURCES: &[&str] = &[
+    ".secret",
+    ".master",
+    "master_secret",
+    "random_nonzero(",
+    "::random(",
+    ".invert_ct(",
+    ".next_u64(",
+    ".next_u32(",
+];
+
+/// Scans one file's source; `file` is the label used in findings.
+///
+/// The taint pass is **function-scoped**: each `fn` body is analysed in
+/// isolation, so a `b` tainted in one function does not condemn every
+/// other `b` in the file. Bodies inside test spans are skipped outright
+/// (tests branch on random draws constantly, by design).
+pub fn scan(file: &str, src: &str) -> Vec<Finding> {
+    let scrubbed = lexer::scrub(src);
+    let spans = lexer::test_spans(&scrubbed);
+    let raw_lines: Vec<&str> = src.lines().collect();
+
+    let mut findings = Vec::new();
+    for body in fn_bodies(&scrubbed) {
+        if lexer::in_spans(body.start_line, &spans) {
+            continue;
+        }
+        let bindings = let_bindings(&body.text);
+        let tainted = taint_fixpoint(&bindings);
+        if tainted.is_empty() {
+            continue;
+        }
+        for (off, line) in body.text.lines().enumerate() {
+            let lineno = body.start_line + off;
+            if lexer::in_spans(lineno, &spans) {
+                continue;
+            }
+            for message in line_violations(line, &tainted) {
+                match suppression_near(&raw_lines, lineno, ALLOW_MARKER) {
+                    Suppression::Justified => {}
+                    Suppression::MissingReason => findings.push(Finding {
+                        file: file.to_owned(),
+                        line: lineno,
+                        lint: "ct",
+                        message: format!("{message} (ct-ok present but gives no reason)"),
+                    }),
+                    Suppression::None => findings.push(Finding {
+                        file: file.to_owned(),
+                        line: lineno,
+                        lint: "ct",
+                        message,
+                    }),
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// One `fn` body: the 1-based line its `{` opens on, plus its text
+/// (from the opening brace through the matching close).
+struct FnBody {
+    start_line: usize,
+    text: String,
+}
+
+/// Extracts every top-level-or-method `fn` body. A `fn` nested inside a
+/// body already collected is analysed as part of that outer body, like
+/// a closure would be.
+fn fn_bodies(scrubbed: &str) -> Vec<FnBody> {
+    let chars: Vec<char> = scrubbed.chars().collect();
+    let mut out = Vec::new();
+    let mut last_close = 0usize;
+    let mut i = 0;
+    while i < chars.len() {
+        if !starts_word_at(&chars, i, "fn") {
+            i += 1;
+            continue;
+        }
+        if i < last_close {
+            // Nested fn inside a body we already captured.
+            i += 2;
+            continue;
+        }
+        // Find the body's `{`; a `;` first means a bodyless trait decl.
+        let mut j = i + 2;
+        while j < chars.len() && chars[j] != '{' && chars[j] != ';' {
+            j += 1;
+        }
+        if j >= chars.len() || chars[j] == ';' {
+            i = j + 1;
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut close = j;
+        for (k, &c) in chars.iter().enumerate().skip(j) {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        out.push(FnBody {
+            start_line: lexer::line_of(scrubbed, j),
+            text: chars[j..=close.min(chars.len() - 1)].iter().collect(),
+        });
+        last_close = close;
+        i = j + 1;
+    }
+    out
+}
+
+/// Violation messages for a single scrubbed line.
+fn line_violations(line: &str, tainted: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let branchy = contains_word(line, "if")
+        || contains_word(line, "while")
+        || contains_word(line, "match")
+        || line.contains("&&")
+        || line.contains("||");
+    if branchy {
+        if let Some(name) = tainted.iter().find(|name| contains_word(line, name)) {
+            out.push(format!("branch conditioned on secret-carrying `{name}`"));
+        } else if line.contains(".secret") || line.contains(".master") {
+            out.push("branch conditioned on a key-material field access".to_owned());
+        }
+    }
+    for name in tainted {
+        if line.contains(&format!("{name}.invert()")) {
+            out.push(format!(
+                "variable-time `invert()` on secret-carrying `{name}` (use `invert_ct()`)"
+            ));
+        }
+    }
+    out
+}
+
+/// `let` bindings as `(name, initializer)` pairs, textually extracted.
+/// Pattern bindings (`let Some(x)`, `let (a, b)`) are skipped: the lint
+/// only tracks plain named bindings, which is what the scheme code uses
+/// for secrets.
+fn let_bindings(scrubbed: &str) -> Vec<(String, String)> {
+    let chars: Vec<char> = scrubbed.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if !starts_word_at(&chars, i, "let") {
+            i += 1;
+            continue;
+        }
+        i += 3;
+        i = skip_ws(&chars, i);
+        if starts_word_at(&chars, i, "mut") {
+            i += 3;
+            i = skip_ws(&chars, i);
+        }
+        let start = i;
+        while i < chars.len() && is_ident_char(chars[i]) {
+            i += 1;
+        }
+        let name: String = chars[start..i].iter().collect();
+        let lowercase_start = name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_lowercase() || c == '_');
+        // Initializer: everything up to the statement's semicolon.
+        let init_start = i;
+        while i < chars.len() && chars[i] != ';' {
+            i += 1;
+        }
+        if !name.is_empty() && name != "_" && lowercase_start {
+            let init: String = chars[init_start..i].iter().collect();
+            if init.trim_start().starts_with([':', '=']) {
+                out.push((name, init));
+            }
+        }
+    }
+    out
+}
+
+/// Expands the taint set until stable: seeded by [`TAINT_SOURCES`],
+/// propagated through initializers that mention tainted names.
+fn taint_fixpoint(bindings: &[(String, String)]) -> Vec<String> {
+    let mut tainted: Vec<String> = Vec::new();
+    loop {
+        let mut changed = false;
+        for (name, init) in bindings {
+            if tainted.contains(name) {
+                continue;
+            }
+            let from_source = TAINT_SOURCES.iter().any(|s| init.contains(s));
+            let from_taint = tainted.iter().any(|t| contains_word(init, t));
+            if from_source || from_taint {
+                tainted.push(name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            return tainted;
+        }
+    }
+}
+
+fn starts_word_at(chars: &[char], i: usize, word: &str) -> bool {
+    let pat: Vec<char> = word.chars().collect();
+    i + pat.len() <= chars.len()
+        && chars[i..i + pat.len()] == pat[..]
+        && (i == 0 || !is_ident_char(chars[i - 1]))
+        && chars.get(i + pat.len()).is_none_or(|c| !is_ident_char(*c))
+}
+
+fn skip_ws(chars: &[char], mut i: usize) -> usize {
+    while i < chars.len() && chars[i].is_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+mod tests {
+    use super::*;
+
+    const FIXTURE: &str = include_str!("../fixtures/ct_cases.rs");
+
+    #[test]
+    fn fixture_violations_are_found() {
+        let findings = scan("fixtures/ct_cases.rs", FIXTURE);
+        let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+        assert!(
+            msgs.iter().any(|m| m.contains("secret-carrying `x`")),
+            "direct branch on rng draw: {msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("secret-carrying `derived`")),
+            "propagated taint: {msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("variable-time `invert()`")),
+            "invert on secret: {msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("gives no reason")),
+            "bare ct-ok must be reported: {msgs:?}"
+        );
+    }
+
+    #[test]
+    fn fixture_clean_lines_stay_clean() {
+        for f in scan("fixtures/ct_cases.rs", FIXTURE) {
+            let line = FIXTURE.lines().nth(f.line - 1).unwrap_or("");
+            assert!(
+                !line.contains("CLEAN"),
+                "line {} marked CLEAN was flagged: {}",
+                f.line,
+                f.message
+            );
+        }
+    }
+
+    #[test]
+    fn justified_ct_ok_suppresses() {
+        let src = "fn f(rng: &mut R) {\n    let x = Fr::random(rng);\n    // ct-ok: rejection sampling leaks only candidate-was-zero\n    if x.is_zero() { retry(); }\n}\n";
+        assert!(scan("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn taint_propagates_through_lets() {
+        let src = "fn f(k: &Keys) {\n    let a = k.secret.invert_ct();\n    let b = mul(&a);\n    if b.is_identity() { bail(); }\n}\n";
+        let findings = scan("x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("`b`"));
+    }
+
+    #[test]
+    fn parameters_are_not_sources() {
+        let src = "fn f(secret_ish: u64) {\n    if secret_ish > 0 { g(); }\n}\n";
+        assert!(scan("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn taint_is_function_scoped() {
+        // `y` is secret in `f` but a perfectly public coordinate in `g`;
+        // only the branch inside `f` may fire.
+        let src = "fn f(rng: &mut R) {\n    let y = Fr::random(rng);\n    if y.is_zero() { retry(); }\n}\n\nfn g(p: &Point) {\n    let y = p.y;\n    if y.is_zero() { infinity(); }\n}\n";
+        let findings = scan("x.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(k: &Keys) {\n        let x = k.secret;\n        if x.is_zero() { panic!(); }\n    }\n}\n";
+        assert!(scan("x.rs", src).is_empty());
+    }
+}

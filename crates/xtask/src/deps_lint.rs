@@ -1,0 +1,186 @@
+//! The dependency-audit lint.
+//!
+//! This workspace builds on air-gapped machines by policy: every
+//! dependency must resolve inside the repository, either as
+//! `path = "..."` or `workspace = true` (which bottoms out in a path).
+//! Anything else — a registry version, a git URL — would reintroduce a
+//! network dependency, so it fails the gate unless the name is on the
+//! explicit allowlist below.
+//!
+//! The scanner is a minimal section-aware pass over each `Cargo.toml`:
+//! it tracks the current `[section]` header and audits `name = spec`
+//! entries in any `*dependencies*` section, plus `[dependencies.name]`
+//! sub-tables.
+
+use std::path::Path;
+
+use crate::Finding;
+
+/// External crates permitted despite not being path dependencies.
+/// Empty on purpose — growing this list is a reviewed decision, not a
+/// habit.
+pub const ALLOWED_EXTERNAL: &[&str] = &[];
+
+/// Scans the workspace rooted at `root`.
+pub fn scan(root: &Path) -> Vec<Finding> {
+    let mut tomls = vec![(root.join("Cargo.toml"), "Cargo.toml".to_owned())];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for dir in dirs {
+            let toml = dir.join("Cargo.toml");
+            if toml.is_file() {
+                let label = format!(
+                    "crates/{}/Cargo.toml",
+                    dir.file_name().unwrap_or_default().to_string_lossy()
+                );
+                tomls.push((toml, label));
+            }
+        }
+    }
+    let mut findings = Vec::new();
+    for (path, label) in tomls {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            findings.extend(scan_toml(&label, &text));
+        }
+    }
+    findings
+}
+
+/// Audits a single manifest; `file` is the label used in findings.
+pub fn scan_toml(file: &str, toml: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut section = String::new();
+    // Sub-table state: Some((dep name, header line, saw in-repo spec)).
+    let mut subtable: Option<(String, usize, bool)> = None;
+
+    let close_subtable = |sub: &mut Option<(String, usize, bool)>, out: &mut Vec<Finding>| {
+        if let Some((name, line, ok)) = sub.take() {
+            if !ok && !ALLOWED_EXTERNAL.contains(&name.as_str()) {
+                out.push(external_dep(file, line, &name));
+            }
+        }
+    };
+
+    for (idx, raw_line) in toml.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_toml_comment(raw_line).trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            close_subtable(&mut subtable, &mut findings);
+            section = line.trim_matches(['[', ']']).to_owned();
+            if let Some(dep) = dep_subtable_name(&section) {
+                subtable = Some((dep, lineno, false));
+            }
+            continue;
+        }
+        if let Some((_, _, ok)) = subtable.as_mut() {
+            if line.contains("path") || line.contains("workspace = true") {
+                *ok = true;
+            }
+            continue;
+        }
+        if !is_dep_section(&section) {
+            continue;
+        }
+        let Some((name, spec)) = line.split_once('=') else {
+            continue;
+        };
+        let name = name.trim().trim_matches('"').to_owned();
+        let spec = spec.trim();
+        let in_repo = spec.contains("path =") || spec.contains("workspace = true");
+        if !in_repo && !ALLOWED_EXTERNAL.contains(&name.as_str()) {
+            findings.push(external_dep(file, lineno, &name));
+        }
+    }
+    close_subtable(&mut subtable, &mut findings);
+    findings
+}
+
+fn external_dep(file: &str, line: usize, name: &str) -> Finding {
+    Finding {
+        file: file.to_owned(),
+        line,
+        lint: "deps",
+        message: format!(
+            "dependency `{name}` is not an in-repo path/workspace reference \
+             (offline builds would break; extend the allowlist only with review)"
+        ),
+    }
+}
+
+/// `dependencies.foo` / `dev-dependencies.foo` style sub-table names.
+fn dep_subtable_name(section: &str) -> Option<String> {
+    let (head, tail) = section.rsplit_once('.')?;
+    is_dep_section(head).then(|| tail.to_owned())
+}
+
+fn is_dep_section(section: &str) -> bool {
+    section == "dependencies"
+        || section == "dev-dependencies"
+        || section == "build-dependencies"
+        || section == "workspace.dependencies"
+        || section.ends_with(".dependencies")
+        || section.ends_with(".dev-dependencies")
+        || section.ends_with(".build-dependencies")
+}
+
+fn strip_toml_comment(line: &str) -> &str {
+    // Good enough for these manifests: no `#` inside quoted values.
+    line.split('#').next().unwrap_or(line)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let toml = "[dependencies]\nmccls-hash = { workspace = true }\nmccls-rng = { path = \"../rng\" }\n";
+        assert!(scan_toml("t", toml).is_empty());
+    }
+
+    #[test]
+    fn registry_deps_fail() {
+        let toml = "[dependencies]\nrand = \"0.8\"\nserde = { version = \"1\", features = [\"derive\"] }\n";
+        let findings = scan_toml("t", toml);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].message.contains("`rand`"));
+        assert!(findings[1].message.contains("`serde`"));
+    }
+
+    #[test]
+    fn git_deps_fail() {
+        let toml = "[dev-dependencies]\nfoo = { git = \"https://example.com/foo\" }\n";
+        assert_eq!(scan_toml("t", toml).len(), 1);
+    }
+
+    #[test]
+    fn dep_subtables_are_audited() {
+        let bad = "[dependencies.rand]\nversion = \"0.8\"\n\n[package]\nname = \"x\"\n";
+        let findings = scan_toml("t", bad);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`rand`"));
+
+        let good = "[dependencies.mccls-rng]\npath = \"../rng\"\n";
+        assert!(scan_toml("t", good).is_empty());
+    }
+
+    #[test]
+    fn non_dep_sections_are_ignored() {
+        let toml = "[package]\nname = \"x\"\nversion = \"1.0.0\"\n\n[features]\ndefault = []\n";
+        assert!(scan_toml("t", toml).is_empty());
+    }
+
+    #[test]
+    fn workspace_dependency_table_is_audited() {
+        let toml =
+            "[workspace.dependencies]\nmccls-core = { path = \"crates/core\" }\nrand = \"0.8\"\n";
+        let findings = scan_toml("t", toml);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("`rand`"));
+    }
+}

@@ -1,0 +1,333 @@
+//! A comment- and string-stripping scanner for Rust source.
+//!
+//! The lints in this crate are textual: they look for tokens like
+//! `unwrap`, `panic!`, or `x[i]` in places where they should not appear.
+//! Running them on raw source would drown the results in false positives
+//! from doc comments and string literals ("this never panics" would trip
+//! the panic lint). [`scrub`] solves this by replacing every comment,
+//! string, character, and byte literal with spaces — *preserving the
+//! character count and every newline* — so downstream scans operate on
+//! code only, and any character index maps back to the original line.
+//!
+//! Handled syntax: line comments, nested block comments, string and byte
+//! string literals with escapes, raw strings with any number of `#`
+//! guards, character literals (including escaped and multi-byte), and
+//! lifetimes (`'a` is *not* a character literal).
+
+/// Replaces comments and literal contents with spaces, keeping newlines
+/// and the overall character count intact.
+pub fn scrub(src: &str) -> String {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out: Vec<char> = Vec::with_capacity(n);
+    let mut i = 0;
+
+    // Pushes the scrubbed form of chars[i]: newlines survive, everything
+    // else becomes a space.
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+
+    while i < n {
+        let c = chars[i];
+
+        // Line comment: blank to end of line.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < n && chars[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+
+        // Block comment, possibly nested.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 1;
+            out.push(' ');
+            out.push(' ');
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(blank(chars[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+
+        // Raw (byte) strings: r"..", r#".."#, br#".."#, with the prefix
+        // required to start a token (so an identifier ending in `r` is
+        // not misread).
+        if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
+            let mut j = i;
+            if chars[j] == 'b' {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'r') {
+                let mut k = j + 1;
+                let mut hashes = 0usize;
+                while chars.get(k) == Some(&'#') {
+                    hashes += 1;
+                    k += 1;
+                }
+                if chars.get(k) == Some(&'"') {
+                    out.extend(std::iter::repeat_n(' ', k - i + 1));
+                    i = k + 1;
+                    while i < n {
+                        if chars[i] == '"' && closing_hashes(&chars, i + 1) >= hashes {
+                            out.extend(std::iter::repeat_n(' ', hashes + 1));
+                            i += 1 + hashes;
+                            break;
+                        }
+                        out.push(blank(chars[i]));
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+            // `b".."` / `b'..'`: blank the prefix and let the next
+            // iteration handle the quote itself.
+            if chars[i] == 'b'
+                && (chars.get(i + 1) == Some(&'"') || chars.get(i + 1) == Some(&'\''))
+            {
+                out.push(' ');
+                i += 1;
+                continue;
+            }
+            out.push(c);
+            i += 1;
+            continue;
+        }
+
+        // Ordinary string literal with escapes.
+        if c == '"' {
+            out.push(' ');
+            i += 1;
+            while i < n {
+                if chars[i] == '\\' {
+                    out.push(' ');
+                    if let Some(&esc) = chars.get(i + 1) {
+                        out.push(blank(esc));
+                    }
+                    i += 2;
+                } else if chars[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(blank(chars[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+
+        // Character literal vs lifetime: `'x'` and `'\n'` are literals,
+        // `'a` followed by anything but a quote is a lifetime.
+        if c == '\'' {
+            let is_char = chars.get(i + 1) == Some(&'\\') || chars.get(i + 2) == Some(&'\'');
+            if is_char {
+                out.push(' ');
+                i += 1;
+                while i < n && chars[i] != '\'' {
+                    if chars[i] == '\\' {
+                        out.push(' ');
+                        if chars.get(i + 1).is_some() {
+                            out.push(' ');
+                        }
+                        i += 2;
+                    } else {
+                        out.push(blank(chars[i]));
+                        i += 1;
+                    }
+                }
+                if i < n {
+                    out.push(' ');
+                    i += 1;
+                }
+                continue;
+            }
+            out.push(c);
+            i += 1;
+            continue;
+        }
+
+        out.push(c);
+        i += 1;
+    }
+    out.into_iter().collect()
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0
+        && chars
+            .get(i - 1)
+            .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+}
+
+fn closing_hashes(chars: &[char], from: usize) -> usize {
+    chars[from..].iter().take_while(|&&c| c == '#').count()
+}
+
+/// True for characters that can appear in a Rust identifier.
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// True when `word` occurs in `text` delimited by non-identifier
+/// characters (or the text boundary) on both sides.
+pub fn contains_word(text: &str, word: &str) -> bool {
+    let chars: Vec<char> = text.chars().collect();
+    let pat: Vec<char> = word.chars().collect();
+    if pat.is_empty() || chars.len() < pat.len() {
+        return false;
+    }
+    for i in 0..=chars.len() - pat.len() {
+        if chars[i..i + pat.len()] == pat[..]
+            && (i == 0 || !is_ident_char(chars[i - 1]))
+            && (i + pat.len() == chars.len() || !is_ident_char(chars[i + pat.len()]))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// 1-based line number of a character index.
+pub fn line_of(text: &str, char_idx: usize) -> usize {
+    1 + text.chars().take(char_idx).filter(|&c| c == '\n').count()
+}
+
+/// Line spans (1-based, inclusive) of test-only code: `#[cfg(test)]` /
+/// `#[cfg(all(test, ...))]` items and `#[test]` functions, located by
+/// brace matching on the scrubbed text.
+pub fn test_spans(scrubbed: &str) -> Vec<(usize, usize)> {
+    let chars: Vec<char> = scrubbed.chars().collect();
+    let mut spans = Vec::new();
+    for marker in ["#[cfg(test)]", "#[cfg(all(test", "#[test]"] {
+        let mut from = 0;
+        while let Some(pos) = find_from(&chars, marker, from) {
+            if let Some((open, close)) = braced_body(&chars, pos) {
+                spans.push((line_of(scrubbed, open), line_of(scrubbed, close)));
+            }
+            from = pos + marker.chars().count();
+        }
+    }
+    spans.sort_unstable();
+    spans
+}
+
+/// True when `line` (1-based) falls inside any of the given spans.
+pub fn in_spans(line: usize, spans: &[(usize, usize)]) -> bool {
+    spans.iter().any(|&(a, b)| a <= line && line <= b)
+}
+
+fn find_from(chars: &[char], needle: &str, from: usize) -> Option<usize> {
+    let pat: Vec<char> = needle.chars().collect();
+    if chars.len() < pat.len() {
+        return None;
+    }
+    (from..=chars.len() - pat.len()).find(|&i| chars[i..i + pat.len()] == pat[..])
+}
+
+/// Finds the `{ ... }` body following `pos` and returns the char indices
+/// of its braces. Safe on scrubbed text: no braces hide in literals.
+fn braced_body(chars: &[char], pos: usize) -> Option<(usize, usize)> {
+    let open = (pos..chars.len()).find(|&i| chars[i] == '{')?;
+    let mut depth = 0usize;
+    for (i, &c) in chars.iter().enumerate().skip(open) {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, i));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_preserves_length_and_newlines() {
+        let src = "let x = \"panic!\"; // unwrap()\nlet y = 1;\n";
+        let s = scrub(src);
+        assert_eq!(s.chars().count(), src.chars().count());
+        assert_eq!(s.matches('\n').count(), src.matches('\n').count());
+        assert!(!s.contains("panic"));
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn scrub_handles_block_comments_nested() {
+        let s = scrub("a /* x /* y */ z */ b");
+        assert_eq!(s.trim(), "a                   b".trim());
+        assert!(s.starts_with("a "));
+        assert!(s.ends_with(" b"));
+    }
+
+    #[test]
+    fn scrub_handles_raw_and_byte_strings() {
+        let s = scrub(r###"let d = br#"panic!("x")"#; let e = b"todo!";"###);
+        assert!(!s.contains("panic"));
+        assert!(!s.contains("todo"));
+        assert!(s.contains("let d ="));
+        assert!(s.contains("let e ="));
+    }
+
+    #[test]
+    fn scrub_distinguishes_chars_from_lifetimes() {
+        let s = scrub("fn f<'a>(x: &'a str) { let c = '\\n'; let d = 'x'; }");
+        assert!(s.contains("<'a>"), "lifetime must survive: {s}");
+        assert!(s.contains("&'a str"));
+        assert!(!s.contains("'x'"));
+    }
+
+    #[test]
+    fn scrub_keeps_escaped_quote_inside_string() {
+        let s = scrub(r#"let a = "he said \"unwrap\""; let b = 2;"#);
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("let b = 2;"));
+    }
+
+    #[test]
+    fn test_spans_cover_cfg_test_modules() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let spans = test_spans(&scrub(src));
+        assert_eq!(spans.len(), 1);
+        assert!(in_spans(4, &spans));
+        assert!(!in_spans(1, &spans));
+        assert!(!in_spans(6, &spans));
+    }
+
+    #[test]
+    fn line_of_is_one_based() {
+        assert_eq!(line_of("ab\ncd", 0), 1);
+        assert_eq!(line_of("ab\ncd", 3), 2);
+    }
+
+    #[test]
+    fn contains_word_respects_boundaries() {
+        assert!(contains_word("if x { }", "if"));
+        assert!(!contains_word("verify(x)", "if"));
+        assert!(!contains_word("matches!(x, 1)", "match"));
+        assert!(contains_word("x.unwrap()", "unwrap"));
+        assert!(!contains_word("x.unwrap_or(1)", "unwrap"));
+    }
+}

@@ -1,0 +1,217 @@
+//! `mccls-xtask` — the workspace's static-analysis gate.
+//!
+//! `cargo run -p mccls-xtask -- check` runs four lints over the tree and
+//! exits non-zero if any finding survives its suppression filter:
+//!
+//! * **panic** — no `unwrap`/`expect`/`panic!`-family macros or risky
+//!   slice indexing in non-test code of the cryptographic crates
+//!   (`mccls-hash`, `mccls-pairing`, `mccls-core`). Suppress a justified
+//!   site with `// lint:allow(panic) <reason>`.
+//! * **ct** — no branching on secret-carrying identifiers in
+//!   `mccls-core`/`mccls-pairing`, using a light file-local taint pass
+//!   seeded from the key-material field names and RNG draws. Suppress
+//!   with `// ct-ok: <reason>`.
+//! * **hygiene** — every crate keeps `#![forbid(unsafe_code)]` at its
+//!   root and opts into the shared `[workspace.lints]` table.
+//! * **deps** — every `Cargo.toml` dependency resolves in-repo (path or
+//!   workspace), keeping the build offline-safe by construction.
+//!
+//! The crate is std-only on purpose: the gate must never be the reason
+//! the offline build breaks.
+
+#![forbid(unsafe_code)]
+
+pub mod ct_lint;
+pub mod deps_lint;
+pub mod hygiene_lint;
+pub mod lexer;
+pub mod panic_lint;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint result, pointing at a file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Short lint name: `panic`, `ct`, `hygiene`, or `deps`.
+    pub lint: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Outcome of looking for a suppression comment near a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suppression {
+    /// No marker present: the finding stands.
+    None,
+    /// Marker present with a written justification: finding suppressed.
+    Justified,
+    /// Marker present but no reason given: the finding stands, upgraded
+    /// with a note — unexplained suppressions are themselves violations.
+    MissingReason,
+}
+
+/// Looks for `marker` as a trailing comment on line `line` (1-based) or
+/// anywhere in the contiguous run of comment-only lines directly above.
+///
+/// The text after the marker is the justification; it must be non-empty
+/// for the suppression to count.
+pub fn suppression_near(lines: &[&str], line: usize, marker: &str) -> Suppression {
+    fn marker_on(lines: &[&str], l: usize, marker: &str) -> Suppression {
+        let Some(text) = lines.get(l.wrapping_sub(1)) else {
+            return Suppression::None;
+        };
+        match text.find(marker) {
+            None => Suppression::None,
+            Some(pos) => {
+                if text[pos + marker.len()..].trim().is_empty() {
+                    Suppression::MissingReason
+                } else {
+                    Suppression::Justified
+                }
+            }
+        }
+    }
+
+    let mut best = marker_on(lines, line, marker);
+    let mut above = line.wrapping_sub(1);
+    while best == Suppression::None && above >= 1 {
+        let Some(text) = lines.get(above - 1) else {
+            break;
+        };
+        if !text.trim_start().starts_with("//") {
+            break;
+        }
+        best = marker_on(lines, above, marker);
+        above -= 1;
+    }
+    best
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for determinism.
+pub fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Path shown in findings: relative to the workspace root when possible.
+pub fn display_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Crates whose non-test code must be panic-free.
+pub const PANIC_SCOPE: &[&str] = &["crates/hash", "crates/pairing", "crates/core"];
+
+/// Crates subject to the constant-time discipline lint.
+pub const CT_SCOPE: &[&str] = &["crates/core", "crates/pairing"];
+
+/// Runs all four lints over the workspace rooted at `root`.
+pub fn check_workspace(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    for rel in PANIC_SCOPE {
+        for file in rust_files(&root.join(rel).join("src")) {
+            if let Ok(src) = std::fs::read_to_string(&file) {
+                findings.extend(panic_lint::scan(&display_path(root, &file), &src));
+            }
+        }
+    }
+    for rel in CT_SCOPE {
+        for file in rust_files(&root.join(rel).join("src")) {
+            if let Ok(src) = std::fs::read_to_string(&file) {
+                findings.extend(ct_lint::scan(&display_path(root, &file), &src));
+            }
+        }
+    }
+    findings.extend(hygiene_lint::scan(root));
+    findings.extend(deps_lint::scan(root));
+
+    findings.sort();
+    findings
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_trailing_and_above() {
+        let lines = vec![
+            "// ct-ok: public data only",
+            "if x.is_zero() {",
+            "let y = 1; // ct-ok: also fine",
+            "// just a comment",
+            "// ct-ok:",
+            "if secret.is_zero() {",
+        ];
+        assert_eq!(
+            suppression_near(&lines, 2, "ct-ok:"),
+            Suppression::Justified
+        );
+        assert_eq!(
+            suppression_near(&lines, 3, "ct-ok:"),
+            Suppression::Justified
+        );
+        assert_eq!(
+            suppression_near(&lines, 6, "ct-ok:"),
+            Suppression::MissingReason
+        );
+        assert_eq!(
+            suppression_near(&lines, 4, "lint:allow(panic)"),
+            Suppression::None
+        );
+    }
+
+    #[test]
+    fn suppression_stops_at_code_lines() {
+        let lines = vec!["// ct-ok: reason", "let a = 1;", "if secret > 0 {"];
+        assert_eq!(suppression_near(&lines, 3, "ct-ok:"), Suppression::None);
+    }
+
+    #[test]
+    fn finding_display_format() {
+        let f = Finding {
+            file: "crates/core/src/mccls.rs".into(),
+            line: 12,
+            lint: "panic",
+            message: "`unwrap()` in non-test code".into(),
+        };
+        assert_eq!(
+            f.to_string(),
+            "crates/core/src/mccls.rs:12: [panic] `unwrap()` in non-test code"
+        );
+    }
+}

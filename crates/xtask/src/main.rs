@@ -1,0 +1,91 @@
+//! CLI for the static-analysis gate: `cargo run -p mccls-xtask -- check`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // This crate always lives at `<root>/crates/xtask`.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = workspace_root();
+    let mut command = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" => command = Some("check"),
+            "--root" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("`--root` requires a directory argument\n");
+                    print_usage();
+                    return ExitCode::FAILURE;
+                };
+                root = PathBuf::from(path);
+                i += 1;
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    match command {
+        Some("check") => run_check(&root),
+        _ => {
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_check(root: &std::path::Path) -> ExitCode {
+    // A wrong root would scan nothing and report a vacuous "clean" —
+    // refuse instead, so a misconfigured CI step fails loudly.
+    if !root.join("Cargo.toml").is_file() || !root.join("crates").is_dir() {
+        eprintln!(
+            "`{}` does not look like the workspace root (no Cargo.toml + crates/); \
+             pass the repository checkout with `--root <dir>`",
+            root.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let findings = mccls_xtask::check_workspace(root);
+    if findings.is_empty() {
+        println!("xtask check: clean (panic, ct, hygiene, deps)");
+        return ExitCode::SUCCESS;
+    }
+    for finding in &findings {
+        println!("{finding}");
+    }
+    println!(
+        "\nxtask check: {} finding(s). Fix the code, or suppress a reviewed \
+         site with `// lint:allow(panic) <reason>` / `// ct-ok: <reason>`.",
+        findings.len()
+    );
+    ExitCode::FAILURE
+}
+
+fn print_usage() {
+    println!(
+        "mccls-xtask — static-analysis gate for this workspace\n\n\
+         USAGE:\n    cargo run -p mccls-xtask -- check [--root <dir>]\n\n\
+         LINTS:\n    panic    no unwrap/expect/panic!-family/risky indexing in crypto crates\n    \
+         ct       no branching on secret-carrying identifiers (core, pairing)\n    \
+         hygiene  #![forbid(unsafe_code)] + [lints] workspace = true everywhere\n    \
+         deps     every dependency is an in-repo path (offline-safe builds)"
+    );
+}

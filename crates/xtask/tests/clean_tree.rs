@@ -1,0 +1,45 @@
+//! The zero-false-positive contract: the shipped tree passes the gate.
+//!
+//! If this test fails, either a real violation was introduced (fix it or
+//! suppress it with a written justification) or a lint got stricter and
+//! now misfires on idiomatic code (fix the lint). Both are release
+//! blockers, which is exactly why this runs in `cargo test`.
+
+// Tests may panic freely; that is how they fail.
+#![allow(clippy::expect_used)]
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+#[test]
+fn shipped_tree_is_clean() {
+    let findings = mccls_xtask::check_workspace(&workspace_root());
+    assert!(
+        findings.is_empty(),
+        "xtask check found {} violation(s) in the shipped tree:\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn fixtures_do_fail_the_gate() {
+    // The fixtures exist to prove the lints can fire; if they ever scan
+    // clean, the gate has silently gone blind.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let panic_src =
+        std::fs::read_to_string(dir.join("panic_cases.rs")).expect("panic fixture exists");
+    let ct_src = std::fs::read_to_string(dir.join("ct_cases.rs")).expect("ct fixture exists");
+    assert!(!mccls_xtask::panic_lint::scan("panic_cases.rs", &panic_src).is_empty());
+    assert!(!mccls_xtask::ct_lint::scan("ct_cases.rs", &ct_src).is_empty());
+}

@@ -41,15 +41,21 @@ fn main() {
     run("McCLS, no attack", scenario(seed).secured());
     let bh_s = run(
         "McCLS, 2-node black hole",
-        scenario(seed).secured().with_attackers(Behavior::BlackHole, 2),
+        scenario(seed)
+            .secured()
+            .with_attackers(Behavior::BlackHole, 2),
     );
     let rush_s = run(
         "McCLS, 2-node rushing",
-        scenario(seed).secured().with_attackers(Behavior::Rushing, 2),
+        scenario(seed)
+            .secured()
+            .with_attackers(Behavior::Rushing, 2),
     );
     let forge_s = run(
         "McCLS, 2-node forging black hole",
-        scenario(seed).secured().with_attackers(Behavior::ForgingBlackHole, 2),
+        scenario(seed)
+            .secured()
+            .with_attackers(Behavior::ForgingBlackHole, 2),
     );
 
     println!();

@@ -8,15 +8,18 @@
 //!
 //! Run with: `cargo run --release --example cps_monitoring`
 
+// Demo code: panicking on a broken invariant is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::Instant;
 
 use mccls::cls::{
     batch_verify, BatchItem, CertificatelessScheme, McCls, OfflineSigner, VerifierCache,
 };
-use rand::SeedableRng;
+use mccls_rng::SeedableRng;
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(11);
     let scheme = McCls::new();
     let (params, kgc) = scheme.setup(&mut rng);
 
@@ -35,7 +38,10 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, (id, _, _))| {
-            (id.clone(), format!("t=17:03:0{i} temp={}C", 20 + i).into_bytes())
+            (
+                id.clone(),
+                format!("t=17:03:0{i} temp={}C", 20 + i).into_bytes(),
+            )
         })
         .collect();
     let sigs: Vec<_> = sensors

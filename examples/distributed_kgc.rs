@@ -6,13 +6,16 @@
 //!
 //! Run with: `cargo run --release --example distributed_kgc`
 
+// Demo code: panicking on a broken invariant is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mccls::cls::threshold::{combine_shares, threshold_setup, verify_share};
 use mccls::cls::{CertificatelessScheme, McCls};
 use mccls::pairing::G1Projective;
-use rand::SeedableRng;
+use mccls_rng::SeedableRng;
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(31);
 
     // Dealer ceremony: 5 share servers, threshold 3; s is discarded.
     let setup = threshold_setup(5, 3, &mut rng);
@@ -28,7 +31,12 @@ fn main() {
         if i == 2 {
             share.d = share.d.add(&G1Projective::generator()); // corrupted
         }
-        let ok = verify_share(&setup.params, id, &share, &setup.servers[i].verification_key);
+        let ok = verify_share(
+            &setup.params,
+            id,
+            &share,
+            &setup.servers[i].verification_key,
+        );
         println!(
             "server {}: share {}",
             setup.servers[i].index(),
@@ -42,12 +50,20 @@ fn main() {
     // Two good shares are not enough; fetch one more from server 5.
     assert_eq!(responses.len(), 2);
     let extra = setup.servers[4].extract_share(&setup.params, id);
-    assert!(verify_share(&setup.params, id, &extra, &setup.servers[4].verification_key));
+    assert!(verify_share(
+        &setup.params,
+        id,
+        &extra,
+        &setup.servers[4].verification_key
+    ));
     responses.push(extra);
     println!("collected 3 verified shares; combining...");
 
     let partial = combine_shares(&responses, 3).expect("threshold met");
-    assert!(partial.validate(&setup.params, id), "combined key must be s·Q_ID");
+    assert!(
+        partial.validate(&setup.params, id),
+        "combined key must be s·Q_ID"
+    );
     println!("partial private key reconstructed and validated against P_pub.");
 
     // Business as usual from here: the sensor signs with McCLS.

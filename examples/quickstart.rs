@@ -3,11 +3,14 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+// Demo code: panicking on a broken invariant is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mccls::cls::{CertificatelessScheme, McCls, Signature, VerifierCache};
-use rand::SeedableRng;
+use mccls_rng::SeedableRng;
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(7);
     let scheme = McCls::new();
 
     // 1. The Key Generation Center runs Setup: master secret s,
@@ -21,7 +24,10 @@ fn main() {
     let id = b"sensor-node-17";
     let partial = scheme.extract_partial_private_key(&kgc, id);
     assert!(partial.validate(&params, id), "KGC extraction checks out");
-    println!("partial private key for {:?} extracted and validated.", "sensor-node-17");
+    println!(
+        "partial private key for {:?} extracted and validated.",
+        "sensor-node-17"
+    );
 
     // 3. The node generates its own secret value x and public key
     //    P_ID = x·P_pub. No certificate is ever issued or checked.
@@ -34,7 +40,11 @@ fn main() {
     // 4. CL-Sign a message (e.g. an AODV route request it originates).
     let msg = b"RREQ origin=sensor-node-17 dest=sink-3 seq=42";
     let sig = scheme.sign(&params, id, &partial, &keys, msg, &mut rng);
-    println!("signed {} byte message -> {} byte signature.", msg.len(), sig.encoded_len());
+    println!(
+        "signed {} byte message -> {} byte signature.",
+        msg.len(),
+        sig.encoded_len()
+    );
 
     // 5. CL-Verify — anyone holding the public parameters can check.
     assert!(scheme.verify(&params, id, &keys.public, msg, &sig));
@@ -53,5 +63,8 @@ fn main() {
     assert!(cache.verify(&params, id, &keys.public, msg, &sig));
     let t = std::time::Instant::now();
     assert!(cache.verify(&params, id, &keys.public, msg, &sig));
-    println!("cached verify: {:?} (one pairing + three scalar mults).", t.elapsed());
+    println!(
+        "cached verify: {:?} (one pairing + three scalar mults).",
+        t.elapsed()
+    );
 }

@@ -5,11 +5,11 @@
 
 use std::time::Instant;
 
-use mccls::cls::{all_schemes, ops, CertificatelessScheme};
-use rand::SeedableRng;
+use mccls::cls::{all_schemes, ops};
+use mccls_rng::SeedableRng;
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(3);
     let msg = b"a routing control packet to authenticate";
 
     println!(

@@ -8,10 +8,10 @@
 
 use mccls::cls::security::{mccls_type2_forgery, run_type1_game, run_type2_game};
 use mccls::cls::{all_schemes, CertificatelessScheme, McCls};
-use rand::SeedableRng;
+use mccls_rng::SeedableRng;
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(5);
 
     println!("== Type I games (public-key replacement, no master secret) ==");
     for scheme in all_schemes() {
@@ -49,7 +49,11 @@ fn main() {
     let accepted = scheme.verify(&params, b"victim", &victim.public, msg, &forged);
     println!(
         "forged signature under the victim's registered public key: {}",
-        if accepted { "ACCEPTED — Theorem 2 is refuted" } else { "rejected" }
+        if accepted {
+            "ACCEPTED — Theorem 2 is refuted"
+        } else {
+            "rejected"
+        }
     );
     assert!(accepted, "the reproduction's forgery must verify");
 }

@@ -15,9 +15,9 @@
 //!
 //! ```
 //! use mccls::cls::{CertificatelessScheme, McCls};
-//! use rand::SeedableRng;
+//! use mccls_rng::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(7);
 //! let scheme = McCls::new();
 //! let (params, kgc) = scheme.setup(&mut rng);
 //! let partial = scheme.extract_partial_private_key(&kgc, b"node-1");

@@ -1,14 +1,17 @@
 //! Cross-crate integration: the full pipeline from the KGC key
 //! hierarchy through real-crypto network simulation.
 
+// Tests may panic freely; that is how they fail.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mccls::aodv::{Behavior, Network, ScenarioConfig};
 use mccls::cls::{CertificatelessScheme, McCls, Signature, VerifierCache};
 use mccls::sim::SimDuration;
-use rand::SeedableRng;
+use mccls_rng::SeedableRng;
 
 #[test]
 fn full_key_hierarchy_and_signature_lifecycle() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(1);
     let scheme = McCls::new();
     let (params, kgc) = scheme.setup(&mut rng);
 
@@ -61,7 +64,10 @@ fn real_crypto_rejects_real_attackers() {
     cfg.duration = SimDuration::from_secs(5);
     cfg.real_crypto = true;
     let metrics = Network::new(cfg).run();
-    assert!(metrics.auth_rejected > 0, "forged signatures must be rejected: {metrics}");
+    assert!(
+        metrics.auth_rejected > 0,
+        "forged signatures must be rejected: {metrics}"
+    );
     assert_eq!(metrics.attacker_dropped, 0, "{metrics}");
 }
 

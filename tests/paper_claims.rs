@@ -2,17 +2,20 @@
 //! table and figure by figure (small/short configurations of the same
 //! harness the `fig*` binaries run at full scale).
 
+// Tests may panic freely; that is how they fail.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mccls::aodv::experiment::{sweep, AttackKind};
 use mccls::aodv::{Metrics, Network, Protocol, ScenarioConfig};
-use mccls::cls::{all_schemes, ops, CertificatelessScheme};
+use mccls::cls::{all_schemes, ops};
 use mccls::sim::SimDuration;
-use rand::SeedableRng;
+use mccls_rng::SeedableRng;
 
 /// Table 1, McCLS row: sign = 2s / 0p, verify = 1p (+1 cacheable) —
 /// the lowest pairing count of all four schemes.
 #[test]
 fn table1_mccls_has_lowest_pairing_cost() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(42);
     let mut verify_pairings = Vec::new();
     for scheme in all_schemes() {
         let (params, kgc) = scheme.setup(&mut rng);
@@ -28,7 +31,11 @@ fn table1_mccls_has_lowest_pairing_cost() {
         }
         verify_pairings.push((scheme.name(), verify_counts.pairings));
     }
-    let mccls = verify_pairings.iter().find(|(n, _)| *n == "McCLS").unwrap().1;
+    let mccls = verify_pairings
+        .iter()
+        .find(|(n, _)| *n == "McCLS")
+        .unwrap()
+        .1;
     for (name, p) in &verify_pairings {
         if *name != "McCLS" && *name != "YHG" {
             assert!(mccls < *p, "McCLS ({mccls}p) must beat {name} ({p}p)");
@@ -61,7 +68,10 @@ fn fig1_pdr_decays_with_speed_and_mccls_tracks_aodv() {
     );
     for (a, m) in aodv.iter().zip(&mccls) {
         let gap = (a.packet_delivery_ratio() - m.packet_delivery_ratio()).abs();
-        assert!(gap < 0.1, "McCLS must not degrade PDR substantially (gap {gap})");
+        assert!(
+            gap < 0.1,
+            "McCLS must not degrade PDR substantially (gap {gap})"
+        );
     }
 }
 
@@ -91,7 +101,10 @@ fn fig45_rushing_claim() {
     let mccls = short_sweep(Protocol::McClsSecured, AttackKind::Rushing2);
     let aodv_dropped: u64 = aodv.iter().map(|m| m.attacker_dropped).sum();
     let mccls_dropped: u64 = mccls.iter().map(|m| m.attacker_dropped).sum();
-    assert!(aodv_dropped > 0, "rushing attackers must absorb AODV traffic");
+    assert!(
+        aodv_dropped > 0,
+        "rushing attackers must absorb AODV traffic"
+    );
     assert_eq!(mccls_dropped, 0, "McCLS drop ratio must be zero");
 }
 

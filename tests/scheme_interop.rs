@@ -3,11 +3,11 @@
 //! injective and validated.
 
 use mccls::cls::{all_schemes, CertificatelessScheme, Signature};
-use rand::SeedableRng;
+use mccls_rng::SeedableRng;
 
 #[test]
 fn signatures_do_not_cross_schemes() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(9);
     let schemes = all_schemes();
     // One key world per scheme.
     let mut worlds = Vec::new();
@@ -35,7 +35,7 @@ fn signatures_do_not_cross_schemes() {
 
 #[test]
 fn wire_encodings_are_injective_and_validated() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+    let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(10);
     for scheme in all_schemes() {
         let (params, kgc) = scheme.setup(&mut rng);
         let partial = scheme.extract_partial_private_key(&kgc, b"node");
@@ -73,7 +73,7 @@ fn wire_encodings_are_injective_and_validated() {
 
 #[test]
 fn empty_and_large_messages_round_trip() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(11);
     let big = vec![0xAB; 64 * 1024];
     for scheme in all_schemes() {
         let (params, kgc) = scheme.setup(&mut rng);
@@ -97,7 +97,7 @@ fn public_key_replacement_needs_no_authority() {
     // unilaterally (no certificate re-issuance), keeping the same
     // identity and partial private key. Old signatures must stop
     // verifying under the new public key and vice versa.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(13);
     for scheme in all_schemes() {
         let (params, kgc) = scheme.setup(&mut rng);
         let partial = scheme.extract_partial_private_key(&kgc, b"node");
@@ -125,7 +125,7 @@ fn public_key_replacement_needs_no_authority() {
 #[test]
 fn batch_api_spans_many_signers() {
     use mccls::cls::{batch_verify, BatchItem, McCls};
-    let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+    let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(14);
     let scheme = McCls::new();
     let (params, kgc) = scheme.setup(&mut rng);
     let mut storage = Vec::new();
@@ -139,14 +139,19 @@ fn batch_api_spans_many_signers() {
     }
     let batch: Vec<BatchItem> = storage
         .iter()
-        .map(|(id, keys, msg, sig)| BatchItem { id, public: &keys.public, msg, sig })
+        .map(|(id, keys, msg, sig)| BatchItem {
+            id,
+            public: &keys.public,
+            msg,
+            sig,
+        })
         .collect();
     assert!(batch_verify(&params, &batch, &mut rng));
 }
 
 #[test]
 fn unicode_and_binary_identities() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+    let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(12);
     let ids: Vec<&[u8]> = vec![b"", "идентичность".as_bytes(), &[0u8, 255, 1, 254]];
     for scheme in all_schemes() {
         let (params, kgc) = scheme.setup(&mut rng);
