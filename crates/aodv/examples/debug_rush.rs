@@ -4,15 +4,20 @@
 //!
 //! Run with: `cargo run -p mccls-aodv --example debug_rush`
 
+use mccls_aodv::experiment::{scenario, AttackKind};
 use mccls_aodv::*;
 use mccls_sim::SimDuration;
 
 fn main() {
     // Paper scenario, attacked, 60s, seed 23 — dump per-node involvement.
     for seed in [23u64, 24, 25, 26, 27] {
-        let mut cfg =
-            ScenarioConfig::paper_baseline(5.0, seed).with_attackers(Behavior::Rushing, 2);
-        cfg.duration = SimDuration::from_secs(60);
+        let cfg = scenario(
+            Protocol::Aodv,
+            AttackKind::Rushing2,
+            5.0,
+            seed,
+            Some(SimDuration::from_secs(60)),
+        );
         let m = Network::new(cfg).run();
         println!(
             "seed {seed}: {m} | rreq fwd {} init {}",

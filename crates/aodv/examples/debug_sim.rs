@@ -4,13 +4,21 @@
 //!
 //! Run with: `cargo run -p mccls-aodv --example debug_sim`
 
+use mccls_aodv::experiment::{scenario, AttackKind};
 use mccls_aodv::*;
 use mccls_rng::SeedableRng;
 use mccls_sim::*;
 
 fn main() {
-    // Rebuild the same mobility placement as Network::new(seed=42).
-    let cfg = ScenarioConfig::paper_baseline(0.0, 42);
+    // Rebuild the same mobility placement as Network::new(seed=42),
+    // through the shared experiment-setup helper (short 60 s run).
+    let cfg = scenario(
+        Protocol::Aodv,
+        AttackKind::None,
+        0.0,
+        42,
+        Some(SimDuration::from_secs(60)),
+    );
     let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(cfg.seed);
     let area = Area::new(cfg.area_width, cfg.area_height);
     let wp = WaypointConfig::paper(cfg.max_speed);
@@ -59,12 +67,7 @@ fn main() {
             comp[f.src.index()] == comp[f.dst.index()]
         );
     }
-    let metrics = Network::new({
-        let mut c = cfg.clone();
-        c.duration = SimDuration::from_secs(60);
-        c
-    })
-    .run();
+    let metrics = Network::new(cfg.clone()).run();
     println!("{metrics}");
     println!(
         "honest_dropped={} rreq_init={} retried={} rrep={} rerr={}",

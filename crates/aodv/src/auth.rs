@@ -23,7 +23,7 @@ use std::collections::BTreeSet;
 
 use mccls_core::{
     CertificatelessScheme, McCls, PartialPrivateKey, Signature, SystemParams, UserKeyPair,
-    UserPublicKey, VerifierCache,
+    UserPublicKey, Verifier,
 };
 use mccls_pairing::{Fr, G1Projective};
 use mccls_rng::rngs::StdRng;
@@ -70,7 +70,9 @@ impl CryptoCost {
         let msg = b"calibration message";
         // Warm up (fills pairing-exponent caches).
         let sig = scheme.sign(&params, b"calib", &partial, &keys, msg, &mut rng);
-        assert!(scheme.verify(&params, b"calib", &keys.public, msg, &sig));
+        assert!(scheme
+            .verify(&params, b"calib", &keys.public, msg, &sig)
+            .is_ok());
 
         const N: u32 = 5;
         let t0 = std::time::Instant::now();
@@ -196,12 +198,14 @@ struct NodeKeys {
 /// The ground-truth provider: real McCLS signatures over real BLS12-381.
 pub struct RealAuthProvider {
     scheme: McCls,
-    params: SystemParams,
     node_keys: Vec<NodeKeys>,
     /// Public key directory (what nodes would learn from piggybacked
     /// keys).
     directory: Vec<UserPublicKey>,
-    cache: VerifierCache,
+    /// The stateful verify-side handle: prepared `P_pub` lines plus the
+    /// per-peer `e(Q_ID, P_pub)` cache, registered lazily on first
+    /// contact via [`Verifier::verify_with_key`].
+    verifier: Verifier,
     rng: StdRng,
 }
 
@@ -231,17 +235,16 @@ impl RealAuthProvider {
         }
         Self {
             scheme,
-            params,
             node_keys,
             directory,
-            cache: VerifierCache::new(),
+            verifier: Verifier::new(params),
             rng,
         }
     }
 
     /// The public parameters (exposed for tests).
     pub fn params(&self) -> &SystemParams {
-        &self.params
+        self.verifier.params()
     }
 }
 
@@ -249,7 +252,7 @@ impl AuthProvider for RealAuthProvider {
     fn sign(&mut self, node: NodeId, payload: &[u8]) -> Auth {
         let nk = &self.node_keys[node.index()];
         let sig = self.scheme.sign(
-            &self.params,
+            self.verifier.params(),
             &node.identity_bytes(),
             &nk.partial,
             &nk.keys,
@@ -269,13 +272,13 @@ impl AuthProvider for RealAuthProvider {
         let Some(public) = self.directory.get(auth.signer.index()) else {
             return false;
         };
-        self.cache.verify(
-            &self.params,
-            &auth.signer.identity_bytes(),
-            public,
-            payload,
-            sig,
-        )
+        // The routing layer only needs accept/reject; the structured
+        // `VerifyError` stays available here for a future
+        // intrusion-detection hook that wants to tell tampering apart
+        // from unknown peers.
+        self.verifier
+            .verify_with_key(&auth.signer.identity_bytes(), public, payload, sig)
+            .is_ok()
     }
 }
 

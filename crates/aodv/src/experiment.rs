@@ -4,6 +4,7 @@
 use crate::config::{Behavior, Protocol, ScenarioConfig};
 use crate::metrics::Metrics;
 use crate::network::Network;
+use mccls_sim::SimDuration;
 
 /// The node speeds the paper sweeps (m/s).
 pub const PAPER_SPEEDS: [f64; 5] = [0.0, 5.0, 10.0, 15.0, 20.0];
@@ -73,6 +74,33 @@ impl SweepSeries {
     }
 }
 
+/// Builds one experiment scenario exactly the way the figure sweeps do:
+/// the paper-baseline placement at `speed`/`seed`, secured when the
+/// protocol is McCLS, with the attack applied and (optionally) a
+/// shortened run duration for scratchpads and smoke tests.
+///
+/// This is the single source of truth for experiment setup — the `fig*`
+/// binaries (via [`sweep`]), the ablation harness, and the `debug_sim` /
+/// `debug_rush` examples all call it instead of assembling their own
+/// `ScenarioConfig` chains.
+pub fn scenario(
+    protocol: Protocol,
+    attack: AttackKind,
+    speed: f64,
+    seed: u64,
+    duration: Option<SimDuration>,
+) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper_baseline(speed, seed);
+    if protocol == Protocol::McClsSecured {
+        cfg = cfg.secured();
+    }
+    let mut cfg = attack.apply(cfg);
+    if let Some(d) = duration {
+        cfg.duration = d;
+    }
+    cfg
+}
+
 /// Runs one configuration for every speed in `speeds`, pooling `trials`
 /// seeds per point.
 pub fn sweep(
@@ -91,11 +119,7 @@ pub fn sweep(
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     .wrapping_add(trial)
                     .wrapping_add((speed * 1000.0) as u64);
-                let mut cfg = ScenarioConfig::paper_baseline(speed, seed);
-                if protocol == Protocol::McClsSecured {
-                    cfg = cfg.secured();
-                }
-                let cfg = attack.apply(cfg);
+                let cfg = scenario(protocol, attack, speed, seed, None);
                 pooled.merge(&Network::new(cfg).run());
             }
             SweepPoint {
@@ -148,6 +172,32 @@ mod tests {
 
     fn tiny_speeds() -> [f64; 2] {
         [0.0, 10.0]
+    }
+
+    #[test]
+    fn scenario_helper_applies_protocol_attack_and_duration() {
+        let cfg = scenario(
+            Protocol::McClsSecured,
+            AttackKind::BlackHole2,
+            10.0,
+            7,
+            Some(SimDuration::from_secs(60)),
+        );
+        assert_eq!(cfg.protocol, Protocol::McClsSecured);
+        assert_eq!(cfg.duration, SimDuration::from_secs(60));
+        assert_eq!(
+            cfg.behaviors
+                .iter()
+                .filter(|(_, b)| *b == Behavior::BlackHole)
+                .count(),
+            2
+        );
+        let plain = scenario(Protocol::Aodv, AttackKind::None, 10.0, 7, None);
+        assert_eq!(plain.protocol, Protocol::Aodv);
+        assert_eq!(
+            plain.duration,
+            ScenarioConfig::paper_baseline(10.0, 7).duration
+        );
     }
 
     #[test]

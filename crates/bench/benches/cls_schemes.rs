@@ -15,7 +15,9 @@ fn bench_sign_verify(c: &mut Criterion) {
         let keys = scheme.generate_key_pair(&params, &mut rng);
         let msg = b"bench message: routing control packet";
         let sig = scheme.sign(&params, b"node-1", &partial, &keys, msg, &mut rng);
-        assert!(scheme.verify(&params, b"node-1", &keys.public, msg, &sig));
+        assert!(scheme
+            .verify(&params, b"node-1", &keys.public, msg, &sig)
+            .is_ok());
 
         let mut group = c.benchmark_group(format!("table1/{}", scheme.name()));
         group.sample_size(10);
@@ -24,7 +26,9 @@ fn bench_sign_verify(c: &mut Criterion) {
         });
         group.bench_function("verify", |b| {
             b.iter(|| {
-                assert!(scheme.verify(&params, b"node-1", &keys.public, msg, &sig));
+                assert!(scheme
+                    .verify(&params, b"node-1", &keys.public, msg, &sig)
+                    .is_ok());
             })
         });
         group.finish();
@@ -41,12 +45,16 @@ fn bench_mccls_cached_verify(c: &mut Criterion) {
     let sig = scheme.sign(&params, b"node-1", &partial, &keys, msg, &mut rng);
 
     let mut cache = VerifierCache::new();
-    assert!(cache.verify(&params, b"node-1", &keys.public, msg, &sig));
+    assert!(cache
+        .verify(&params, b"node-1", &keys.public, msg, &sig)
+        .is_ok());
     let mut group = c.benchmark_group("table1/McCLS");
     group.sample_size(10);
     group.bench_function("verify_cached", |b| {
         b.iter(|| {
-            assert!(cache.verify(&params, b"node-1", &keys.public, msg, &sig));
+            assert!(cache
+                .verify(&params, b"node-1", &keys.public, msg, &sig)
+                .is_ok());
         })
     });
     group.finish();

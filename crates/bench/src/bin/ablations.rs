@@ -8,7 +8,8 @@
 //!    speed decay),
 //! 5. crypto cost sensitivity for Fig. 3's delay gap.
 
-use mccls_aodv::{Behavior, CryptoCost, Metrics, Network, ScenarioConfig};
+use mccls_aodv::experiment::{scenario, AttackKind};
+use mccls_aodv::{Behavior, CryptoCost, Metrics, Network, Protocol, ScenarioConfig};
 use mccls_bench::FigureOpts;
 use mccls_sim::SimDuration;
 
@@ -23,7 +24,9 @@ fn pooled(opts: FigureOpts, build: impl Fn(u64) -> ScenarioConfig) -> Metrics {
 fn main() {
     let opts = FigureOpts::from_args();
     let speed = 10.0;
-    let base = |seed: u64| ScenarioConfig::paper_baseline(speed, seed);
+    // All ablations start from the shared experiment-setup helper and
+    // tweak exactly one knob from there.
+    let base = |seed: u64| scenario(Protocol::Aodv, AttackKind::None, speed, seed, None);
 
     println!(
         "# Ablation study @ {speed} m/s, {} trials pooled",

@@ -50,6 +50,11 @@ impl Criterion {
         }
     }
 
+    /// The results collected so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
     /// Prints the collected results as an aligned table.
     pub fn final_summary(&self) {
         let width = self.results.iter().map(|r| r.id.len()).max().unwrap_or(0);

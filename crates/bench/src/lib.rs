@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod harness;
 
 use mccls_aodv::experiment::{sweep, AttackKind, SweepSeries, PAPER_SPEEDS};

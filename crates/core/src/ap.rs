@@ -18,12 +18,13 @@
 //! Correctness: `e(U, P) = e(Q_A, P)^{v·x·s}·e(G, P)^a` and
 //! `e(Q_A, Y_A)^{-v} = e(Q_A, P)^{-v·x·s}`, so the product is `ρ`.
 
-use mccls_pairing::{Fr, Gt};
+use mccls_pairing::{g2_prepared_generator, Fr, G2Prepared, Gt};
 use mccls_rng::RngCore;
 
 use crate::ops;
 use crate::params::{h2_scalar, PartialPrivateKey, SystemParams, UserKeyPair, UserPublicKey};
 use crate::scheme::{CertificatelessScheme, ClaimedOps, Signature};
+use crate::verify::VerifyError;
 
 /// The AP scheme.
 ///
@@ -39,7 +40,7 @@ use crate::scheme::{CertificatelessScheme, ClaimedOps, Signature};
 /// let partial = scheme.extract_partial_private_key(&kgc, b"alice");
 /// let keys = scheme.generate_key_pair(&params, &mut rng);
 /// let sig = scheme.sign(&params, b"alice", &partial, &keys, b"msg", &mut rng);
-/// assert!(scheme.verify(&params, b"alice", &keys.public, b"msg", &sig));
+/// assert!(scheme.verify(&params, b"alice", &keys.public, b"msg", &sig).is_ok());
 /// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Ap;
@@ -100,25 +101,36 @@ impl CertificatelessScheme for Ap {
         public: &UserPublicKey,
         msg: &[u8],
         sig: &Signature,
-    ) -> bool {
+    ) -> Result<(), VerifyError> {
         let Signature::Ap { u, v } = sig else {
-            return false;
+            return Err(VerifyError::WrongScheme);
         };
         let Some(x_a) = public.secondary else {
-            return false;
+            return Err(VerifyError::MissingKeyComponent);
         };
-        // Public-key well-formedness: e(X_A, P_pub) == e(G, Y_A).
-        let lhs = ops::pair(&x_a.to_affine(), &params.p_pub.to_affine());
-        let rhs = ops::pair(&params.g().to_affine(), &public.primary.to_affine());
-        if lhs != rhs {
-            return false;
+        // Public-key well-formedness, e(X_A, P_pub) == e(G, Y_A), folded
+        // into one two-factor product e(X_A, P_pub)·e(-G, Y_A) == 1 with
+        // a shared final exponentiation. P_pub's lines come prepared
+        // from the params; Y_A's are prepared once and reused for ρ'.
+        let y_a = G2Prepared::from_projective(&public.primary);
+        let x_a_aff = x_a.to_affine();
+        let g_neg = params.g().neg().to_affine();
+        let well_formed =
+            ops::pairing_product_prepared(&[(&x_a_aff, params.prepared_p_pub()), (&g_neg, &y_a)])
+                .is_identity();
+        if !well_formed {
+            return Err(VerifyError::MalformedPublicKey);
         }
         // ρ' = e(U, P) · e(Q_A, Y_A)^{-v}.
         let q_a = params.hash_identity(id);
-        let e_u = ops::pair(&u.to_affine(), &params.p().to_affine());
-        let e_qy = ops::pair(&q_a.to_affine(), &public.primary.to_affine());
+        let e_u = ops::pair_prepared(&u.to_affine(), g2_prepared_generator());
+        let e_qy = ops::pair_prepared(&q_a.to_affine(), &y_a);
         let rho = e_u.mul(&ops::exp_gt(&e_qy, v).inverse());
-        Self::challenge(msg, &rho) == *v
+        if Self::challenge(msg, &rho) == *v {
+            Ok(())
+        } else {
+            Err(VerifyError::PairingMismatch)
+        }
     }
 
     fn claimed_table1_profile(&self) -> (ClaimedOps, ClaimedOps) {
@@ -156,9 +168,15 @@ mod tests {
         let (params, partial, keys, mut rng) = setup();
         let scheme = Ap::new();
         let sig = scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng);
-        assert!(scheme.verify(&params, b"alice", &keys.public, b"m", &sig));
-        assert!(!scheme.verify(&params, b"alice", &keys.public, b"n", &sig));
-        assert!(!scheme.verify(&params, b"bob", &keys.public, b"m", &sig));
+        assert!(scheme
+            .verify(&params, b"alice", &keys.public, b"m", &sig)
+            .is_ok());
+        assert!(scheme
+            .verify(&params, b"alice", &keys.public, b"n", &sig)
+            .is_err());
+        assert!(scheme
+            .verify(&params, b"bob", &keys.public, b"m", &sig)
+            .is_err());
     }
 
     #[test]
@@ -177,7 +195,7 @@ mod tests {
         // check must fail.
         let mut bad = keys.public;
         bad.secondary = Some(G1Projective::generator());
-        assert!(!scheme.verify(&params, b"alice", &bad, b"m", &sig));
+        assert!(scheme.verify(&params, b"alice", &bad, b"m", &sig).is_err());
     }
 
     #[test]
@@ -187,7 +205,7 @@ mod tests {
         let sig = scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng);
         let mut bad = keys.public;
         bad.secondary = None;
-        assert!(!scheme.verify(&params, b"alice", &bad, b"m", &sig));
+        assert!(scheme.verify(&params, b"alice", &bad, b"m", &sig).is_err());
     }
 
     #[test]
@@ -200,7 +218,7 @@ mod tests {
         assert_eq!(sign_counts.scalar_muls(), 3, "Table 1: AP sign = 3s");
         let (ok, verify_counts) =
             ops::measure(|| scheme.verify(&params, b"alice", &keys.public, b"m", &sig));
-        assert!(ok);
+        assert!(ok.is_ok());
         assert_eq!(verify_counts.pairings, 4, "Table 1: AP verify = 4p");
         assert_eq!(verify_counts.gt_exps, 1, "Table 1: AP verify = 1e");
     }

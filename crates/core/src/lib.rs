@@ -41,7 +41,7 @@
 //! let keys = scheme.generate_key_pair(&params, &mut rng);
 //!
 //! let sig = scheme.sign(&params, b"node-1", &partial, &keys, b"RREQ|...", &mut rng);
-//! assert!(scheme.verify(&params, b"node-1", &keys.public, b"RREQ|...", &sig));
+//! assert!(scheme.verify(&params, b"node-1", &keys.public, b"RREQ|...", &sig).is_ok());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -56,6 +56,7 @@ pub mod params;
 mod scheme;
 pub mod security;
 pub mod threshold;
+mod verify;
 mod yhg;
 mod zwxf;
 
@@ -69,6 +70,7 @@ pub use scheme::{CertificatelessScheme, ClaimedOps, Signature};
 pub use threshold::{
     combine_shares, threshold_setup, KgcShareServer, PartialKeyShare, ThresholdSetup,
 };
+pub use verify::{Verifier, VerifyError};
 pub use yhg::Yhg;
 pub use zwxf::Zwxf;
 
@@ -98,12 +100,16 @@ mod tests {
             let keys = scheme.generate_key_pair(&params, &mut rng);
             let sig = scheme.sign(&params, b"n1", &partial, &keys, b"msg", &mut rng);
             assert!(
-                scheme.verify(&params, b"n1", &keys.public, b"msg", &sig),
+                scheme
+                    .verify(&params, b"n1", &keys.public, b"msg", &sig)
+                    .is_ok(),
                 "{} round trip",
                 scheme.name()
             );
             assert!(
-                !scheme.verify(&params, b"n1", &keys.public, b"other", &sig),
+                scheme
+                    .verify(&params, b"n1", &keys.public, b"other", &sig)
+                    .is_err(),
                 "{} must reject a different message",
                 scheme.name()
             );

@@ -26,12 +26,13 @@
 
 use std::collections::HashMap;
 
-use mccls_pairing::{Fr, G2Projective, Gt};
+use mccls_pairing::{g2_generator_table, Fr, G2Projective, Gt};
 use mccls_rng::RngCore;
 
 use crate::ops;
 use crate::params::{h2_scalar, PartialPrivateKey, SystemParams, UserKeyPair, UserPublicKey};
 use crate::scheme::{CertificatelessScheme, ClaimedOps, Signature};
+use crate::verify::VerifyError;
 
 /// The McCLS scheme.
 ///
@@ -47,8 +48,8 @@ use crate::scheme::{CertificatelessScheme, ClaimedOps, Signature};
 /// let partial = scheme.extract_partial_private_key(&kgc, b"node-7");
 /// let keys = scheme.generate_key_pair(&params, &mut rng);
 /// let sig = scheme.sign(&params, b"node-7", &partial, &keys, b"RREQ", &mut rng);
-/// assert!(scheme.verify(&params, b"node-7", &keys.public, b"RREQ", &sig));
-/// assert!(!scheme.verify(&params, b"node-7", &keys.public, b"RREP", &sig));
+/// assert!(scheme.verify(&params, b"node-7", &keys.public, b"RREQ", &sig).is_ok());
+/// assert!(scheme.verify(&params, b"node-7", &keys.public, b"RREP", &sig).is_err());
 /// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct McCls;
@@ -76,28 +77,30 @@ impl McCls {
 
     /// The verifier's left-hand pairing `e(S/h, V·P - h·R)`.
     ///
-    /// Shared by [`CertificatelessScheme::verify`] and
-    /// [`VerifierCache::verify`].
-    fn verification_pairing(
-        params: &SystemParams,
+    /// Shared by [`CertificatelessScheme::verify`],
+    /// [`VerifierCache::verify`] and [`crate::Verifier`]. `V·P` goes
+    /// through the fixed-base generator table, so the only full
+    /// double-and-add left on the hot path is `h·R` (the nonce point
+    /// changes per signature).
+    pub(crate) fn verification_pairing(
         public: &UserPublicKey,
         msg: &[u8],
         sig: &Signature,
-    ) -> Option<Gt> {
+    ) -> Result<Gt, VerifyError> {
         let Signature::McCls { v, s, r } = sig else {
-            return None;
+            return Err(VerifyError::WrongScheme);
         };
         let h = Self::challenge(msg, r, public);
-        let h_inv = h.invert()?;
+        let h_inv = h.invert().ok_or(VerifyError::NonInvertibleChallenge)?;
         // V·P - h·R ∈ G2 (two scalar mults), S/h ∈ G1 (one scalar mult).
-        let vp = ops::mul_g2(&params.p(), v);
+        let vp = ops::mul_g2_fixed(g2_generator_table(), v);
         let hr = ops::mul_g2(r, &h);
         let lhs_g2 = vp.sub(&hr);
         let s_over_h = ops::mul_g1(s, &h_inv);
         if s_over_h.is_identity() || lhs_g2.is_identity() {
-            return None;
+            return Err(VerifyError::IdentityPoint);
         }
-        Some(ops::pair(&s_over_h.to_affine(), &lhs_g2.to_affine()))
+        Ok(ops::pair(&s_over_h.to_affine(), &lhs_g2.to_affine()))
     }
 }
 
@@ -150,13 +153,15 @@ impl CertificatelessScheme for McCls {
         public: &UserPublicKey,
         msg: &[u8],
         sig: &Signature,
-    ) -> bool {
-        let Some(lhs) = Self::verification_pairing(params, public, msg, sig) else {
-            return false;
-        };
+    ) -> Result<(), VerifyError> {
+        let lhs = Self::verification_pairing(public, msg, sig)?;
         let q_id = params.hash_identity(id);
-        let rhs = ops::pair(&q_id.to_affine(), &params.p_pub.to_affine());
-        lhs == rhs
+        let rhs = ops::pair_prepared(&q_id.to_affine(), params.prepared_p_pub());
+        if lhs == rhs {
+            Ok(())
+        } else {
+            Err(VerifyError::PairingMismatch)
+        }
     }
 
     fn claimed_table1_profile(&self) -> (ClaimedOps, ClaimedOps) {
@@ -174,6 +179,11 @@ impl CertificatelessScheme for McCls {
 /// With the cache warm, McCLS verification costs one pairing and three
 /// scalar multiplications; the first contact with a new identity pays
 /// one extra pairing (plus the `H1` map) to fill the cache.
+///
+/// Superseded by [`crate::Verifier`], which additionally owns the
+/// system parameters and the peers' public keys so call sites stop
+/// threading `(params, public)` through every verification. This type
+/// remains for callers that manage key distribution themselves.
 #[derive(Debug, Default)]
 pub struct VerifierCache {
     entries: HashMap<Vec<u8>, Gt>,
@@ -203,15 +213,17 @@ impl VerifierCache {
         public: &UserPublicKey,
         msg: &[u8],
         sig: &Signature,
-    ) -> bool {
-        let Some(lhs) = McCls::verification_pairing(params, public, msg, sig) else {
-            return false;
-        };
+    ) -> Result<(), VerifyError> {
+        let lhs = McCls::verification_pairing(public, msg, sig)?;
         let rhs = self.entries.entry(id.to_vec()).or_insert_with(|| {
             let q_id = params.hash_identity(id);
-            ops::pair(&q_id.to_affine(), &params.p_pub.to_affine())
+            ops::pair_prepared(&q_id.to_affine(), params.prepared_p_pub())
         });
-        lhs == *rhs
+        if lhs == *rhs {
+            Ok(())
+        } else {
+            Err(VerifyError::PairingMismatch)
+        }
     }
 }
 
@@ -243,7 +255,9 @@ mod tests {
         let (params, _kgc, partial, keys, mut rng) = setup();
         let scheme = McCls::new();
         let sig = scheme.sign(&params, b"alice", &partial, &keys, b"hello", &mut rng);
-        assert!(scheme.verify(&params, b"alice", &keys.public, b"hello", &sig));
+        assert!(scheme
+            .verify(&params, b"alice", &keys.public, b"hello", &sig)
+            .is_ok());
     }
 
     #[test]
@@ -251,7 +265,9 @@ mod tests {
         let (params, _kgc, partial, keys, mut rng) = setup();
         let scheme = McCls::new();
         let sig = scheme.sign(&params, b"alice", &partial, &keys, b"hello", &mut rng);
-        assert!(!scheme.verify(&params, b"alice", &keys.public, b"tampered", &sig));
+        assert!(scheme
+            .verify(&params, b"alice", &keys.public, b"tampered", &sig)
+            .is_err());
     }
 
     #[test]
@@ -259,7 +275,9 @@ mod tests {
         let (params, _kgc, partial, keys, mut rng) = setup();
         let scheme = McCls::new();
         let sig = scheme.sign(&params, b"alice", &partial, &keys, b"hello", &mut rng);
-        assert!(!scheme.verify(&params, b"bob", &keys.public, b"hello", &sig));
+        assert!(scheme
+            .verify(&params, b"bob", &keys.public, b"hello", &sig)
+            .is_err());
     }
 
     #[test]
@@ -268,7 +286,9 @@ mod tests {
         let scheme = McCls::new();
         let sig = scheme.sign(&params, b"alice", &partial, &keys, b"hello", &mut rng);
         let other = scheme.generate_key_pair(&params, &mut rng);
-        assert!(!scheme.verify(&params, b"alice", &other.public, b"hello", &sig));
+        assert!(scheme
+            .verify(&params, b"alice", &other.public, b"hello", &sig)
+            .is_err());
     }
 
     #[test]
@@ -294,9 +314,15 @@ mod tests {
             s,
             r: r.double(),
         };
-        assert!(!scheme.verify(&params, b"alice", &keys.public, b"hello", &bad_v));
-        assert!(!scheme.verify(&params, b"alice", &keys.public, b"hello", &bad_s));
-        assert!(!scheme.verify(&params, b"alice", &keys.public, b"hello", &bad_r));
+        assert!(scheme
+            .verify(&params, b"alice", &keys.public, b"hello", &bad_v)
+            .is_err());
+        assert!(scheme
+            .verify(&params, b"alice", &keys.public, b"hello", &bad_s)
+            .is_err());
+        assert!(scheme
+            .verify(&params, b"alice", &keys.public, b"hello", &bad_r)
+            .is_err());
     }
 
     #[test]
@@ -307,7 +333,9 @@ mod tests {
             u: G1Projective::generator(),
             v: G1Projective::generator(),
         };
-        assert!(!scheme.verify(&params, b"alice", &keys.public, b"hello", &alien));
+        assert!(scheme
+            .verify(&params, b"alice", &keys.public, b"hello", &alien)
+            .is_err());
     }
 
     #[test]
@@ -317,8 +345,12 @@ mod tests {
         let s1 = scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng);
         let s2 = scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng);
         assert_ne!(s1, s2);
-        assert!(scheme.verify(&params, b"alice", &keys.public, b"m", &s1));
-        assert!(scheme.verify(&params, b"alice", &keys.public, b"m", &s2));
+        assert!(scheme
+            .verify(&params, b"alice", &keys.public, b"m", &s1)
+            .is_ok());
+        assert!(scheme
+            .verify(&params, b"alice", &keys.public, b"m", &s2)
+            .is_ok());
     }
 
     #[test]
@@ -329,8 +361,12 @@ mod tests {
         for i in 0..3u8 {
             let msg = [i; 8];
             let sig = scheme.sign(&params, b"alice", &partial, &keys, &msg, &mut rng);
-            assert!(cache.verify(&params, b"alice", &keys.public, &msg, &sig));
-            assert!(!cache.verify(&params, b"alice", &keys.public, b"zzz", &sig));
+            assert!(cache
+                .verify(&params, b"alice", &keys.public, &msg, &sig)
+                .is_ok());
+            assert!(cache
+                .verify(&params, b"alice", &keys.public, b"zzz", &sig)
+                .is_err());
         }
         assert_eq!(cache.len(), 1);
     }
@@ -342,11 +378,15 @@ mod tests {
         let mut cache = VerifierCache::new();
         let sig = scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng);
         // Warm the cache.
-        assert!(cache.verify(&params, b"alice", &keys.public, b"m", &sig));
+        assert!(cache
+            .verify(&params, b"alice", &keys.public, b"m", &sig)
+            .is_ok());
         let (ok, counts) =
             ops::measure(|| cache.verify(&params, b"alice", &keys.public, b"m", &sig));
-        assert!(ok);
+        assert!(ok.is_ok());
         assert_eq!(counts.pairings, 1, "Table 1: verify = 1p with warm cache");
+        assert_eq!(counts.miller_loops, 1, "exactly one Miller loop");
+        assert_eq!(counts.final_exps, 1, "exactly one final exponentiation");
         assert_eq!(counts.g1_muls, 1);
         assert_eq!(counts.g2_muls, 2);
     }
@@ -370,6 +410,8 @@ mod tests {
         assert_eq!(bytes.len(), sig.encoded_len());
         let parsed = Signature::from_bytes(&bytes).expect("valid encoding");
         assert_eq!(parsed, sig);
-        assert!(scheme.verify(&params, b"alice", &keys.public, b"m", &parsed));
+        assert!(scheme
+            .verify(&params, b"alice", &keys.public, b"m", &parsed)
+            .is_ok());
     }
 }

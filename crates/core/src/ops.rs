@@ -6,13 +6,25 @@
 //! one sign or verify, and reads the counts back — so the reported
 //! operation profile is *measured from the implementation*, not
 //! transcribed from the paper.
+//!
+//! Since the prepared-pairing engine landed, the counters also split a
+//! "pairing" into its two halves — Miller loops and final
+//! exponentiations — so the batch and cached-verify paths can assert the
+//! *shared* final exponentiation the engine buys them: a batch of `n`
+//! signatures shows `n + 1` Miller loops but only one final
+//! exponentiation.
 
 use std::cell::Cell;
 
-use mccls_pairing::{pairing, Fr, G1Affine, G1Projective, G2Affine, G2Projective, Gt};
+use mccls_pairing::{
+    multi_miller_loop, pairing, Fr, G1Affine, G1Projective, G1Table, G2Affine, G2Prepared,
+    G2Projective, G2Table, Gt, MillerLoopResult,
+};
 
 thread_local! {
     static PAIRINGS: Cell<u64> = const { Cell::new(0) };
+    static MILLER_LOOPS: Cell<u64> = const { Cell::new(0) };
+    static FINAL_EXPS: Cell<u64> = const { Cell::new(0) };
     static G1_MULS: Cell<u64> = const { Cell::new(0) };
     static G2_MULS: Cell<u64> = const { Cell::new(0) };
     static GT_EXPS: Cell<u64> = const { Cell::new(0) };
@@ -22,8 +34,15 @@ thread_local! {
 /// A snapshot of the operation counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OpCounts {
-    /// Bilinear pairing evaluations (`p` in Table 1).
+    /// Bilinear pairing evaluations (`p` in Table 1). A pairing product
+    /// of `k` factors with one shared final exponentiation still counts
+    /// `k` here, matching how the paper's column tallies pairings.
     pub pairings: u64,
+    /// Miller loops executed (one per pairing factor).
+    pub miller_loops: u64,
+    /// Final exponentiations executed. Strictly fewer than
+    /// `miller_loops` whenever products share one.
+    pub final_exps: u64,
     /// G1 scalar multiplications.
     pub g1_muls: u64,
     /// G2 scalar multiplications.
@@ -70,6 +89,8 @@ impl core::fmt::Display for OpCounts {
 /// Resets all counters on this thread.
 pub fn reset() {
     PAIRINGS.with(|c| c.set(0));
+    MILLER_LOOPS.with(|c| c.set(0));
+    FINAL_EXPS.with(|c| c.set(0));
     G1_MULS.with(|c| c.set(0));
     G2_MULS.with(|c| c.set(0));
     GT_EXPS.with(|c| c.set(0));
@@ -80,6 +101,8 @@ pub fn reset() {
 pub fn snapshot() -> OpCounts {
     OpCounts {
         pairings: PAIRINGS.with(Cell::get),
+        miller_loops: MILLER_LOOPS.with(Cell::get),
+        final_exps: FINAL_EXPS.with(Cell::get),
         g1_muls: G1_MULS.with(Cell::get),
         g2_muls: G2_MULS.with(Cell::get),
         gt_exps: GT_EXPS.with(Cell::get),
@@ -95,10 +118,56 @@ pub fn measure<T>(f: impl FnOnce() -> T) -> (T, OpCounts) {
     (out, snapshot())
 }
 
-/// Counted pairing evaluation.
+/// Counted pairing evaluation (one Miller loop + one final
+/// exponentiation).
 pub fn pair(p: &G1Affine, q: &G2Affine) -> Gt {
     PAIRINGS.with(|c| c.set(c.get() + 1));
+    MILLER_LOOPS.with(|c| c.set(c.get() + 1));
+    FINAL_EXPS.with(|c| c.set(c.get() + 1));
     pairing(p, q)
+}
+
+/// Counted pairing against a [`G2Prepared`] point whose line
+/// coefficients were cached ahead of time.
+///
+/// Costs the same one Miller loop + one final exponentiation in the
+/// counters as [`pair`], but skips all G2 group arithmetic at runtime —
+/// this is the wrapper the verify hot paths use for the fixed arguments
+/// `P` and `P_pub`.
+pub fn pair_prepared(p: &G1Affine, q: &G2Prepared) -> Gt {
+    PAIRINGS.with(|c| c.set(c.get() + 1));
+    MILLER_LOOPS.with(|c| c.set(c.get() + 1));
+    FINAL_EXPS.with(|c| c.set(c.get() + 1));
+    multi_miller_loop(&[(p, q)]).final_exponentiation()
+}
+
+/// Counted pairing product `∏ e(p_i, q_i)` over prepared points with one
+/// shared final exponentiation.
+///
+/// Counts one `pairings` (and one Miller loop) per factor — matching the
+/// paper's Table 1 accounting, which charges a `k`-factor product as `k`
+/// pairings — but only a single `final_exps`.
+pub fn pairing_product_prepared(pairs: &[(&G1Affine, &G2Prepared)]) -> Gt {
+    let n = pairs.len() as u64;
+    PAIRINGS.with(|c| c.set(c.get() + n));
+    MILLER_LOOPS.with(|c| c.set(c.get() + n));
+    FINAL_EXPS.with(|c| c.set(c.get() + 1));
+    multi_miller_loop(pairs).final_exponentiation()
+}
+
+/// Counted multi-Miller loop *without* the final exponentiation.
+///
+/// Use with [`final_exp`] when a caller wants to combine several loop
+/// results (batch verification) before paying the single exponentiation.
+pub fn miller_loop(pairs: &[(&G1Affine, &G2Prepared)]) -> MillerLoopResult {
+    MILLER_LOOPS.with(|c| c.set(c.get() + pairs.len() as u64));
+    multi_miller_loop(pairs)
+}
+
+/// Counted final exponentiation of an accumulated Miller-loop result.
+pub fn final_exp(m: &MillerLoopResult) -> Gt {
+    FINAL_EXPS.with(|c| c.set(c.get() + 1));
+    m.final_exponentiation()
 }
 
 /// Counted G1 scalar multiplication.
@@ -111,6 +180,21 @@ pub fn mul_g1(p: &G1Projective, k: &Fr) -> G1Projective {
 pub fn mul_g2(p: &G2Projective, k: &Fr) -> G2Projective {
     G2_MULS.with(|c| c.set(c.get() + 1));
     p.mul_scalar(k)
+}
+
+/// Counted fixed-base G1 scalar multiplication through a precomputed
+/// window table. Counts in the same `g1_muls` bucket as [`mul_g1`] so
+/// Table 1 profiles are unaffected by which ladder a scheme picks.
+pub fn mul_g1_fixed(table: &G1Table, k: &Fr) -> G1Projective {
+    G1_MULS.with(|c| c.set(c.get() + 1));
+    table.mul(k)
+}
+
+/// Counted fixed-base G2 scalar multiplication through a precomputed
+/// window table (see [`mul_g1_fixed`]).
+pub fn mul_g2_fixed(table: &G2Table, k: &Fr) -> G2Projective {
+    G2_MULS.with(|c| c.set(c.get() + 1));
+    table.mul(k)
 }
 
 /// Counted G1 scalar multiplication with the uniform-schedule ladder.
@@ -164,6 +248,8 @@ mod tests {
             counts,
             OpCounts {
                 pairings: 1,
+                miller_loops: 1,
+                final_exps: 1,
                 g1_muls: 1,
                 g2_muls: 1,
                 gt_exps: 1,
@@ -173,13 +259,60 @@ mod tests {
     }
 
     #[test]
+    fn prepared_wrappers_split_miller_loops_from_final_exps() {
+        let g1 = G1Projective::generator().to_affine();
+        let prep = G2Prepared::from_projective(&G2Projective::generator());
+        let (_, counts) =
+            measure(|| pairing_product_prepared(&[(&g1, &prep), (&g1, &prep), (&g1, &prep)]));
+        assert_eq!(counts.pairings, 3, "a 3-factor product tallies 3p");
+        assert_eq!(counts.miller_loops, 3);
+        assert_eq!(counts.final_exps, 1, "one shared final exponentiation");
+
+        let (_, counts) = measure(|| {
+            let m = miller_loop(&[(&g1, &prep), (&g1, &prep)]);
+            final_exp(&m)
+        });
+        assert_eq!(counts.pairings, 0, "raw loops are not Table 1 pairings");
+        assert_eq!(counts.miller_loops, 2);
+        assert_eq!(counts.final_exps, 1);
+    }
+
+    #[test]
+    fn pair_prepared_agrees_with_pair() {
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(2);
+        let k = Fr::random(&mut rng);
+        let p = G1Projective::generator().mul_scalar(&k).to_affine();
+        let q = G2Projective::generator();
+        let prep = G2Prepared::from_projective(&q);
+        let ((a, b), counts) = measure(|| (pair(&p, &q.to_affine()), pair_prepared(&p, &prep)));
+        assert_eq!(a, b);
+        assert_eq!(counts.pairings, 2);
+        assert_eq!(counts.miller_loops, 2);
+        assert_eq!(counts.final_exps, 2);
+    }
+
+    #[test]
+    fn fixed_base_wrappers_count_as_scalar_muls() {
+        let k = Fr::from_u64(123456);
+        let (out, counts) = measure(|| {
+            (
+                mul_g1_fixed(mccls_pairing::g1_generator_table(), &k),
+                mul_g2_fixed(mccls_pairing::g2_generator_table(), &k),
+            )
+        });
+        assert_eq!(counts.g1_muls, 1);
+        assert_eq!(counts.g2_muls, 1);
+        assert_eq!(out.0, G1Projective::generator().mul_scalar(&k));
+        assert_eq!(out.1, G2Projective::generator().mul_scalar(&k));
+    }
+
+    #[test]
     fn shorthand_formats_like_table_1() {
         let c = OpCounts {
             pairings: 4,
             g1_muls: 1,
-            g2_muls: 0,
             gt_exps: 1,
-            hashes_to_g1: 0,
+            ..OpCounts::default()
         };
         assert_eq!(c.shorthand(), "4p+1s+1e");
         assert_eq!(OpCounts::default().shorthand(), "-");

@@ -11,7 +11,9 @@
 //! * the user picks `x ∈ Z_r*` and publishes `P_ID = x·P_pub` (McCLS) or
 //!   `x·P` (ZWXF/YHG) in G2 — plus, for AP, a second component in G1.
 
-use mccls_pairing::{Fr, G1Projective, G2Projective};
+use std::sync::OnceLock;
+
+use mccls_pairing::{g2_prepared_generator, Fr, G1Projective, G2Prepared, G2Projective};
 use mccls_rng::RngCore;
 
 use crate::ops;
@@ -28,13 +30,24 @@ pub const DST_HW: &[u8] = b"MCCLS-V01-HW-G1";
 /// `P` is the fixed G2 generator and `G` the fixed G1 generator (the
 /// asymmetric setting needs both); the hash functions are fixed by the
 /// domain tags above.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct SystemParams {
     /// The KGC's public key `P_pub = s·P`.
     pub p_pub: G2Projective,
+    /// Lazily-built Miller-loop line coefficients for `P_pub`, shared by
+    /// every verify path that pairs against the fixed KGC key.
+    prepared_p_pub: OnceLock<G2Prepared>,
 }
 
 impl SystemParams {
+    /// Wraps a KGC public key as system parameters.
+    pub fn new(p_pub: G2Projective) -> Self {
+        Self {
+            p_pub,
+            prepared_p_pub: OnceLock::new(),
+        }
+    }
+
     /// The fixed G2 generator `P`.
     pub fn p(&self) -> G2Projective {
         G2Projective::generator()
@@ -45,11 +58,30 @@ impl SystemParams {
         G1Projective::generator()
     }
 
+    /// `P_pub` with its Miller-loop line coefficients precomputed.
+    ///
+    /// Built on first use and cached for the lifetime of these params,
+    /// so pairing against the KGC key skips all G2 group arithmetic.
+    pub fn prepared_p_pub(&self) -> &G2Prepared {
+        self.prepared_p_pub
+            .get_or_init(|| G2Prepared::from_projective(&self.p_pub))
+    }
+
     /// Hashes an identity onto G1 (`Q_ID = H1(ID)`).
     pub fn hash_identity(&self, id: &[u8]) -> G1Projective {
         ops::hash_to_g1(id, DST_H1)
     }
 }
+
+impl PartialEq for SystemParams {
+    fn eq(&self, other: &Self) -> bool {
+        // The prepared cache is derived from `p_pub`; identity of the
+        // parameters is the KGC key alone.
+        self.p_pub == other.p_pub
+    }
+}
+
+impl Eq for SystemParams {}
 
 /// The KGC master secret `s`.
 ///
@@ -82,7 +114,7 @@ impl Kgc {
         // The master secret drives this multiplication: ct ladder.
         let p_pub = ops::mul_g2_ct(&G2Projective::generator(), &s);
         Self {
-            params: SystemParams { p_pub },
+            params: SystemParams::new(p_pub),
             master: MasterSecret { s },
         }
     }
@@ -91,7 +123,7 @@ impl Kgc {
     pub fn from_master_secret(s: Fr) -> Self {
         let p_pub = G2Projective::generator().mul_scalar(&s);
         Self {
-            params: SystemParams { p_pub },
+            params: SystemParams::new(p_pub),
             master: MasterSecret { s },
         }
     }
@@ -130,9 +162,11 @@ impl PartialPrivateKey {
     /// The paper assumes the KGC is honest here; real deployments check.
     pub fn validate(&self, params: &SystemParams, id: &[u8]) -> bool {
         let q_id = params.hash_identity(id);
-        mccls_pairing::pairing_product(&[
-            (self.d.to_affine(), params.p().to_affine()),
-            (q_id.neg().to_affine(), params.p_pub.to_affine()),
+        let d = self.d.to_affine();
+        let q_neg = q_id.neg().to_affine();
+        ops::pairing_product_prepared(&[
+            (&d, g2_prepared_generator()),
+            (&q_neg, params.prepared_p_pub()),
         ])
         .is_identity()
     }

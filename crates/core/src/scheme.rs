@@ -5,6 +5,7 @@ use mccls_pairing::{Fr, G1Affine, G1Projective, G2Affine, G2Projective};
 use mccls_rng::RngCore;
 
 use crate::params::{Kgc, PartialPrivateKey, SystemParams, UserKeyPair, UserPublicKey};
+use crate::verify::VerifyError;
 
 /// A certificateless signature scheme in the five-stage model of
 /// Al-Riyami and Paterson: `Setup`, `Extract-Partial-Private-Key`,
@@ -46,6 +47,11 @@ pub trait CertificatelessScheme: Send + Sync {
     ) -> Signature;
 
     /// `CL-Verify` a signature for `(id, public key, message)`.
+    ///
+    /// `Ok(())` means the signature is valid; the error variant says
+    /// *why* it was rejected (wrong scheme, degenerate point, failed
+    /// pairing equation, …). Callers that only need a boolean can use
+    /// [`CertificatelessScheme::is_valid`].
     fn verify(
         &self,
         params: &SystemParams,
@@ -53,7 +59,20 @@ pub trait CertificatelessScheme: Send + Sync {
         public: &UserPublicKey,
         msg: &[u8],
         sig: &Signature,
-    ) -> bool;
+    ) -> Result<(), VerifyError>;
+
+    /// Boolean adapter over [`CertificatelessScheme::verify`] for
+    /// callers that don't care about the rejection reason.
+    fn is_valid(
+        &self,
+        params: &SystemParams,
+        id: &[u8],
+        public: &UserPublicKey,
+        msg: &[u8],
+        sig: &Signature,
+    ) -> bool {
+        self.verify(params, id, public, msg, sig).is_ok()
+    }
 
     /// The operation counts the paper's Table 1 claims for this scheme:
     /// `(sign, verify)` as `(pairings, scalar mults, exponentiations)`.

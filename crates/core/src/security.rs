@@ -106,7 +106,9 @@ pub fn run_type1_game(scheme: &dyn CertificatelessScheme, rng: &mut dyn RngCore)
     let random_sig = random_signature_like(&reference, rng);
     outcomes.push(AttackOutcome {
         strategy: "random components",
-        forged: scheme.verify(&params, victim_id, &victim_keys.public, msg, &random_sig),
+        forged: scheme
+            .verify(&params, victim_id, &victim_keys.public, msg, &random_sig)
+            .is_ok(),
     });
 
     // Strategy 2: replace the public key and sign with a fabricated
@@ -118,7 +120,9 @@ pub fn run_type1_game(scheme: &dyn CertificatelessScheme, rng: &mut dyn RngCore)
     let forged = scheme.sign(&params, victim_id, &fake_partial, &adversary_keys, msg, rng);
     outcomes.push(AttackOutcome {
         strategy: "public key replacement + fabricated partial key",
-        forged: scheme.verify(&params, victim_id, &adversary_keys.public, msg, &forged),
+        forged: scheme
+            .verify(&params, victim_id, &adversary_keys.public, msg, &forged)
+            .is_ok(),
     });
 
     // Strategy 3: transplant a signature valid for another identity the
@@ -126,16 +130,22 @@ pub fn run_type1_game(scheme: &dyn CertificatelessScheme, rng: &mut dyn RngCore)
     let adv_id: &[u8] = b"adversary";
     let adv_partial = kgc.extract_partial_private_key(adv_id);
     let adv_sig = scheme.sign(&params, adv_id, &adv_partial, &adversary_keys, msg, rng);
-    debug_assert!(scheme.verify(&params, adv_id, &adversary_keys.public, msg, &adv_sig));
+    debug_assert!(scheme
+        .verify(&params, adv_id, &adversary_keys.public, msg, &adv_sig)
+        .is_ok());
     outcomes.push(AttackOutcome {
         strategy: "identity transplant",
-        forged: scheme.verify(&params, victim_id, &adversary_keys.public, msg, &adv_sig),
+        forged: scheme
+            .verify(&params, victim_id, &adversary_keys.public, msg, &adv_sig)
+            .is_ok(),
     });
 
     // Strategy 4: replay a valid victim signature on a new message.
     outcomes.push(AttackOutcome {
         strategy: "message replay",
-        forged: scheme.verify(&params, victim_id, &victim_keys.public, msg, &reference),
+        forged: scheme
+            .verify(&params, victim_id, &victim_keys.public, msg, &reference)
+            .is_ok(),
     });
 
     GameReport {
@@ -170,7 +180,9 @@ pub fn run_type2_game(scheme: &dyn CertificatelessScheme, rng: &mut dyn RngCore)
     let sig = scheme.sign(&params, victim_id, &victim_partial, &guessed, msg, rng);
     outcomes.push(AttackOutcome {
         strategy: "correct partial key + guessed secret value",
-        forged: scheme.verify(&params, victim_id, &victim_keys.public, msg, &sig),
+        forged: scheme
+            .verify(&params, victim_id, &victim_keys.public, msg, &sig)
+            .is_ok(),
     });
 
     // Strategy 2: sign with the KGC's own fresh key pair and claim it
@@ -179,7 +191,9 @@ pub fn run_type2_game(scheme: &dyn CertificatelessScheme, rng: &mut dyn RngCore)
     let sig = scheme.sign(&params, victim_id, &victim_partial, &kgc_keys, msg, rng);
     outcomes.push(AttackOutcome {
         strategy: "KGC key pair against registered public key",
-        forged: scheme.verify(&params, victim_id, &victim_keys.public, msg, &sig),
+        forged: scheme
+            .verify(&params, victim_id, &victim_keys.public, msg, &sig)
+            .is_ok(),
     });
 
     GameReport {
@@ -318,13 +332,15 @@ mod tests {
             &mut rng,
         );
         assert!(
-            scheme.verify(
-                &params,
-                b"victim",
-                &victim_keys.public,
-                b"malicious KGC message",
-                &forged
-            ),
+            scheme
+                .verify(
+                    &params,
+                    b"victim",
+                    &victim_keys.public,
+                    b"malicious KGC message",
+                    &forged
+                )
+                .is_ok(),
             "the Type II forgery must verify — McCLS's Theorem 2 does not hold"
         );
     }
@@ -346,6 +362,8 @@ mod tests {
             b"msg",
             &mut rng,
         );
-        assert!(!scheme.verify(&params, b"victim", &victim_keys.public, b"msg", &forged));
+        assert!(scheme
+            .verify(&params, b"victim", &victim_keys.public, b"msg", &forged)
+            .is_err());
     }
 }

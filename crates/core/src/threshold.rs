@@ -96,9 +96,7 @@ pub fn threshold_setup(n: usize, t: usize, rng: &mut (impl RngCore + ?Sized)) ->
     // f(x) = s + c1 x + ... + c_{t-1} x^{t-1}
     let coeffs: Vec<Fr> = (0..t).map(|_| Fr::random_nonzero(rng)).collect();
     let s = coeffs[0];
-    let params = SystemParams {
-        p_pub: ops::mul_g2(&G2Projective::generator(), &s),
-    };
+    let params = SystemParams::new(ops::mul_g2(&G2Projective::generator(), &s));
     let servers = (1..=n as u32)
         .map(|i| {
             // Horner evaluation of f(i).
@@ -253,7 +251,9 @@ mod tests {
         let scheme = McCls::new();
         let keys = scheme.generate_key_pair(&setup.params, &mut rng);
         let sig = scheme.sign(&setup.params, id, &partial, &keys, b"msg", &mut rng);
-        assert!(scheme.verify(&setup.params, id, &keys.public, b"msg", &sig));
+        assert!(scheme
+            .verify(&setup.params, id, &keys.public, b"msg", &sig)
+            .is_ok());
     }
 
     #[test]

@@ -1,0 +1,356 @@
+//! The verifier-facing API: structured [`VerifyError`] rejections and
+//! the stateful [`Verifier`] handle fronting the prepared-pairing
+//! engine.
+//!
+//! The free functions on [`CertificatelessScheme`](crate::CertificatelessScheme)
+//! are stateless: every call re-derives `e(Q_ID, P_pub)` and threads a
+//! `(params, id, public)` tuple. A [`Verifier`] owns that state once —
+//! the system parameters (with `P_pub`'s Miller-loop lines prepared),
+//! the per-peer public keys, and the per-peer cached `Gt` constants —
+//! so the hot path is exactly the one pairing the paper's Table 1
+//! promises.
+
+use std::collections::HashMap;
+
+use mccls_rng::RngCore;
+
+use crate::batch::{batch_verify, BatchItem};
+use crate::mccls::McCls;
+use crate::ops;
+use crate::params::{SystemParams, UserPublicKey};
+use crate::scheme::Signature;
+
+/// Why a signature was rejected.
+///
+/// Every verification entry point in this crate returns
+/// `Result<(), VerifyError>`; the variants distinguish malformed input
+/// (encoding, wrong scheme, degenerate points) from an honest-to-goodness
+/// failed pairing equation, which is what intrusion-detection layers
+/// care about when deciding whether a peer is faulty or hostile.
+///
+/// # Examples
+///
+/// ```
+/// use mccls_core::{CertificatelessScheme, McCls, VerifyError};
+/// use mccls_rng::SeedableRng;
+///
+/// let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(1);
+/// let scheme = McCls::new();
+/// let (params, kgc) = scheme.setup(&mut rng);
+/// let partial = scheme.extract_partial_private_key(&kgc, b"alice");
+/// let keys = scheme.generate_key_pair(&params, &mut rng);
+/// let sig = scheme.sign(&params, b"alice", &partial, &keys, b"msg", &mut rng);
+///
+/// // A tampered message is a pairing mismatch, not a parse error.
+/// assert_eq!(
+///     scheme.verify(&params, b"alice", &keys.public, b"other", &sig),
+///     Err(VerifyError::PairingMismatch)
+/// );
+/// // `VerifyError` implements `std::error::Error` for `?`-friendly use.
+/// let err: Box<dyn std::error::Error> = Box::new(VerifyError::PairingMismatch);
+/// assert!(err.to_string().contains("pairing"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// The signature bytes did not parse as any scheme's wire format.
+    BadSignatureEncoding,
+    /// The signature is from a different scheme than the verifier runs.
+    WrongScheme,
+    /// A signature or derived point was the group identity, which the
+    /// pairing equation cannot accept (it would make `e(·,·) = 1`
+    /// trivially and admit forgeries).
+    IdentityPoint,
+    /// The challenge scalar `h` hashed to zero, so `S/h` is undefined.
+    NonInvertibleChallenge,
+    /// The public key is missing a component the scheme requires
+    /// (AP's second, G1 component).
+    MissingKeyComponent,
+    /// The public key failed the scheme's well-formedness pairing check
+    /// (AP's `e(X_A, P_pub) = e(G, Y_A)`).
+    MalformedPublicKey,
+    /// The verifier has no registered public key for this identity.
+    UnknownPeer,
+    /// The pairing equation did not balance: the signature is not valid
+    /// for this `(identity, public key, message)`.
+    PairingMismatch,
+}
+
+impl core::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let msg = match self {
+            VerifyError::BadSignatureEncoding => "signature bytes do not parse",
+            VerifyError::WrongScheme => "signature belongs to a different scheme",
+            VerifyError::IdentityPoint => "degenerate identity point in the equation",
+            VerifyError::NonInvertibleChallenge => "challenge scalar hashed to zero",
+            VerifyError::MissingKeyComponent => "public key lacks a required component",
+            VerifyError::MalformedPublicKey => "public key failed its well-formedness check",
+            VerifyError::UnknownPeer => "no public key registered for this identity",
+            VerifyError::PairingMismatch => "pairing equation did not balance",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// A verifying node's long-lived McCLS verification state.
+///
+/// Owns the [`SystemParams`] (whose `P_pub` line coefficients are
+/// prepared once), the per-peer public keys, and the per-peer cached
+/// constant `e(Q_ID, P_pub)`. Registering a peer pays the one-off
+/// pairing; every subsequent [`Verifier::verify`] for that peer costs
+/// exactly one Miller loop and one final exponentiation (asserted by
+/// op-counter tests).
+///
+/// # Examples
+///
+/// ```
+/// use mccls_core::{CertificatelessScheme, McCls, Verifier, VerifyError};
+/// use mccls_rng::SeedableRng;
+///
+/// let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(9);
+/// let scheme = McCls::new();
+/// let (params, kgc) = scheme.setup(&mut rng);
+/// let partial = scheme.extract_partial_private_key(&kgc, b"node-1");
+/// let keys = scheme.generate_key_pair(&params, &mut rng);
+///
+/// let mut verifier = Verifier::new(params.clone());
+/// verifier.register_peer(b"node-1", keys.public);
+///
+/// let sig = scheme.sign(&params, b"node-1", &partial, &keys, b"RREQ", &mut rng);
+/// assert_eq!(verifier.verify(b"node-1", b"RREQ", &sig), Ok(()));
+/// assert_eq!(
+///     verifier.verify(b"node-1", b"RREP", &sig),
+///     Err(VerifyError::PairingMismatch)
+/// );
+/// assert_eq!(
+///     verifier.verify(b"node-2", b"RREQ", &sig),
+///     Err(VerifyError::UnknownPeer)
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    params: SystemParams,
+    peers: HashMap<Vec<u8>, PeerEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct PeerEntry {
+    public: UserPublicKey,
+    /// The cached right-hand side `e(Q_ID, P_pub)`.
+    rhs: mccls_pairing::Gt,
+}
+
+impl Verifier {
+    /// Creates a verifier for the given system parameters, preparing
+    /// `P_pub`'s Miller-loop lines up front.
+    pub fn new(params: SystemParams) -> Self {
+        // Force the one-off preparation now rather than on the first
+        // packet: verifiers are built at node start-up, not on the
+        // routing hot path.
+        let _ = params.prepared_p_pub();
+        Self {
+            params,
+            peers: HashMap::new(),
+        }
+    }
+
+    /// The system parameters this verifier trusts.
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    /// Registers (or replaces) a peer's public key, paying the one-off
+    /// pairing `e(Q_ID, P_pub)` that later verifications reuse.
+    pub fn register_peer(&mut self, id: &[u8], public: UserPublicKey) {
+        let q_id = self.params.hash_identity(id);
+        let rhs = ops::pair_prepared(&q_id.to_affine(), self.params.prepared_p_pub());
+        self.peers.insert(id.to_vec(), PeerEntry { public, rhs });
+    }
+
+    /// Whether a public key is registered for `id`.
+    pub fn knows_peer(&self, id: &[u8]) -> bool {
+        self.peers.contains_key(id)
+    }
+
+    /// Number of registered peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Verifies a McCLS signature from a registered peer.
+    ///
+    /// With the peer registered this is the paper's Table 1 hot path:
+    /// one pairing (one Miller loop, one final exponentiation), one G1
+    /// scalar multiplication and two G2 scalar multiplications.
+    pub fn verify(&self, id: &[u8], msg: &[u8], sig: &Signature) -> Result<(), VerifyError> {
+        let entry = self.peers.get(id).ok_or(VerifyError::UnknownPeer)?;
+        let lhs = McCls::verification_pairing(&entry.public, msg, sig)?;
+        if lhs == entry.rhs {
+            Ok(())
+        } else {
+            Err(VerifyError::PairingMismatch)
+        }
+    }
+
+    /// Parses `bytes` as a wire-format signature and verifies it.
+    pub fn verify_encoded(&self, id: &[u8], msg: &[u8], bytes: &[u8]) -> Result<(), VerifyError> {
+        let sig = Signature::from_bytes(bytes).ok_or(VerifyError::BadSignatureEncoding)?;
+        self.verify(id, msg, &sig)
+    }
+
+    /// Verifies against an explicitly supplied public key, registering
+    /// it (or replacing a stale one) as a side effect. This is the
+    /// entry point for protocols that carry the key in-band.
+    pub fn verify_with_key(
+        &mut self,
+        id: &[u8],
+        public: &UserPublicKey,
+        msg: &[u8],
+        sig: &Signature,
+    ) -> Result<(), VerifyError> {
+        match self.peers.get(id) {
+            Some(entry) if entry.public == *public => {}
+            _ => self.register_peer(id, *public),
+        }
+        self.verify(id, msg, sig)
+    }
+
+    /// Boolean adapter over [`Verifier::verify`] for callers that don't
+    /// need the rejection reason.
+    pub fn is_valid(&self, id: &[u8], msg: &[u8], sig: &Signature) -> bool {
+        self.verify(id, msg, sig).is_ok()
+    }
+
+    /// Batch-verifies signatures from (possibly unregistered) peers with
+    /// `n + 1` Miller loops and one shared final exponentiation,
+    /// delegating to [`batch_verify`](crate::batch::batch_verify) with
+    /// this verifier's prepared parameters.
+    pub fn verify_batch(
+        &self,
+        items: &[BatchItem<'_>],
+        rng: &mut dyn RngCore,
+    ) -> Result<(), VerifyError> {
+        batch_verify(&self.params, items, rng)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+mod tests {
+    use super::*;
+    use crate::scheme::CertificatelessScheme;
+    use mccls_rng::SeedableRng;
+
+    fn setup() -> (
+        Verifier,
+        SystemParams,
+        crate::params::PartialPrivateKey,
+        crate::params::UserKeyPair,
+        mccls_rng::rngs::StdRng,
+    ) {
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(90);
+        let scheme = McCls::new();
+        let (params, kgc) = scheme.setup(&mut rng);
+        let partial = kgc.extract_partial_private_key(b"alice");
+        let keys = scheme.generate_key_pair(&params, &mut rng);
+        let mut verifier = Verifier::new(params.clone());
+        verifier.register_peer(b"alice", keys.public);
+        (verifier, params, partial, keys, rng)
+    }
+
+    #[test]
+    fn registered_peer_verifies() {
+        let (verifier, params, partial, keys, mut rng) = setup();
+        let scheme = McCls::new();
+        let sig = scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng);
+        assert_eq!(verifier.verify(b"alice", b"m", &sig), Ok(()));
+        assert!(verifier.is_valid(b"alice", b"m", &sig));
+        assert_eq!(
+            verifier.verify(b"alice", b"other", &sig),
+            Err(VerifyError::PairingMismatch)
+        );
+    }
+
+    #[test]
+    fn unknown_peer_is_reported_before_any_pairing_work() {
+        let (verifier, params, partial, keys, mut rng) = setup();
+        let scheme = McCls::new();
+        let sig = scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng);
+        let (res, counts) = ops::measure(|| verifier.verify(b"mallory", b"m", &sig));
+        assert_eq!(res, Err(VerifyError::UnknownPeer));
+        assert_eq!(counts, ops::OpCounts::default());
+    }
+
+    #[test]
+    fn warm_verify_is_one_miller_loop_and_one_final_exp() {
+        let (verifier, params, partial, keys, mut rng) = setup();
+        let scheme = McCls::new();
+        let sig = scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng);
+        let (res, counts) = ops::measure(|| verifier.verify(b"alice", b"m", &sig));
+        assert_eq!(res, Ok(()));
+        assert_eq!(counts.pairings, 1, "Table 1: verify = 1p with warm cache");
+        assert_eq!(counts.miller_loops, 1, "exactly one Miller loop");
+        assert_eq!(counts.final_exps, 1, "exactly one final exponentiation");
+        assert_eq!(counts.g1_muls, 1);
+        assert_eq!(counts.g2_muls, 2);
+    }
+
+    #[test]
+    fn verify_with_key_registers_and_replaces() {
+        let (mut verifier, params, partial, keys, mut rng) = setup();
+        let scheme = McCls::new();
+        let bob = scheme.generate_key_pair(&params, &mut rng);
+        let bob_partial = {
+            let kgc_rng = &mut mccls_rng::rngs::StdRng::seed_from_u64(90);
+            let (_, kgc) = scheme.setup(kgc_rng);
+            kgc.extract_partial_private_key(b"bob")
+        };
+        let sig = scheme.sign(&params, b"bob", &bob_partial, &bob, b"m", &mut rng);
+        assert!(!verifier.knows_peer(b"bob"));
+        assert_eq!(
+            verifier.verify_with_key(b"bob", &bob.public, b"m", &sig),
+            Ok(())
+        );
+        assert!(verifier.knows_peer(b"bob"));
+        assert_eq!(verifier.peer_count(), 2);
+        // A different key for the same identity replaces the entry and
+        // must reject the old signature.
+        let bob2 = scheme.generate_key_pair(&params, &mut rng);
+        assert_eq!(
+            verifier.verify_with_key(b"bob", &bob2.public, b"m", &sig),
+            Err(VerifyError::PairingMismatch)
+        );
+        // Re-verifying with the matching key restores acceptance.
+        assert_eq!(
+            verifier.verify_with_key(b"bob", &bob.public, b"m", &sig),
+            Ok(())
+        );
+        let _ = partial;
+        let _ = keys;
+    }
+
+    #[test]
+    fn encoded_signatures_round_trip_and_garbage_is_flagged() {
+        let (verifier, params, partial, keys, mut rng) = setup();
+        let scheme = McCls::new();
+        let sig = scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng);
+        assert_eq!(
+            verifier.verify_encoded(b"alice", b"m", &sig.to_bytes()),
+            Ok(())
+        );
+        assert_eq!(
+            verifier.verify_encoded(b"alice", b"m", b"not a signature"),
+            Err(VerifyError::BadSignatureEncoding)
+        );
+    }
+
+    #[test]
+    fn error_display_is_human_readable() {
+        let rendered = format!("{}", VerifyError::PairingMismatch);
+        assert!(rendered.contains("pairing"));
+        let err: &dyn std::error::Error = &VerifyError::UnknownPeer;
+        assert!(!err.to_string().is_empty());
+    }
+}

@@ -17,12 +17,13 @@
 //! `U + h·Q_ID = (r + h)·Q_ID`, so both sides equal
 //! `e(Q_ID, P)^{(r+h)(s+x)}`.
 
-use mccls_pairing::{Fr, G1Projective};
+use mccls_pairing::{g2_prepared_generator, Fr, G1Projective, G2Prepared};
 use mccls_rng::RngCore;
 
 use crate::ops;
 use crate::params::{h2_scalar, PartialPrivateKey, SystemParams, UserKeyPair, UserPublicKey};
 use crate::scheme::{CertificatelessScheme, ClaimedOps, Signature};
+use crate::verify::VerifyError;
 
 /// The YHG scheme.
 ///
@@ -38,7 +39,7 @@ use crate::scheme::{CertificatelessScheme, ClaimedOps, Signature};
 /// let partial = scheme.extract_partial_private_key(&kgc, b"alice");
 /// let keys = scheme.generate_key_pair(&params, &mut rng);
 /// let sig = scheme.sign(&params, b"alice", &partial, &keys, b"msg", &mut rng);
-/// assert!(scheme.verify(&params, b"alice", &keys.public, b"msg", &sig));
+/// assert!(scheme.verify(&params, b"alice", &keys.public, b"msg", &sig).is_ok());
 /// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Yhg;
@@ -106,17 +107,26 @@ impl CertificatelessScheme for Yhg {
         public: &UserPublicKey,
         msg: &[u8],
         sig: &Signature,
-    ) -> bool {
+    ) -> Result<(), VerifyError> {
         let Signature::Yhg { u, v } = sig else {
-            return false;
+            return Err(VerifyError::WrongScheme);
         };
         let q_id = params.hash_identity(id);
         let h = Self::challenge(msg, u, public);
-        let lhs = ops::pair(&v.to_affine(), &params.p().to_affine());
-        let u_plus = u.add(&ops::mul_g1(&q_id, &h));
-        let pk_sum = params.p_pub.add(&public.primary);
-        let rhs = ops::pair(&u_plus.to_affine(), &pk_sum.to_affine());
-        lhs == rhs
+        // The two pairings fold into one product with a shared final
+        // exponentiation: e(-V, P) · e(U + h·Q_ID, P_pub + P_ID) == 1,
+        // where P rides on the cached generator line coefficients.
+        let v_neg = v.neg().to_affine();
+        let u_plus = u.add(&ops::mul_g1(&q_id, &h)).to_affine();
+        let pk_sum = G2Prepared::from_projective(&params.p_pub.add(&public.primary));
+        let balanced =
+            ops::pairing_product_prepared(&[(&v_neg, g2_prepared_generator()), (&u_plus, &pk_sum)])
+                .is_identity();
+        if balanced {
+            Ok(())
+        } else {
+            Err(VerifyError::PairingMismatch)
+        }
     }
 
     fn claimed_table1_profile(&self) -> (ClaimedOps, ClaimedOps) {
@@ -153,9 +163,15 @@ mod tests {
         let (params, partial, keys, mut rng) = setup();
         let scheme = Yhg::new();
         let sig = scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng);
-        assert!(scheme.verify(&params, b"alice", &keys.public, b"m", &sig));
-        assert!(!scheme.verify(&params, b"alice", &keys.public, b"n", &sig));
-        assert!(!scheme.verify(&params, b"bob", &keys.public, b"m", &sig));
+        assert!(scheme
+            .verify(&params, b"alice", &keys.public, b"m", &sig)
+            .is_ok());
+        assert!(scheme
+            .verify(&params, b"alice", &keys.public, b"n", &sig)
+            .is_err());
+        assert!(scheme
+            .verify(&params, b"bob", &keys.public, b"m", &sig)
+            .is_err());
     }
 
     #[test]
@@ -164,7 +180,9 @@ mod tests {
         let scheme = Yhg::new();
         let sig = scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng);
         let other = scheme.generate_key_pair(&params, &mut rng);
-        assert!(!scheme.verify(&params, b"alice", &other.public, b"m", &sig));
+        assert!(scheme
+            .verify(&params, b"alice", &other.public, b"m", &sig)
+            .is_err());
     }
 
     #[test]
@@ -177,7 +195,7 @@ mod tests {
         assert_eq!(sign_counts.scalar_muls(), 2, "Table 1: YHG sign = 2s");
         let (ok, verify_counts) =
             ops::measure(|| scheme.verify(&params, b"alice", &keys.public, b"m", &sig));
-        assert!(ok);
+        assert!(ok.is_ok());
         assert_eq!(verify_counts.pairings, 2, "Table 1: YHG verify = 2p");
         assert_eq!(verify_counts.g1_muls, 1);
     }
@@ -188,6 +206,8 @@ mod tests {
         let scheme = Yhg::new();
         let sig = scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng);
         let parsed = Signature::from_bytes(&sig.to_bytes()).unwrap();
-        assert!(scheme.verify(&params, b"alice", &keys.public, b"m", &parsed));
+        assert!(scheme
+            .verify(&params, b"alice", &keys.public, b"m", &parsed)
+            .is_ok());
     }
 }

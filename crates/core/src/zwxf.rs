@@ -16,12 +16,13 @@
 //! `e(V, P) = e(D_ID, P)·e(r·W, P)·e(x·W', P)
 //! = e(Q_ID, s·P)·e(W, r·P)·e(W', x·P)`.
 
-use mccls_pairing::{Fr, G1Projective, G2Projective};
+use mccls_pairing::{g2_prepared_generator, Fr, G1Projective, G2Prepared, G2Projective};
 use mccls_rng::RngCore;
 
 use crate::ops;
 use crate::params::{PartialPrivateKey, SystemParams, UserKeyPair, UserPublicKey, DST_HW};
 use crate::scheme::{CertificatelessScheme, ClaimedOps, Signature};
+use crate::verify::VerifyError;
 
 /// The ZWXF scheme.
 ///
@@ -37,7 +38,7 @@ use crate::scheme::{CertificatelessScheme, ClaimedOps, Signature};
 /// let partial = scheme.extract_partial_private_key(&kgc, b"alice");
 /// let keys = scheme.generate_key_pair(&params, &mut rng);
 /// let sig = scheme.sign(&params, b"alice", &partial, &keys, b"msg", &mut rng);
-/// assert!(scheme.verify(&params, b"alice", &keys.public, b"msg", &sig));
+/// assert!(scheme.verify(&params, b"alice", &keys.public, b"msg", &sig).is_ok());
 /// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Zwxf;
@@ -119,17 +120,35 @@ impl CertificatelessScheme for Zwxf {
         public: &UserPublicKey,
         msg: &[u8],
         sig: &Signature,
-    ) -> bool {
+    ) -> Result<(), VerifyError> {
         let Signature::Zwxf { u, v } = sig else {
-            return false;
+            return Err(VerifyError::WrongScheme);
         };
         let (w, wp) = Self::message_points(msg, id, public, u);
         let q_id = params.hash_identity(id);
-        let lhs = ops::pair(&v.to_affine(), &params.p().to_affine());
-        let rhs = ops::pair(&q_id.to_affine(), &params.p_pub.to_affine())
-            .mul(&ops::pair(&w.to_affine(), &u.to_affine()))
-            .mul(&ops::pair(&wp.to_affine(), &public.primary.to_affine()));
-        lhs == rhs
+        // The four pairings fold into a single product with one shared
+        // final exponentiation:
+        // e(-V, P) · e(Q_ID, P_pub) · e(W, U) · e(W', P_ID) == 1.
+        // P and P_pub ride on cached line coefficients; the two
+        // signature-dependent G2 arguments are prepared on the fly.
+        let v_neg = v.neg().to_affine();
+        let q_aff = q_id.to_affine();
+        let w_aff = w.to_affine();
+        let wp_aff = wp.to_affine();
+        let u_prep = G2Prepared::from_projective(u);
+        let p_id_prep = G2Prepared::from_projective(&public.primary);
+        let balanced = ops::pairing_product_prepared(&[
+            (&v_neg, g2_prepared_generator()),
+            (&q_aff, params.prepared_p_pub()),
+            (&w_aff, &u_prep),
+            (&wp_aff, &p_id_prep),
+        ])
+        .is_identity();
+        if balanced {
+            Ok(())
+        } else {
+            Err(VerifyError::PairingMismatch)
+        }
     }
 
     fn claimed_table1_profile(&self) -> (ClaimedOps, ClaimedOps) {
@@ -166,9 +185,15 @@ mod tests {
         let (params, partial, keys, mut rng) = setup();
         let scheme = Zwxf::new();
         let sig = scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng);
-        assert!(scheme.verify(&params, b"alice", &keys.public, b"m", &sig));
-        assert!(!scheme.verify(&params, b"alice", &keys.public, b"n", &sig));
-        assert!(!scheme.verify(&params, b"bob", &keys.public, b"m", &sig));
+        assert!(scheme
+            .verify(&params, b"alice", &keys.public, b"m", &sig)
+            .is_ok());
+        assert!(scheme
+            .verify(&params, b"alice", &keys.public, b"n", &sig)
+            .is_err());
+        assert!(scheme
+            .verify(&params, b"bob", &keys.public, b"m", &sig)
+            .is_err());
     }
 
     #[test]
@@ -181,8 +206,12 @@ mod tests {
             unreachable!()
         };
         let franken = Signature::Zwxf { u: *u1, v: *v2 };
-        assert!(!scheme.verify(&params, b"alice", &keys.public, b"m1", &franken));
-        assert!(!scheme.verify(&params, b"alice", &keys.public, b"m2", &franken));
+        assert!(scheme
+            .verify(&params, b"alice", &keys.public, b"m1", &franken)
+            .is_err());
+        assert!(scheme
+            .verify(&params, b"alice", &keys.public, b"m2", &franken)
+            .is_err());
     }
 
     #[test]
@@ -199,7 +228,7 @@ mod tests {
         assert_eq!(sign_counts.hashes_to_g1, 2);
         let (ok, verify_counts) =
             ops::measure(|| scheme.verify(&params, b"alice", &keys.public, b"m", &sig));
-        assert!(ok);
+        assert!(ok.is_ok());
         assert_eq!(verify_counts.pairings, 4, "Table 1: ZWXF verify = 4p");
     }
 
@@ -209,6 +238,8 @@ mod tests {
         let scheme = Zwxf::new();
         let sig = scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng);
         let parsed = Signature::from_bytes(&sig.to_bytes()).unwrap();
-        assert!(scheme.verify(&params, b"alice", &keys.public, b"m", &parsed));
+        assert!(scheme
+            .verify(&params, b"alice", &keys.public, b"m", &parsed)
+            .is_ok());
     }
 }

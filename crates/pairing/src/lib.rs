@@ -49,6 +49,7 @@ mod fr;
 mod g1;
 mod g2;
 mod pairing_impl;
+mod prepared;
 
 pub use curve::{AffinePoint, Curve, ProjectivePoint};
 pub use field::Field;
@@ -60,3 +61,7 @@ pub use fr::Fr;
 pub use g1::{hash_to_g1, G1Affine, G1Params, G1Projective};
 pub use g2::{G2Affine, G2Params, G2Projective};
 pub use pairing_impl::{final_exponentiation, pairing, pairing_product, Gt};
+pub use prepared::{
+    g1_generator_table, g2_generator_table, g2_prepared_generator, multi_miller_loop,
+    FixedBaseTable, G1Table, G2Prepared, G2Table, MillerLoopResult,
+};

@@ -30,7 +30,7 @@ use crate::g1::G1Affine;
 use crate::g2::{G2Affine, G2Params};
 
 /// `|u|` for the BLS parameter `u = -0xd201000000010000`.
-const BLS_X: u64 = 0xd201_0000_0001_0000;
+pub(crate) const BLS_X: u64 = 0xd201_0000_0001_0000;
 
 /// An element of the target group `GT ⊂ Fp12*` of order `r`.
 ///

@@ -1,0 +1,608 @@
+//! The precomputation layer behind the verify hot path: prepared G2
+//! points, multi-Miller loops with a shared final exponentiation, and
+//! fixed-base scalar-multiplication tables.
+//!
+//! The McCLS verification equation pairs a message-dependent G1 point
+//! against a message-dependent G2 point *once*, and everything else it
+//! pairs against — the generator `P`, the KGC key `P_pub`, a peer's
+//! long-term `P_ID` — is fixed across calls. Three precomputations
+//! exploit that:
+//!
+//! * [`G2Prepared`] caches the Miller-loop line coefficients of a G2
+//!   point, so pairing against it skips all G2 group arithmetic;
+//! * [`multi_miller_loop`] evaluates `∏ f_{u,Q_i}(P_i)` sharing the
+//!   `Fp12` squarings across terms and returns a [`MillerLoopResult`]
+//!   whose (expensive) final exponentiation is paid once per product
+//!   instead of once per pairing;
+//! * [`FixedBaseTable`] stores signed width-4 windows (wNAF-style
+//!   digits in `[-8, 8]`) of a fixed base so scalar multiplication
+//!   costs ~65 mixed additions and **zero** doublings, instead of the
+//!   ~255 doublings + ~51 additions of the generic wNAF ladder.
+//!
+//! # Examples
+//!
+//! A prepared pairing agrees with the direct one:
+//!
+//! ```
+//! use mccls_pairing::{multi_miller_loop, pairing, G1Affine, G2Affine, G2Prepared};
+//!
+//! let p = G1Affine::generator();
+//! let q = G2Affine::generator();
+//! let prepared = G2Prepared::from_affine(&q);
+//! let fast = multi_miller_loop(&[(&p, &prepared)]).final_exponentiation();
+//! assert_eq!(fast, pairing(&p, &q));
+//! ```
+//!
+//! A fixed-base table agrees with the generic ladder:
+//!
+//! ```
+//! use mccls_pairing::{Fr, G1Projective, G1Table};
+//!
+//! let table = G1Table::new(&G1Projective::generator());
+//! let k = Fr::from_u64(123456789);
+//! assert_eq!(table.mul(&k), G1Projective::generator().mul_scalar(&k));
+//! ```
+
+use std::sync::OnceLock;
+
+use crate::curve::{AffinePoint, Curve, ProjectivePoint};
+use crate::fp::Fp;
+use crate::fp12::Fp12;
+use crate::fp2::Fp2;
+use crate::fr::Fr;
+use crate::g1::{G1Affine, G1Params};
+use crate::g2::{G2Affine, G2Params, G2Projective};
+use crate::pairing_impl::{final_exponentiation, Gt, BLS_X};
+
+/// One (ξ-scaled) Miller-loop line `ℓ(P) = ξ·y_P + b·v·w + λ·(-x_P)·v²·w`
+/// through the working point, reduced to the two coefficients that do
+/// not depend on the G1 argument.
+#[derive(Clone, Copy, Debug)]
+struct LineCoeff {
+    /// The slope `λ` of the tangent/chord.
+    lambda: Fp2,
+    /// `λ·x_T - y_T` for the working point `T` the line passes through.
+    b: Fp2,
+}
+
+/// One iteration of the Miller loop: the doubling line, plus the
+/// addition line on iterations where the BLS parameter has a set bit.
+#[derive(Clone, Copy, Debug)]
+struct Step {
+    double: LineCoeff,
+    add: Option<LineCoeff>,
+}
+
+/// A G2 point with its Miller-loop line coefficients precomputed.
+///
+/// Preparing costs roughly one Miller loop's worth of G2 arithmetic;
+/// every subsequent [`multi_miller_loop`] against the prepared point
+/// pays only the sparse `Fp12` line multiplications. Verifiers prepare
+/// their fixed pairing arguments (`P`, `P_pub`, long-term peer keys)
+/// once and reuse them for every signature.
+///
+/// # Examples
+///
+/// ```
+/// use mccls_pairing::{multi_miller_loop, pairing, Fr, G1Projective, G2Projective, G2Prepared};
+///
+/// let q = (G2Projective::generator() * Fr::from_u64(7)).to_affine();
+/// let prepared = G2Prepared::from_affine(&q);
+/// let p = (G1Projective::generator() * Fr::from_u64(5)).to_affine();
+/// assert_eq!(
+///     multi_miller_loop(&[(&p, &prepared)]).final_exponentiation(),
+///     pairing(&p, &q),
+/// );
+/// ```
+#[derive(Clone, Debug)]
+pub struct G2Prepared {
+    steps: Vec<Step>,
+    infinity: bool,
+}
+
+impl G2Prepared {
+    /// Precomputes the line coefficients of `q`.
+    #[allow(clippy::expect_used)] // mid-loop inversions cannot fail on r-order points
+    pub fn from_affine(q: &G2Affine) -> Self {
+        if q.is_identity() {
+            return Self {
+                steps: Vec::new(),
+                infinity: true,
+            };
+        }
+        let mut steps = Vec::with_capacity(63);
+        let (mut tx, mut ty) = (q.x, q.y);
+        let three = Fp2::new(Fp::from_u64(3), Fp::zero());
+        for i in (0..63).rev() {
+            // Doubling line through T with λ = 3x²/2y; T ← 2T.
+            let lambda = tx
+                .square()
+                .mul(&three)
+                // lint:allow(panic) y = 0 only on 2-torsion; inputs have odd order r
+                .mul(&ty.double().invert().expect("2y != 0 on odd-order points"));
+            let double = LineCoeff {
+                lambda,
+                b: lambda.mul(&tx).sub(&ty),
+            };
+            let x3 = lambda.square().sub(&tx.double());
+            let y3 = lambda.mul(&tx.sub(&x3)).sub(&ty);
+            (tx, ty) = (x3, y3);
+            let add = if (BLS_X >> i) & 1 == 1 {
+                // Addition line through T and Q with λ = (y_Q - y_T)/(x_Q - x_T);
+                // T ← T + Q.
+                let lambda = q
+                    .y
+                    .sub(&ty)
+                    // lint:allow(panic) T = ±Q mid-loop would need x = |u|
+                    .mul(&q.x.sub(&tx).invert().expect("T != ±Q mid-loop"));
+                let line = LineCoeff {
+                    lambda,
+                    b: lambda.mul(&tx).sub(&ty),
+                };
+                let x3 = lambda.square().sub(&tx).sub(&q.x);
+                let y3 = lambda.mul(&tx.sub(&x3)).sub(&ty);
+                (tx, ty) = (x3, y3);
+                Some(line)
+            } else {
+                None
+            };
+            steps.push(Step { double, add });
+        }
+        Self {
+            steps,
+            infinity: false,
+        }
+    }
+
+    /// Prepares a projective point (normalizes first).
+    pub fn from_projective(q: &G2Projective) -> Self {
+        Self::from_affine(&q.to_affine())
+    }
+
+    /// True when this prepares the identity (its pairings are trivial).
+    pub fn is_identity(&self) -> bool {
+        self.infinity
+    }
+}
+
+impl From<&G2Affine> for G2Prepared {
+    fn from(q: &G2Affine) -> Self {
+        Self::from_affine(q)
+    }
+}
+
+impl From<&G2Projective> for G2Prepared {
+    fn from(q: &G2Projective) -> Self {
+        Self::from_projective(q)
+    }
+}
+
+/// The un-exponentiated output of a (multi-)Miller loop.
+///
+/// Miller-loop values multiply homomorphically, so products of pairings
+/// accumulate here and pay [`MillerLoopResult::final_exponentiation`]
+/// exactly once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MillerLoopResult(Fp12);
+
+impl MillerLoopResult {
+    /// The empty product.
+    pub fn one() -> Self {
+        Self(Fp12::one())
+    }
+
+    /// Accumulates another Miller-loop factor.
+    pub fn mul(&self, other: &Self) -> Self {
+        Self(self.0.mul(&other.0))
+    }
+
+    /// Maps into the target group: `f ↦ f^((p¹²-1)/r)`.
+    pub fn final_exponentiation(&self) -> Gt {
+        final_exponentiation(&self.0)
+    }
+
+    /// The raw `Fp12` accumulator.
+    pub fn as_fp12(&self) -> &Fp12 {
+        &self.0
+    }
+}
+
+/// Per-pair state during a multi-Miller loop: the G1-dependent line
+/// inputs and a cursor over the prepared coefficients.
+struct PairEval<'a> {
+    /// `ξ·y_P` — the line's constant coefficient.
+    a: Fp2,
+    /// `-x_P`, multiplied by each line's slope.
+    neg_xp: Fp,
+    steps: core::slice::Iter<'a, Step>,
+}
+
+impl PairEval<'_> {
+    fn apply(&self, f: &Fp12, line: &LineCoeff) -> Fp12 {
+        f.mul_by_line(&self.a, &line.b, &line.lambda.mul_by_fp(&self.neg_xp))
+    }
+}
+
+/// Evaluates `∏ f_{u,Q_i}(P_i)` with one shared squaring schedule.
+///
+/// Pairs where either side is the identity contribute the factor `1`
+/// (matching [`crate::pairing`] / [`crate::pairing_product`]). Apply
+/// [`MillerLoopResult::final_exponentiation`] to land in [`Gt`]:
+/// `multi_miller_loop(pairs).final_exponentiation()` equals the product
+/// of the individual pairings.
+///
+/// # Examples
+///
+/// Verifying `e(aG, H) = e(G, aH)` with two Miller loops and a single
+/// final exponentiation:
+///
+/// ```
+/// use mccls_pairing::{multi_miller_loop, Fr, G1Projective, G2Projective, G2Prepared};
+///
+/// let a = Fr::from_u64(42);
+/// let lhs_g1 = (G1Projective::generator() * a).to_affine();
+/// let rhs_g1 = G1Projective::generator().neg().to_affine();
+/// let h = G2Prepared::from_projective(&G2Projective::generator());
+/// let ah = G2Prepared::from_projective(&(G2Projective::generator() * a));
+/// let check = multi_miller_loop(&[(&lhs_g1, &h), (&rhs_g1, &ah)]);
+/// assert!(check.final_exponentiation().is_identity());
+/// ```
+pub fn multi_miller_loop(pairs: &[(&G1Affine, &G2Prepared)]) -> MillerLoopResult {
+    let mut evals: Vec<PairEval<'_>> = pairs
+        .iter()
+        .filter(|(p, q)| !p.is_identity() && !q.infinity)
+        .map(|(p, q)| PairEval {
+            a: Fp2::new(p.y, p.y),
+            neg_xp: p.x.neg(),
+            steps: q.steps.iter(),
+        })
+        .collect();
+    if evals.is_empty() {
+        return MillerLoopResult(Fp12::one());
+    }
+    let mut f = Fp12::one();
+    for i in (0..63).rev() {
+        f = f.square();
+        let add_bit = (BLS_X >> i) & 1 == 1;
+        for e in evals.iter_mut() {
+            if let Some(step) = e.steps.next() {
+                f = e.apply(&f, &step.double);
+                if add_bit {
+                    if let Some(line) = &step.add {
+                        f = e.apply(&f, line);
+                    }
+                }
+            }
+        }
+    }
+    // u < 0: conjugate once for the whole product (cf. `miller_loop`).
+    MillerLoopResult(f.conjugate())
+}
+
+/// A fixed-base scalar-multiplication table over signed width-4
+/// (wNAF-style) windows.
+///
+/// The scalar is recoded into 65 digits `d_i ∈ [-8, 8]` with
+/// `k = Σ d_i·16^i`; window `i` stores the affine multiples
+/// `{1..8}·16^i·B`, so a multiplication is at most 65 mixed additions
+/// and no doublings. Building the table costs ~520 group operations —
+/// about two generic scalar multiplications — so it pays for itself
+/// after a handful of uses of the same base (`P`, `P_pub`, `G`).
+///
+/// # Examples
+///
+/// ```
+/// use mccls_pairing::{Fr, G2Projective, G2Table};
+///
+/// let table = G2Table::new(&G2Projective::generator());
+/// let k = Fr::from_u64(0xDEAD_BEEF);
+/// assert_eq!(table.mul(&k), G2Projective::generator().mul_scalar(&k));
+/// ```
+#[derive(Clone, Debug)]
+pub struct FixedBaseTable<C: Curve> {
+    /// `windows[w]` holds `[1·16^w·B, …, 8·16^w·B]` in affine form.
+    windows: Vec<[AffinePoint<C>; 8]>,
+}
+
+/// Number of signed radix-16 windows covering a 256-bit scalar (the
+/// recoding carry can spill into a 65th digit).
+const WINDOWS: usize = 65;
+
+/// A fixed-base table over G1.
+pub type G1Table = FixedBaseTable<G1Params>;
+/// A fixed-base table over G2.
+pub type G2Table = FixedBaseTable<G2Params>;
+
+impl<C: Curve> FixedBaseTable<C> {
+    /// Precomputes the window tables for `base`.
+    pub fn new(base: &ProjectivePoint<C>) -> Self {
+        let mut flat = Vec::with_capacity(WINDOWS * 8);
+        let mut power = *base; // 16^w · B
+        for _ in 0..WINDOWS {
+            let mut multiple = power;
+            for j in 0..8 {
+                flat.push(multiple);
+                if j < 7 {
+                    multiple = multiple.add(&power);
+                }
+            }
+            power = power.double().double().double().double();
+        }
+        let affine = ProjectivePoint::batch_to_affine(&flat);
+        let mut windows = Vec::with_capacity(WINDOWS);
+        let mut rows = affine.chunks_exact(8);
+        for row in &mut rows {
+            let mut arr = [AffinePoint::identity(); 8];
+            for (dst, src) in arr.iter_mut().zip(row) {
+                *dst = *src;
+            }
+            windows.push(arr);
+        }
+        Self { windows }
+    }
+
+    /// Multiplies the fixed base by `k` via table lookups.
+    ///
+    /// Equals `base.mul_scalar(k)` for every scalar (property-tested);
+    /// the schedule depends only on the recoded digits of `k`, so this
+    /// belongs on *verifier* paths where scalars are public.
+    pub fn mul(&self, k: &Fr) -> ProjectivePoint<C> {
+        let digits = signed_radix16(&k.to_raw());
+        let mut acc = ProjectivePoint::identity();
+        for (row, &d) in self.windows.iter().zip(digits.iter()) {
+            if d == 0 {
+                continue;
+            }
+            let idx = d.unsigned_abs() as usize - 1;
+            let Some(entry) = row.get(idx) else {
+                continue; // unreachable: |d| <= 8 by construction
+            };
+            let entry = if d < 0 { entry.neg() } else { *entry };
+            acc = acc.add_affine(&entry);
+        }
+        acc
+    }
+}
+
+/// Recodes a 256-bit little-endian scalar into 65 signed radix-16
+/// digits in `[-8, 8]` with `k = Σ d_i·16^i`.
+fn signed_radix16(limbs: &[u64; 4]) -> [i8; WINDOWS] {
+    let mut digits = [0i8; WINDOWS];
+    let mut carry = 0i8;
+    let mut cursor = digits.iter_mut();
+    for &limb in limbs {
+        for shift in 0..16u32 {
+            let nibble = ((limb >> (shift * 4)) & 0xF) as i8 + carry;
+            let d = if nibble > 8 {
+                carry = 1;
+                nibble - 16
+            } else {
+                carry = 0;
+                nibble
+            };
+            if let Some(slot) = cursor.next() {
+                *slot = d;
+            }
+        }
+    }
+    if let Some(slot) = cursor.next() {
+        *slot = carry;
+    }
+    digits
+}
+
+/// The generator `G ∈ G1` as a cached fixed-base table.
+pub fn g1_generator_table() -> &'static G1Table {
+    static TABLE: OnceLock<G1Table> = OnceLock::new();
+    TABLE.get_or_init(|| G1Table::new(&ProjectivePoint::generator()))
+}
+
+/// The generator `P ∈ G2` as a cached fixed-base table.
+pub fn g2_generator_table() -> &'static G2Table {
+    static TABLE: OnceLock<G2Table> = OnceLock::new();
+    TABLE.get_or_init(|| G2Table::new(&ProjectivePoint::generator()))
+}
+
+/// The generator `P ∈ G2` with its line coefficients prepared.
+pub fn g2_prepared_generator() -> &'static G2Prepared {
+    static PREPARED: OnceLock<G2Prepared> = OnceLock::new();
+    PREPARED.get_or_init(|| G2Prepared::from_affine(&AffinePoint::generator()))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+mod tests {
+    use super::*;
+    use crate::g1::G1Projective;
+    use crate::pairing_impl::{pairing, pairing_product};
+    use mccls_rng::SeedableRng;
+
+    #[test]
+    fn prepared_pairing_matches_direct_pairing() {
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(90);
+        for _ in 0..4 {
+            let a = Fr::random(&mut rng);
+            let b = Fr::random(&mut rng);
+            let p = (G1Projective::generator() * a).to_affine();
+            let q = (G2Projective::generator() * b).to_affine();
+            let prepared = G2Prepared::from_affine(&q);
+            assert_eq!(
+                multi_miller_loop(&[(&p, &prepared)]).final_exponentiation(),
+                pairing(&p, &q)
+            );
+        }
+    }
+
+    #[test]
+    fn multi_miller_loop_matches_product_of_pairings() {
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(91);
+        for n in 1..=4usize {
+            let points: Vec<(G1Affine, G2Affine)> = (0..n)
+                .map(|_| {
+                    let a = Fr::random(&mut rng);
+                    let b = Fr::random(&mut rng);
+                    (
+                        (G1Projective::generator() * a).to_affine(),
+                        (G2Projective::generator() * b).to_affine(),
+                    )
+                })
+                .collect();
+            let prepared: Vec<G2Prepared> = points
+                .iter()
+                .map(|(_, q)| G2Prepared::from_affine(q))
+                .collect();
+            let pairs: Vec<(&G1Affine, &G2Prepared)> = points
+                .iter()
+                .zip(prepared.iter())
+                .map(|((p, _), prep)| (p, prep))
+                .collect();
+            let shared = multi_miller_loop(&pairs).final_exponentiation();
+            let mut individual = Gt::identity();
+            for (p, q) in &points {
+                individual = individual.mul(&pairing(p, q));
+            }
+            assert_eq!(shared, individual, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn multi_miller_loop_matches_pairing_product() {
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(92);
+        let a = Fr::random(&mut rng);
+        let b = Fr::random(&mut rng);
+        let g = G1Projective::generator();
+        let h = G2Projective::generator();
+        let pairs_plain = [
+            ((g * a).to_affine(), (h * b).to_affine()),
+            ((g * a.mul(&b)).neg().to_affine(), h.to_affine()),
+        ];
+        let prepared: Vec<G2Prepared> = pairs_plain
+            .iter()
+            .map(|(_, q)| G2Prepared::from_affine(q))
+            .collect();
+        let pairs: Vec<(&G1Affine, &G2Prepared)> = pairs_plain
+            .iter()
+            .zip(prepared.iter())
+            .map(|((p, _), prep)| (p, prep))
+            .collect();
+        assert!(multi_miller_loop(&pairs)
+            .final_exponentiation()
+            .is_identity());
+        assert!(pairing_product(&pairs_plain).is_identity());
+    }
+
+    #[test]
+    fn identity_pairs_contribute_trivially() {
+        let p = G1Affine::generator();
+        let q = G2Affine::generator();
+        let prep_q = G2Prepared::from_affine(&q);
+        let prep_id = G2Prepared::from_affine(&G2Affine::identity());
+        assert!(prep_id.is_identity());
+        assert!(multi_miller_loop(&[(&G1Affine::identity(), &prep_q)])
+            .final_exponentiation()
+            .is_identity());
+        assert!(multi_miller_loop(&[(&p, &prep_id)])
+            .final_exponentiation()
+            .is_identity());
+        assert!(multi_miller_loop(&[]).final_exponentiation().is_identity());
+        // Mixed: identity pairs drop out of a product.
+        assert_eq!(
+            multi_miller_loop(&[(&p, &prep_q), (&p, &prep_id)]).final_exponentiation(),
+            pairing(&p, &q)
+        );
+    }
+
+    #[test]
+    fn miller_loop_result_multiplies_homomorphically() {
+        let p = G1Affine::generator();
+        let q = G2Affine::generator();
+        let prep = G2Prepared::from_affine(&q);
+        let single = multi_miller_loop(&[(&p, &prep)]);
+        let merged = single.mul(&single).final_exponentiation();
+        let joint = multi_miller_loop(&[(&p, &prep), (&p, &prep)]).final_exponentiation();
+        assert_eq!(merged, joint);
+        assert_eq!(
+            MillerLoopResult::one().final_exponentiation(),
+            Gt::identity()
+        );
+    }
+
+    #[test]
+    fn fixed_base_mul_matches_generic_mul_on_random_scalars() {
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(93);
+        let g1 = G1Table::new(&G1Projective::generator());
+        let g2 = G2Table::new(&G2Projective::generator());
+        for _ in 0..8 {
+            let k = Fr::random(&mut rng);
+            assert_eq!(g1.mul(&k), G1Projective::generator().mul_scalar(&k));
+            assert_eq!(g2.mul(&k), G2Projective::generator().mul_scalar(&k));
+        }
+    }
+
+    #[test]
+    fn fixed_base_mul_edge_scalars() {
+        let table = G1Table::new(&G1Projective::generator());
+        assert!(table.mul(&Fr::zero()).is_identity());
+        assert_eq!(table.mul(&Fr::one()), G1Projective::generator());
+        let r_minus_1 = Fr::zero().sub(&Fr::one());
+        assert_eq!(
+            table.mul(&r_minus_1),
+            G1Projective::generator().mul_scalar(&r_minus_1)
+        );
+        // All-8 digits exercise the carry chain: 0x8888...8 nibbles.
+        let k = Fr::from_u64(0x8888_8888_8888_8888);
+        assert_eq!(table.mul(&k), G1Projective::generator().mul_scalar(&k));
+    }
+
+    #[test]
+    fn fixed_base_table_of_non_generator_base() {
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(94);
+        let base = G2Projective::generator() * Fr::random(&mut rng);
+        let table = G2Table::new(&base);
+        let k = Fr::random(&mut rng);
+        assert_eq!(table.mul(&k), base.mul_scalar(&k));
+    }
+
+    #[test]
+    fn fixed_base_table_of_identity_is_identity() {
+        let table = G1Table::new(&G1Projective::identity());
+        assert!(table.mul(&Fr::from_u64(12345)).is_identity());
+    }
+
+    #[test]
+    fn signed_radix16_recomposes() {
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(95);
+        for _ in 0..16 {
+            let k = Fr::random(&mut rng);
+            let digits = signed_radix16(&k.to_raw());
+            // Recompose via Horner in Fr: Σ d_i·16^i.
+            let sixteen = Fr::from_u64(16);
+            let mut acc = Fr::zero();
+            for &d in digits.iter().rev() {
+                acc = acc.mul(&sixteen);
+                let mag = Fr::from_u64(d.unsigned_abs() as u64);
+                acc = if d < 0 { acc.sub(&mag) } else { acc.add(&mag) };
+            }
+            assert_eq!(acc, k);
+            assert!(digits.iter().all(|d| (-8..=8).contains(d)));
+        }
+    }
+
+    #[test]
+    fn cached_generator_tables_work() {
+        let k = Fr::from_u64(77);
+        assert_eq!(
+            g1_generator_table().mul(&k),
+            G1Projective::generator().mul_scalar(&k)
+        );
+        assert_eq!(
+            g2_generator_table().mul(&k),
+            G2Projective::generator().mul_scalar(&k)
+        );
+        assert_eq!(
+            multi_miller_loop(&[(&G1Affine::generator(), g2_prepared_generator())])
+                .final_exponentiation(),
+            pairing(&G1Affine::generator(), &G2Affine::generator())
+        );
+    }
+}

@@ -43,3 +43,24 @@ fn fixtures_do_fail_the_gate() {
     assert!(!mccls_xtask::panic_lint::scan("panic_cases.rs", &panic_src).is_empty());
     assert!(!mccls_xtask::ct_lint::scan("ct_cases.rs", &ct_src).is_empty());
 }
+
+#[test]
+fn prepared_pairing_fixture_fails_both_gates() {
+    // Violations shaped like the prepared-pairing engine (cached line
+    // coefficients, fixed-base table lookups, secret digit recoding)
+    // must keep tripping both lints: the engine's hot loops are exactly
+    // where a computed index or a secret-dependent branch would sneak in.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let src =
+        std::fs::read_to_string(dir.join("prepared_cases.rs")).expect("prepared fixture exists");
+    let panic_findings = mccls_xtask::panic_lint::scan("prepared_cases.rs", &src);
+    assert!(
+        panic_findings.len() >= 3,
+        "expected the computed-index/unwrap/expect seeds to fire, got: {panic_findings:?}"
+    );
+    let ct_findings = mccls_xtask::ct_lint::scan("prepared_cases.rs", &src);
+    assert!(
+        !ct_findings.is_empty(),
+        "expected the secret-digit/blinder branches to fire"
+    );
+}

@@ -55,11 +55,11 @@ fn main() {
     // Sink, path A: verify one by one (with the pairing cache warm).
     let mut cache = VerifierCache::new();
     for ((id, _, keys), ((_, msg), sig)) in sensors.iter().zip(readings.iter().zip(&sigs)) {
-        assert!(cache.verify(&params, id, &keys.public, msg, sig));
+        assert!(cache.verify(&params, id, &keys.public, msg, sig).is_ok());
     }
     let t = Instant::now();
     for ((id, _, keys), ((_, msg), sig)) in sensors.iter().zip(readings.iter().zip(&sigs)) {
-        assert!(cache.verify(&params, id, &keys.public, msg, sig));
+        assert!(cache.verify(&params, id, &keys.public, msg, sig).is_ok());
     }
     let one_by_one = t.elapsed();
 
@@ -75,7 +75,7 @@ fn main() {
         })
         .collect();
     let t = Instant::now();
-    assert!(batch_verify(&params, &batch, &mut rng));
+    assert!(batch_verify(&params, &batch, &mut rng).is_ok());
     let batched = t.elapsed();
     println!(
         "sink verified {} reports: {one_by_one:?} one-by-one (cached) vs {batched:?} batched",
@@ -85,7 +85,7 @@ fn main() {
     // A tampered reading poisons the batch.
     let mut poisoned = batch.clone();
     poisoned[4].msg = b"t=17:03:04 temp=9999C";
-    assert!(!batch_verify(&params, &poisoned, &mut rng));
+    assert!(batch_verify(&params, &poisoned, &mut rng).is_err());
     println!("tampered reading detected by the batch check.");
 
     // Deadline path: offline tokens make the online signature free.
@@ -98,7 +98,9 @@ fn main() {
     }
     let online = t.elapsed();
     let sig = last.expect("tokens remained");
-    assert!(scheme.verify(&params, id, &keys.public, &99u32.to_be_bytes(), &sig));
+    assert!(scheme
+        .verify(&params, id, &keys.public, &99u32.to_be_bytes(), &sig)
+        .is_ok());
     println!(
         "100 online signatures in {online:?} ({:?}/signature) — no group operations.",
         online / 100

@@ -70,6 +70,8 @@ fn main() {
     let scheme = McCls::new();
     let keys = scheme.generate_key_pair(&setup.params, &mut rng);
     let sig = scheme.sign(&setup.params, id, &partial, &keys, b"temp=23C", &mut rng);
-    assert!(scheme.verify(&setup.params, id, &keys.public, b"temp=23C", &sig));
+    assert!(scheme
+        .verify(&setup.params, id, &keys.public, b"temp=23C", &sig)
+        .is_ok());
     println!("McCLS signature under the threshold-extracted key verifies.");
 }

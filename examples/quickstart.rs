@@ -47,8 +47,10 @@ fn main() {
     );
 
     // 5. CL-Verify — anyone holding the public parameters can check.
-    assert!(scheme.verify(&params, id, &keys.public, msg, &sig));
-    assert!(!scheme.verify(&params, id, &keys.public, b"tampered", &sig));
+    assert!(scheme.verify(&params, id, &keys.public, msg, &sig).is_ok());
+    assert!(scheme
+        .verify(&params, id, &keys.public, b"tampered", &sig)
+        .is_err());
     println!("verification: genuine accepted, tampered rejected.");
 
     // 6. The wire form survives a round trip.
@@ -60,9 +62,9 @@ fn main() {
     // 7. Repeated verification of the same peer costs one pairing with
     //    the cached constant e(Q_ID, P_pub).
     let mut cache = VerifierCache::new();
-    assert!(cache.verify(&params, id, &keys.public, msg, &sig));
+    assert!(cache.verify(&params, id, &keys.public, msg, &sig).is_ok());
     let t = std::time::Instant::now();
-    assert!(cache.verify(&params, id, &keys.public, msg, &sig));
+    assert!(cache.verify(&params, id, &keys.public, msg, &sig).is_ok());
     println!(
         "cached verify: {:?} (one pairing + three scalar mults).",
         t.elapsed()

@@ -46,7 +46,9 @@ fn main() {
     let victim = scheme.generate_key_pair(&params, &mut rng);
     let msg = b"any message the malicious KGC chooses";
     let forged = mccls_type2_forgery(&params, &kgc, b"victim", &victim.public, msg, &mut rng);
-    let accepted = scheme.verify(&params, b"victim", &victim.public, msg, &forged);
+    let accepted = scheme
+        .verify(&params, b"victim", &victim.public, msg, &forged)
+        .is_ok();
     println!(
         "forged signature under the victim's registered public key: {}",
         if accepted {

@@ -23,7 +23,7 @@
 //! let partial = scheme.extract_partial_private_key(&kgc, b"node-1");
 //! let keypair = scheme.generate_key_pair(&params, &mut rng);
 //! let sig = scheme.sign(&params, b"node-1", &partial, &keypair, b"hello CPS", &mut rng);
-//! assert!(scheme.verify(&params, b"node-1", &keypair.public, b"hello CPS", &sig));
+//! assert!(scheme.verify(&params, b"node-1", &keypair.public, b"hello CPS", &sig).is_ok());
 //! ```
 
 #![forbid(unsafe_code)]

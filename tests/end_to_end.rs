@@ -27,12 +27,18 @@ fn full_key_hierarchy_and_signature_lifecycle() {
 
         // Wire round trip, then verify both ways.
         let parsed = Signature::from_bytes(&sig.to_bytes()).expect("canonical");
-        assert!(scheme.verify(&params, id, &keys.public, &msg, &parsed));
-        assert!(cache.verify(&params, id, &keys.public, &msg, &parsed));
+        assert!(scheme
+            .verify(&params, id, &keys.public, &msg, &parsed)
+            .is_ok());
+        assert!(cache
+            .verify(&params, id, &keys.public, &msg, &parsed)
+            .is_ok());
         // Identity binding across the fleet.
         for other in &ids {
             if other != id {
-                assert!(!scheme.verify(&params, other, &keys.public, &msg, &sig));
+                assert!(scheme
+                    .verify(&params, other, &keys.public, &msg, &sig)
+                    .is_err());
             }
         }
     }

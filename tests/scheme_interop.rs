@@ -22,7 +22,7 @@ fn signatures_do_not_cross_schemes() {
         for (j, (params, keys, sig)) in worlds.iter().enumerate() {
             let accepted = scheme.verify(params, b"node", &keys.public, b"msg", sig);
             assert_eq!(
-                accepted,
+                accepted.is_ok(),
                 i == j,
                 "{} x world {} must {}",
                 scheme.name(),
@@ -62,7 +62,9 @@ fn wire_encodings_are_injective_and_validated() {
             None => {}
             Some(parsed) => {
                 assert!(
-                    !scheme.verify(&params, b"node", &keys.public, b"msg", &parsed),
+                    scheme
+                        .verify(&params, b"node", &keys.public, b"msg", &parsed)
+                        .is_err(),
                     "{}: corrupted signature must not verify",
                     scheme.name()
                 );
@@ -82,7 +84,9 @@ fn empty_and_large_messages_round_trip() {
         for msg in [&b""[..], &big] {
             let sig = scheme.sign(&params, b"node", &partial, &keys, msg, &mut rng);
             assert!(
-                scheme.verify(&params, b"node", &keys.public, msg, &sig),
+                scheme
+                    .verify(&params, b"node", &keys.public, msg, &sig)
+                    .is_ok(),
                 "{} with {} byte message",
                 scheme.name(),
                 msg.len()
@@ -107,15 +111,23 @@ fn public_key_replacement_needs_no_authority() {
         let new_keys = scheme.generate_key_pair(&params, &mut rng);
         let new_sig = scheme.sign(&params, b"node", &partial, &new_keys, b"m", &mut rng);
 
-        assert!(scheme.verify(&params, b"node", &new_keys.public, b"m", &new_sig));
-        assert!(scheme.verify(&params, b"node", &old_keys.public, b"m", &old_sig));
+        assert!(scheme
+            .verify(&params, b"node", &new_keys.public, b"m", &new_sig)
+            .is_ok());
+        assert!(scheme
+            .verify(&params, b"node", &old_keys.public, b"m", &old_sig)
+            .is_ok());
         assert!(
-            !scheme.verify(&params, b"node", &new_keys.public, b"m", &old_sig),
+            scheme
+                .verify(&params, b"node", &new_keys.public, b"m", &old_sig)
+                .is_err(),
             "{}: old signature must not verify under the rotated key",
             scheme.name()
         );
         assert!(
-            !scheme.verify(&params, b"node", &old_keys.public, b"m", &new_sig),
+            scheme
+                .verify(&params, b"node", &old_keys.public, b"m", &new_sig)
+                .is_err(),
             "{}: new signature must not verify under the retired key",
             scheme.name()
         );
@@ -146,7 +158,7 @@ fn batch_api_spans_many_signers() {
             sig,
         })
         .collect();
-    assert!(batch_verify(&params, &batch, &mut rng));
+    assert!(batch_verify(&params, &batch, &mut rng).is_ok());
 }
 
 #[test]
@@ -159,7 +171,7 @@ fn unicode_and_binary_identities() {
             let partial = scheme.extract_partial_private_key(&kgc, id);
             let keys = scheme.generate_key_pair(&params, &mut rng);
             let sig = scheme.sign(&params, id, &partial, &keys, b"m", &mut rng);
-            assert!(scheme.verify(&params, id, &keys.public, b"m", &sig));
+            assert!(scheme.verify(&params, id, &keys.public, b"m", &sig).is_ok());
         }
     }
 }
