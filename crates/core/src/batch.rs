@@ -63,6 +63,8 @@ pub fn batch_verify(
         };
         // 64-bit small exponent; zero is excluded.
         let z = Fr::from_u64(rng.next_u64() | 1);
+        // ct-ok: z blinds a public linear combination; it guards batch
+        // soundness, not key secrecy
         let s_over_h = ops::mul_g1(s, &h_inv.mul(&z));
         let lhs_g2 = ops::mul_g2_fixed(g2_generator_table(), v).sub(&ops::mul_g2(r, &h));
         // ct-ok: verifier-side check over public signature components;
@@ -72,6 +74,8 @@ pub fn batch_verify(
         }
         pairs.push((s_over_h.to_affine(), G2Prepared::from_projective(&lhs_g2)));
         let q_id = params.hash_identity(item.id);
+        // ct-ok: z blinds a public linear combination; it guards batch
+        // soundness, not key secrecy
         q_sum = q_sum.add(&ops::mul_g1(&q_id, &z));
     }
     let q_neg = q_sum.neg().to_affine();

@@ -139,9 +139,12 @@ impl CertificatelessScheme for McCls {
         let r_scalar = Fr::random_nonzero(rng);
         // S = x⁻¹·D_ID (message independent), R = (r - x)·P. Both
         // scalars are secret, so the sign path uses the ct ladders.
+        // taint-public: S and R are published signature components
         let s = ops::mul_g1_ct(&partial.d, &x_inv);
+        // taint-public: R is a published signature component
         let r = ops::mul_g2_ct(&params.p(), &r_scalar.sub(&keys.secret));
         let h = Self::challenge(msg, &r, &keys.public);
+        // taint-public: V = h·r is a published signature component
         let v = h.mul(&r_scalar);
         Signature::McCls { v, s, r }
     }

@@ -164,6 +164,8 @@ impl PartialPrivateKey {
         let q_id = params.hash_identity(id);
         let d = self.d.to_affine();
         let q_neg = q_id.neg().to_affine();
+        // ct-ok: one-shot extraction check at key issuance; the pairing
+        // admits no repeated timing measurement of D_ID
         ops::pairing_product_prepared(&[
             (&d, g2_prepared_generator()),
             (&q_neg, params.prepared_p_pub()),

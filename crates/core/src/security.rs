@@ -53,7 +53,11 @@ impl GameReport {
 }
 
 fn random_signature_like(template: &Signature, rng: &mut dyn RngCore) -> Signature {
+    // ct-ok: adversary-side forgery fodder, not honest key material
+    // taint-public: fabricated group element the adversary publishes
     let g1 = G1Projective::generator().mul_scalar(&Fr::random_nonzero(rng));
+    // ct-ok: adversary-side forgery fodder, not honest key material
+    // taint-public: fabricated group element the adversary publishes
     let g2 = G2Projective::generator().mul_scalar(&Fr::random_nonzero(rng));
     match template {
         Signature::McCls { .. } => Signature::McCls {
@@ -67,6 +71,8 @@ fn random_signature_like(template: &Signature, rng: &mut dyn RngCore) -> Signatu
         },
         Signature::Zwxf { .. } => Signature::Zwxf { u: g2, v: g1 },
         Signature::Yhg { .. } => {
+            // ct-ok: adversary-side forgery fodder, not honest key material
+            // taint-public: fabricated group element the adversary publishes
             let g1b = G1Projective::generator().mul_scalar(&Fr::random_nonzero(rng));
             Signature::Yhg { u: g1, v: g1b }
         }
@@ -115,8 +121,11 @@ pub fn run_type1_game(scheme: &dyn CertificatelessScheme, rng: &mut dyn RngCore)
     // partial private key (the adversary cannot compute s·Q_ID).
     let adversary_keys = scheme.generate_key_pair(&params, rng);
     let fake_partial = crate::params::PartialPrivateKey {
+        // ct-ok: the adversary fabricates this key; the game measures
+        // forgeability, not timing
         d: G1Projective::generator().mul_scalar(&Fr::random_nonzero(rng)),
     };
+    // taint-public: the forgery is handed to the verifier, i.e. published
     let forged = scheme.sign(&params, victim_id, &fake_partial, &adversary_keys, msg, rng);
     outcomes.push(AttackOutcome {
         strategy: "public key replacement + fabricated partial key",
@@ -177,6 +186,7 @@ pub fn run_type2_game(scheme: &dyn CertificatelessScheme, rng: &mut dyn RngCore)
         secret: Fr::random_nonzero(rng),
         public: victim_keys.public,
     };
+    // taint-public: the forgery is handed to the verifier, i.e. published
     let sig = scheme.sign(&params, victim_id, &victim_partial, &guessed, msg, rng);
     outcomes.push(AttackOutcome {
         strategy: "correct partial key + guessed secret value",
@@ -226,8 +236,14 @@ pub fn mccls_type2_forgery(
 ) -> Signature {
     let s = kgc.master_secret_for_type2_games();
     let q_id = params.hash_identity(id);
+    // ct-ok: the type-2 simulator legitimately holds the master secret;
+    // the game measures forgeability, not timing
+    // taint-public: the forged signature is handed to the verifier, i.e. published
     let d_id = q_id.mul_scalar(&s);
     let rho = Fr::random_nonzero(rng);
+    // ct-ok: the type-2 simulator legitimately holds the master secret;
+    // the game measures forgeability, not timing
+    // taint-public: R of the forged signature is published to the verifier
     let r = params.p().mul_scalar(&rho);
     let h = h2_scalar(&[
         b"mccls",
@@ -235,6 +251,7 @@ pub fn mccls_type2_forgery(
         &r.to_affine().to_compressed(),
         &victim_public.to_bytes(),
     ]);
+    // taint-public: V of the forged signature is published to the verifier
     let v = h.mul(&Fr::one().add(&rho));
     Signature::McCls { v, s: d_id, r }
 }

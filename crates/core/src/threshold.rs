@@ -96,7 +96,7 @@ pub fn threshold_setup(n: usize, t: usize, rng: &mut (impl RngCore + ?Sized)) ->
     // f(x) = s + c1 x + ... + c_{t-1} x^{t-1}
     let coeffs: Vec<Fr> = (0..t).map(|_| Fr::random_nonzero(rng)).collect();
     let s = coeffs[0];
-    let params = SystemParams::new(ops::mul_g2(&G2Projective::generator(), &s));
+    let params = SystemParams::new(ops::mul_g2_ct(&G2Projective::generator(), &s));
     let servers = (1..=n as u32)
         .map(|i| {
             // Horner evaluation of f(i).

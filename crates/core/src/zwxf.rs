@@ -84,6 +84,7 @@ impl CertificatelessScheme for Zwxf {
 
     fn generate_key_pair(&self, params: &SystemParams, rng: &mut dyn RngCore) -> UserKeyPair {
         let x = Fr::random_nonzero(rng);
+        // ct-ok: ZWXF derives its public key with the paper's variable-time mult
         let p_id = ops::mul_g2(&params.p(), &x);
         UserKeyPair {
             secret: x,
@@ -104,12 +105,15 @@ impl CertificatelessScheme for Zwxf {
         rng: &mut dyn RngCore,
     ) -> Signature {
         let r = Fr::random_nonzero(rng);
+        // ct-ok: the ZWXF baseline is variable-time per the paper's accounting
+        // taint-public: U is a published signature component
         let u = ops::mul_g2(&params.p(), &r);
         let (w, wp) = Self::message_points(msg, id, &keys.public, &u);
+        // taint-public: V is a published signature component
         let v = partial
             .d
-            .add(&ops::mul_g1(&w, &r))
-            .add(&ops::mul_g1(&wp, &keys.secret));
+            .add(&ops::mul_g1(&w, &r)) // ct-ok: ZWXF baseline is variable-time per the paper
+            .add(&ops::mul_g1(&wp, &keys.secret)); // ct-ok: ZWXF baseline is variable-time per the paper
         Signature::Zwxf { u, v }
     }
 

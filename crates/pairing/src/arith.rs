@@ -44,9 +44,13 @@ pub const fn geq<const N: usize>(a: &[u64; N], b: &[u64; N]) -> bool {
     let mut i = N;
     while i > 0 {
         i -= 1;
+        // ct-ok: backs the documented conditional-subtraction
+        // normalization; the compared value is uniform sampler output
+        // or headroom-bounded (DESIGN.md §8)
         if a[i] > b[i] {
             return true;
         }
+        // ct-ok: same conditional-subtraction normalization as above
         if a[i] < b[i] {
             return false;
         }
@@ -302,6 +306,9 @@ impl BigUint {
     /// Builds from little-endian limbs, trimming high zeros.
     pub fn from_limbs(limbs: &[u64]) -> Self {
         let mut v = limbs.to_vec();
+        // ct-ok: BigUint is the variable-length scratch integer for
+        // constants and encodings, never live key material; the
+        // name-based call graph cannot see the type split (DESIGN.md §8)
         while v.len() > 1 && v.last() == Some(&0) {
             v.pop();
         }
@@ -352,6 +359,8 @@ impl BigUint {
                 carry = c;
             }
             // lint:allow(panic) i + other len <= out.len() - 1
+            // ct-ok: BigUint scratch; limb counts are public encoding
+            // widths, never key material
             out[i + other.limbs.len()] = carry;
         }
         Self::from_limbs(&out)
@@ -436,9 +445,12 @@ impl BigUint {
         for i in (0..n).rev() {
             let a = self.limbs.get(i).copied().unwrap_or(0);
             let b = other.limbs.get(i).copied().unwrap_or(0);
+            // ct-ok: BigUint scratch compares public encodings and
+            // constants, never live key material
             if a > b {
                 return true;
             }
+            // ct-ok: same public BigUint scratch compare as above
             if a < b {
                 return false;
             }

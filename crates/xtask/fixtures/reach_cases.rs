@@ -1,0 +1,43 @@
+//! Seeded panic-reachability violations. NOT compiled — parsed as text
+//! by the gate tests to prove `reach::analyze` still connects a panic
+//! site to the public API across call boundaries.
+//!
+//! `verify` is locally panic-free; the `unwrap` lives two calls down in
+//! `normalize_limbs`, so only the interprocedural BFS can report it as
+//! API-reachable. The CLEAN twins must never produce a `reach` finding:
+//! one panic is unreachable from any API root, the other carries a
+//! justified suppression. (The local panic lint would still flag both
+//! twins' panic sites — the gate test exercises only the reach pass.)
+
+/// API root, locally clean: no panic in this body.
+fn verify(sig: &Signature, msg: &[u8]) -> bool {
+    let point = decode_point(&sig.r);
+    point.on_curve() && check_equation(&point, msg)
+}
+
+/// Middle hop, also locally clean.
+fn decode_point(bytes: &[u8; 96]) -> G1 {
+    let limbs = normalize_limbs(bytes);
+    G1::from_limbs(&limbs)
+}
+
+/// The leaf: reachable from `verify` only through `decode_point`.
+fn normalize_limbs(bytes: &[u8; 96]) -> [u64; 6] {
+    let first = bytes.chunks(8).next().unwrap(); // finding: unwrap reachable from verify
+    [first[0] as u64, 0, 0, 0, 0, 0]
+}
+
+/// CLEAN: identical panic, but nothing on an API-root path calls this,
+/// so the reach pass stays silent about it.
+fn orphan_helper(bytes: &[u8]) -> u64 {
+    let first = bytes.first().unwrap();
+    u64::from(*first)
+}
+
+/// CLEAN: on the API path, but the panic site carries a justified
+/// suppression, which the reach pass honours.
+fn check_equation(point: &G1, msg: &[u8]) -> bool {
+    // lint:allow(panic) msg is non-empty: verify rejects empty messages first
+    let lead = msg.first().expect("non-empty message");
+    point.pair_check(*lead)
+}

@@ -1,0 +1,249 @@
+//! Workspace-wide call graph over parsed files.
+//!
+//! Nodes are non-test `fn` items; edges link call expressions to every
+//! function the callee name can plausibly resolve to. Resolution is
+//! name-based and **over-approximate** by design (DESIGN.md §8):
+//!
+//! * a path call `ops::mul_g1(..)` prefers functions whose file stem or
+//!   owner type matches the qualifier (`Self` resolves to the caller's
+//!   owner), falling back to every function of that name;
+//! * a method call `.invert()` links to every known method of that name
+//!   — trait dispatch and generics are not modelled;
+//! * names that resolve to nothing (std/external calls) produce no edge.
+//!
+//! Over-approximation errs on the side of reporting: a spurious edge can
+//! at worst demand one extra reviewed suppression, while a missing edge
+//! would hide a real secret flow.
+
+use std::collections::HashMap;
+
+use crate::parser::{FnItem, ParsedFile};
+
+/// Index of a function node: `(file index, fn index)`.
+pub type NodeId = (usize, usize);
+
+/// One resolved call edge.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Index into the caller's `calls` vector.
+    pub call: usize,
+    /// The resolved callee (an index into [`CallGraph::nodes`]).
+    pub callee: usize,
+}
+
+/// The workspace call graph.
+pub struct CallGraph {
+    /// All non-test function nodes, in deterministic file order.
+    pub nodes: Vec<NodeId>,
+    /// Outgoing edges per node (indexed like `nodes`).
+    pub edges: Vec<Vec<Edge>>,
+    /// Function name → node indices (into `nodes`).
+    by_name: HashMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph over every non-test function in `files`.
+    pub fn build(files: &[ParsedFile]) -> Self {
+        let mut nodes = Vec::new();
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (gi, f) in file.fns.iter().enumerate() {
+                if f.is_test {
+                    continue;
+                }
+                let idx = nodes.len();
+                nodes.push((fi, gi));
+                by_name.entry(f.name.clone()).or_default().push(idx);
+            }
+        }
+
+        let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); nodes.len()];
+        for ni in 0..nodes.len() {
+            let (fi, gi) = nodes[ni];
+            let caller = &files[fi].fns[gi];
+            for (ci, call) in caller.calls.iter().enumerate() {
+                let Some(cands) = by_name.get(&call.callee) else {
+                    continue;
+                };
+                let targets = narrow_candidates(files, &nodes, caller, call, cands);
+                for target in targets {
+                    edges[ni].push(Edge {
+                        call: ci,
+                        callee: target,
+                    });
+                }
+            }
+        }
+        Self {
+            nodes,
+            edges,
+            by_name,
+        }
+    }
+
+    /// The function item behind node index `ni`.
+    pub fn item<'a>(&self, files: &'a [ParsedFile], ni: usize) -> &'a FnItem {
+        let (fi, gi) = self.nodes[ni];
+        &files[fi].fns[gi]
+    }
+
+    /// The file containing node index `ni`.
+    pub fn file<'a>(&self, files: &'a [ParsedFile], ni: usize) -> &'a ParsedFile {
+        &files[self.nodes[ni].0]
+    }
+
+    /// Node indices for every non-test function named `name`.
+    pub fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// The reverse adjacency list: callers of each node.
+    pub fn reverse_edges(&self) -> Vec<Vec<usize>> {
+        let mut rev = vec![Vec::new(); self.nodes.len()];
+        for (ni, out) in self.edges.iter().enumerate() {
+            for e in out {
+                rev[e.callee].push(ni);
+            }
+        }
+        rev
+    }
+}
+
+/// Applies the qualifier filter: keep candidates whose owner type or
+/// file stem matches, unless that filters everything out.
+fn narrow_candidates(
+    files: &[ParsedFile],
+    nodes: &[NodeId],
+    caller: &FnItem,
+    call: &crate::parser::Call,
+    cands: &[usize],
+) -> Vec<usize> {
+    let Some(q) = &call.qualifier else {
+        return cands.to_vec();
+    };
+    let qualifier = if q == "Self" {
+        match &caller.owner {
+            Some(o) => o.clone(),
+            None => return cands.to_vec(),
+        }
+    } else {
+        q.clone()
+    };
+    let narrowed: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&idx| {
+            let (fi, gi) = nodes[idx];
+            let f = &files[fi].fns[gi];
+            f.owner.as_deref() == Some(qualifier.as_str())
+                || file_stem(&files[fi].path).eq_ignore_ascii_case(&qualifier)
+        })
+        .collect();
+    if narrowed.is_empty() {
+        cands.to_vec()
+    } else {
+        narrowed
+    }
+}
+
+fn file_stem(path: &str) -> &str {
+    path.rsplit('/')
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(".rs")
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+mod tests {
+    use super::*;
+    use crate::parser::parse_files;
+
+    fn graph_of(sources: &[(&str, &str)]) -> (Vec<ParsedFile>, CallGraph) {
+        let owned: Vec<(String, String)> = sources
+            .iter()
+            .map(|(p, s)| ((*p).to_owned(), (*s).to_owned()))
+            .collect();
+        let files = parse_files(&owned);
+        let graph = CallGraph::build(&files);
+        (files, graph)
+    }
+
+    #[test]
+    fn links_free_function_calls_across_files() {
+        let (files, g) = graph_of(&[
+            ("a.rs", "fn top() { helper(1); }\n"),
+            ("b.rs", "fn helper(x: u64) -> u64 { x }\n"),
+        ]);
+        let top = g.named("top")[0];
+        assert_eq!(g.edges[top].len(), 1);
+        assert_eq!(g.item(&files, g.edges[top][0].callee).name, "helper");
+    }
+
+    #[test]
+    fn qualifier_narrows_to_owner_or_file_stem() {
+        let (files, g) = graph_of(&[
+            ("ops.rs", "fn mul(x: u64) -> u64 { x }\n"),
+            (
+                "other.rs",
+                "fn mul(x: u64) -> u64 { x + 1 }\nfn top() { ops::mul(3); }\n",
+            ),
+        ]);
+        let top = g.named("top")[0];
+        assert_eq!(g.edges[top].len(), 1);
+        let callee = g.edges[top][0].callee;
+        assert_eq!(g.file(&files, callee).path, "ops.rs");
+    }
+
+    #[test]
+    fn self_qualifier_resolves_to_owner() {
+        let (files, g) = graph_of(&[(
+            "a.rs",
+            "impl Fp { fn mul(&self) {} fn run(&self) { Self::mul(self); } }\n\
+             impl Fr { fn mul(&self) {} }\n",
+        )]);
+        let run = g.named("run")[0];
+        assert_eq!(g.edges[run].len(), 1);
+        let callee = g.edges[run][0].callee;
+        assert_eq!(g.item(&files, callee).owner.as_deref(), Some("Fp"));
+    }
+
+    #[test]
+    fn method_calls_link_to_every_same_named_method() {
+        let (_files, g) = graph_of(&[(
+            "a.rs",
+            "impl A { fn run(&self, x: &B) { x.go(); } }\n\
+             impl B { fn go(&self) {} }\n\
+             impl C { fn go(&self) {} }\n",
+        )]);
+        let run = g.named("run")[0];
+        assert_eq!(g.edges[run].len(), 2, "over-approximate dispatch");
+    }
+
+    #[test]
+    fn std_calls_produce_no_edges() {
+        let (_files, g) = graph_of(&[("a.rs", "fn f(v: &[u8]) -> usize { v.len() }\n")]);
+        let f = g.named("f")[0];
+        assert!(g.edges[f].is_empty());
+    }
+
+    #[test]
+    fn test_functions_are_excluded() {
+        let (_files, g) = graph_of(&[(
+            "a.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests { fn dead() { live(); } }\n",
+        )]);
+        assert_eq!(g.nodes.len(), 1);
+        assert!(g.named("dead").is_empty());
+    }
+
+    #[test]
+    fn reverse_edges_invert_the_graph() {
+        let (_files, g) = graph_of(&[("a.rs", "fn a() { b(); }\nfn b() {}\n")]);
+        let rev = g.reverse_edges();
+        let a = g.named("a")[0];
+        let b = g.named("b")[0];
+        assert_eq!(rev[b], vec![a]);
+        assert!(rev[a].is_empty());
+    }
+}

@@ -1,34 +1,42 @@
-//! The constant-time discipline lint.
+//! The constant-time discipline lint: intraprocedural backend.
 //!
 //! McCLS's selling point is a cheap signing path on exposed mobile
-//! nodes, which makes timing leaks part of the threat model. This lint
-//! flags data-dependent control flow on secret values in the scheme and
-//! curve crates.
+//! nodes, which makes timing leaks part of the threat model. This
+//! module provides the per-function-body taint engine used two ways:
 //!
-//! It runs a deliberately small, function-local taint pass:
+//! * [`scan`] — the function-scoped lint from PR 1: each body is
+//!   analysed in isolation, seeded only by taint *sources* born inside
+//!   it (key-material field reads, RNG draws). Parameters carry no
+//!   taint here.
+//! * [`analyze_body`] — the reusable engine behind the interprocedural
+//!   pass in [`crate::taint`], which additionally seeds declared-secret
+//!   parameters and calls known to return secrets, and reports whether
+//!   the body's return value is secret-carrying.
+//!
+//! The engine's rules:
 //!
 //! 1. **Seed**: an initializer that touches key material or an RNG draw
-//!    (`.secret`, `.master`, `master_secret`, `random_nonzero(..)`,
-//!    `Fr::random(..)`, `.invert_ct(..)`, `.next_u64()`/`.next_u32()`)
-//!    marks its `let` binding as secret-carrying.
-//! 2. **Propagate**: any `let` whose initializer mentions a tainted
-//!    name is tainted too, to a fixed point, within the same function
-//!    body — taint never crosses function boundaries, so a `b` that is
-//!    secret in one function does not condemn every other `b` in the
-//!    file.
-//! 3. **Flag**: a non-test line containing `if`/`while`/`match`, `&&`,
-//!    or `||` together with a tainted name (or a direct `.secret` /
-//!    `.master` access) is a finding, as is a call to the
-//!    variable-time `invert()` on a tainted name.
-//!
-//! Function parameters are *not* taint sources — the lint tracks where
-//! secrets are born, not every value they might flow into across calls.
-//! That keeps the signal high; the generic curve ladder is instead
-//! covered by the runtime `mul_scalar_ct`/`ct_select` API this lint
-//! pushes callers toward.
+//!    ([`TAINT_SOURCES`]) marks its binding as secret-carrying, as does
+//!    any name in the caller-provided seed set.
+//! 2. **Propagate**: `let` bindings *and* plain/compound assignments
+//!    whose right-hand side mentions a tainted name (or calls a
+//!    secret-returning function) become tainted, to a fixed point.
+//!    Tuple/struct patterns are skipped — a deliberate
+//!    under-approximation documented in DESIGN.md §8.
+//! 3. **Declassify**: a binding annotated `// taint-public: <reason>`
+//!    never becomes tainted — the reviewed escape hatch for values that
+//!    are secret-derived but published by the protocol (signature
+//!    components). A bare marker is itself a finding.
+//! 4. **Flag**: data-dependent control flow (`if`/`while`/`match`,
+//!    `&&`, `||`), secret-dependent indexing, division/modulus,
+//!    fallible `?` early returns, and variable-time `invert()` on
+//!    tainted names.
 //!
 //! A reviewed site is suppressed with `// ct-ok: <reason>`; the reason
-//! is mandatory, and a bare marker is itself reported.
+//! must contain at least one alphanumeric character, and a bare or
+//! decorative marker is itself reported.
+
+use std::collections::HashSet;
 
 use crate::lexer::{self, contains_word, is_ident_char};
 use crate::{suppression_near, Finding, Suppression};
@@ -36,8 +44,13 @@ use crate::{suppression_near, Finding, Suppression};
 /// The suppression marker for this lint.
 pub const ALLOW_MARKER: &str = "ct-ok:";
 
+/// The declassification marker: a reviewed statement that a
+/// secret-derived binding is public by protocol (e.g. a published
+/// signature component).
+pub const DECLASS_MARKER: &str = "taint-public:";
+
 /// Initializer fragments that mark a binding as secret-carrying.
-const TAINT_SOURCES: &[&str] = &[
+pub const TAINT_SOURCES: &[&str] = &[
     ".secret",
     ".master",
     "master_secret",
@@ -48,65 +61,180 @@ const TAINT_SOURCES: &[&str] = &[
     ".next_u32(",
 ];
 
-/// Scans one file's source; `file` is the label used in findings.
+/// Fields that are public **by declaration** even on a secret-carrying
+/// base: `keys.public` is the published public key even though `keys`
+/// (a `UserKeyPair`) also holds the secret value. A mention of a
+/// tainted name does not count when every occurrence immediately reads
+/// one of these fields — the textual stand-in for field sensitivity.
+pub const PUBLIC_FIELDS: &[&str] = &["public"];
+
+/// True when `text` mentions `name` other than through a declared
+/// public field: `keys.secret` and bare `keys` count, `keys.public`
+/// does not.
+pub fn mentions_secret(text: &str, name: &str) -> bool {
+    let chars: Vec<char> = text.chars().collect();
+    let pat: Vec<char> = name.chars().collect();
+    if pat.is_empty() || chars.len() < pat.len() {
+        return false;
+    }
+    'occurrence: for i in 0..=chars.len() - pat.len() {
+        if chars[i..i + pat.len()] != pat[..]
+            || (i > 0 && is_ident_char(chars[i - 1]))
+            || chars.get(i + pat.len()).is_some_and(|&c| is_ident_char(c))
+        {
+            continue;
+        }
+        let after: String = chars[i + pat.len()..].iter().collect();
+        for field in PUBLIC_FIELDS {
+            let access = format!(".{field}");
+            if after.starts_with(&access)
+                && !after[access.len()..]
+                    .chars()
+                    .next()
+                    .is_some_and(is_ident_char)
+            {
+                continue 'occurrence;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+/// Result of analysing one function body.
+#[derive(Debug, Default)]
+pub struct BodyAnalysis {
+    /// Names carrying taint after the fixed point (seeds included).
+    pub tainted: Vec<String>,
+    /// Violations as `(1-based file line, message)`, unfiltered by
+    /// suppressions — the caller applies its suppression policy.
+    pub violations: Vec<(usize, String)>,
+    /// Bare `taint-public:` markers (missing a reason) as file lines.
+    pub bare_declass: Vec<usize>,
+    /// True when the body's return value mentions a tainted name.
+    pub returns_secret: bool,
+}
+
+/// Analyses one scrubbed function body.
 ///
-/// The taint pass is **function-scoped**: each `fn` body is analysed in
-/// isolation, so a `b` tainted in one function does not condemn every
-/// other `b` in the file. Bodies inside test spans are skipped outright
-/// (tests branch on random draws constantly, by design).
+/// * `body` — scrubbed text from `{` through the matching `}`;
+/// * `body_line` — 1-based file line of the opening brace;
+/// * `raw_lines` — the file's raw lines (for `taint-public:` markers);
+/// * `seeds` — names tainted on entry (interprocedural parameter taint);
+/// * `secret_calls` — callee names whose return value is secret.
+pub fn analyze_body(
+    body: &str,
+    body_line: usize,
+    raw_lines: &[&str],
+    seeds: &[String],
+    secret_calls: &HashSet<String>,
+) -> BodyAnalysis {
+    let bindings = bindings_of(body);
+    let declassified = declassified_names(&bindings, body_line, raw_lines);
+    let tainted = taint_fixpoint(&bindings, seeds, secret_calls, &declassified.names);
+
+    let mut violations = Vec::new();
+    if !tainted.is_empty() {
+        for (off, line) in body.lines().enumerate() {
+            let lineno = body_line + off;
+            for message in line_violations(line, &tainted) {
+                violations.push((lineno, message));
+            }
+        }
+    }
+    BodyAnalysis {
+        returns_secret: returns_secret(body, &tainted),
+        tainted,
+        violations,
+        bare_declass: declassified.bare_lines,
+    }
+}
+
+/// Scans one file's source with the function-scoped policy of PR 1;
+/// `file` is the label used in findings.
+///
+/// Each `fn` body is analysed in isolation — a `b` tainted in one
+/// function does not condemn every other `b` in the file — and
+/// parameters are not taint sources. Bodies inside test spans are
+/// skipped outright (tests branch on random draws constantly, by
+/// design).
 pub fn scan(file: &str, src: &str) -> Vec<Finding> {
     let scrubbed = lexer::scrub(src);
     let spans = lexer::test_spans(&scrubbed);
     let raw_lines: Vec<&str> = src.lines().collect();
+    let no_secret_calls = HashSet::new();
 
     let mut findings = Vec::new();
     for body in fn_bodies(&scrubbed) {
         if lexer::in_spans(body.start_line, &spans) {
             continue;
         }
-        let bindings = let_bindings(&body.text);
-        let tainted = taint_fixpoint(&bindings);
-        if tainted.is_empty() {
+        let analysis = analyze_body(
+            &body.text,
+            body.start_line,
+            &raw_lines,
+            &[],
+            &no_secret_calls,
+        );
+        findings.extend(filter_violations(file, &raw_lines, &spans, &analysis));
+    }
+    findings
+}
+
+/// Applies test-span and suppression filtering to raw violations,
+/// producing final findings (including bare-marker reports).
+pub fn filter_violations(
+    file: &str,
+    raw_lines: &[&str],
+    spans: &[(usize, usize)],
+    analysis: &BodyAnalysis,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for &(lineno, ref message) in &analysis.violations {
+        if lexer::in_spans(lineno, spans) {
             continue;
         }
-        for (off, line) in body.text.lines().enumerate() {
-            let lineno = body.start_line + off;
-            if lexer::in_spans(lineno, &spans) {
-                continue;
-            }
-            for message in line_violations(line, &tainted) {
-                match suppression_near(&raw_lines, lineno, ALLOW_MARKER) {
-                    Suppression::Justified => {}
-                    Suppression::MissingReason => findings.push(Finding {
-                        file: file.to_owned(),
-                        line: lineno,
-                        lint: "ct",
-                        message: format!("{message} (ct-ok present but gives no reason)"),
-                    }),
-                    Suppression::None => findings.push(Finding {
-                        file: file.to_owned(),
-                        line: lineno,
-                        lint: "ct",
-                        message,
-                    }),
-                }
-            }
+        match suppression_near(raw_lines, lineno, ALLOW_MARKER) {
+            Suppression::Justified => {}
+            Suppression::MissingReason => findings.push(Finding {
+                file: file.to_owned(),
+                line: lineno,
+                lint: "ct",
+                message: format!("{message} (ct-ok present but gives no reason)"),
+            }),
+            Suppression::None => findings.push(Finding {
+                file: file.to_owned(),
+                line: lineno,
+                lint: "ct",
+                message: message.clone(),
+            }),
         }
+    }
+    for &lineno in &analysis.bare_declass {
+        if lexer::in_spans(lineno, spans) {
+            continue;
+        }
+        findings.push(Finding {
+            file: file.to_owned(),
+            line: lineno,
+            lint: "ct",
+            message: "taint-public marker present but gives no reason".to_owned(),
+        });
     }
     findings
 }
 
 /// One `fn` body: the 1-based line its `{` opens on, plus its text
 /// (from the opening brace through the matching close).
-struct FnBody {
-    start_line: usize,
-    text: String,
+pub(crate) struct FnBody {
+    pub(crate) start_line: usize,
+    pub(crate) text: String,
 }
 
 /// Extracts every top-level-or-method `fn` body. A `fn` nested inside a
 /// body already collected is analysed as part of that outer body, like
 /// a closure would be.
-fn fn_bodies(scrubbed: &str) -> Vec<FnBody> {
+pub(crate) fn fn_bodies(scrubbed: &str) -> Vec<FnBody> {
     let chars: Vec<char> = scrubbed.chars().collect();
     let mut out = Vec::new();
     let mut last_close = 0usize;
@@ -122,8 +250,17 @@ fn fn_bodies(scrubbed: &str) -> Vec<FnBody> {
             continue;
         }
         // Find the body's `{`; a `;` first means a bodyless trait decl.
+        // Depth-track brackets so the `;` inside an array type like
+        // `[u64; 4]` (params or return) is not mistaken for one.
         let mut j = i + 2;
-        while j < chars.len() && chars[j] != '{' && chars[j] != ';' {
+        let mut depth = 0i32;
+        while j < chars.len() {
+            match chars[j] {
+                '(' | '[' => depth += 1,
+                ')' | ']' => depth -= 1,
+                '{' | ';' if depth == 0 => break,
+                _ => {}
+            }
             j += 1;
         }
         if j >= chars.len() || chars[j] == ';' {
@@ -164,7 +301,7 @@ fn line_violations(line: &str, tainted: &[String]) -> Vec<String> {
         || line.contains("&&")
         || line.contains("||");
     if branchy {
-        if let Some(name) = tainted.iter().find(|name| contains_word(line, name)) {
+        if let Some(name) = tainted.iter().find(|name| mentions_secret(line, name)) {
             out.push(format!("branch conditioned on secret-carrying `{name}`"));
         } else if line.contains(".secret") || line.contains(".master") {
             out.push("branch conditioned on a key-material field access".to_owned());
@@ -177,65 +314,313 @@ fn line_violations(line: &str, tainted: &[String]) -> Vec<String> {
             ));
         }
     }
-    out
-}
-
-/// `let` bindings as `(name, initializer)` pairs, textually extracted.
-/// Pattern bindings (`let Some(x)`, `let (a, b)`) are skipped: the lint
-/// only tracks plain named bindings, which is what the scheme code uses
-/// for secrets.
-fn let_bindings(scrubbed: &str) -> Vec<(String, String)> {
-    let chars: Vec<char> = scrubbed.chars().collect();
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < chars.len() {
-        if !starts_word_at(&chars, i, "let") {
-            i += 1;
-            continue;
+    // Secret-dependent indexing: a bracket group whose content mentions
+    // a tainted name (memory access pattern leaks the secret).
+    for content in index_contents(line) {
+        if let Some(name) = tainted.iter().find(|name| mentions_secret(&content, name)) {
+            out.push(format!(
+                "secret-dependent index `[{}]` on `{name}`",
+                content.trim()
+            ));
         }
-        i += 3;
-        i = skip_ws(&chars, i);
-        if starts_word_at(&chars, i, "mut") {
-            i += 3;
-            i = skip_ws(&chars, i);
+    }
+    // Division/modulus is variable-time on many cores; flag it when a
+    // tainted name shares the expression.
+    if has_div_operator(line) {
+        if let Some(name) = tainted.iter().find(|name| mentions_secret(line, name)) {
+            out.push(format!(
+                "possible variable-time division/modulus involving secret-carrying `{name}`"
+            ));
         }
-        let start = i;
-        while i < chars.len() && is_ident_char(chars[i]) {
-            i += 1;
-        }
-        let name: String = chars[start..i].iter().collect();
-        let lowercase_start = name
-            .chars()
-            .next()
-            .is_some_and(|c| c.is_lowercase() || c == '_');
-        // Initializer: everything up to the statement's semicolon.
-        let init_start = i;
-        while i < chars.len() && chars[i] != ';' {
-            i += 1;
-        }
-        if !name.is_empty() && name != "_" && lowercase_start {
-            let init: String = chars[init_start..i].iter().collect();
-            if init.trim_start().starts_with([':', '=']) {
-                out.push((name, init));
-            }
+    }
+    // A `?` on a secret-derived fallible value is a data-dependent early
+    // return: the caller observes where the function gave up.
+    if line.contains('?') {
+        if let Some(name) = tainted.iter().find(|name| mentions_secret(line, name)) {
+            out.push(format!(
+                "fallible `?` early return on secret-carrying `{name}`"
+            ));
         }
     }
     out
 }
 
-/// Expands the taint set until stable: seeded by [`TAINT_SOURCES`],
-/// propagated through initializers that mention tainted names.
-fn taint_fixpoint(bindings: &[(String, String)]) -> Vec<String> {
-    let mut tainted: Vec<String> = Vec::new();
+/// Contents of `[...]` groups on a line that follow a value expression
+/// (indexing), skipping array literals/types (top-level `,`/`;`).
+fn index_contents(line: &str) -> Vec<String> {
+    let chars: Vec<char> = line.chars().collect();
+    let mut out = Vec::new();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        let prev = chars[..i]
+            .iter()
+            .rev()
+            .copied()
+            .find(|c| !c.is_whitespace());
+        if !prev.is_some_and(|p| is_ident_char(p) || p == ')' || p == ']') {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut close = None;
+        for (j, &cj) in chars.iter().enumerate().skip(i) {
+            match cj {
+                '[' => depth += 1,
+                ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else { continue };
+        let content: String = chars[i + 1..close].iter().collect();
+        let top_level_sep = {
+            let mut d = 0i32;
+            let mut found = false;
+            for cc in content.chars() {
+                match cc {
+                    '(' | '[' | '{' => d += 1,
+                    ')' | ']' | '}' => d -= 1,
+                    ',' | ';' if d == 0 => {
+                        found = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            found
+        };
+        if !top_level_sep {
+            out.push(content);
+        }
+    }
+    out
+}
+
+/// True when the line contains `/` or `%` as a binary operator (after
+/// scrubbing, `/` can only be division — comments are gone).
+fn has_div_operator(line: &str) -> bool {
+    let chars: Vec<char> = line.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c == '/' || c == '%' {
+            // `/=` and `%=` still divide; `//` cannot survive scrub.
+            let prev = chars[..i]
+                .iter()
+                .rev()
+                .copied()
+                .find(|c| !c.is_whitespace());
+            if prev.is_some_and(|p| is_ident_char(p) || p == ')' || p == ']') {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// A binding: `(name, right-hand side, 0-based line offset in body)`.
+type Binding = (String, String, usize);
+
+/// `let` bindings and plain/compound assignments, textually extracted.
+/// Pattern bindings (`let Some(x)`, `let (a, b)`) are skipped: the lint
+/// only tracks plain named bindings, which is what the scheme code uses
+/// for secrets.
+fn bindings_of(scrubbed: &str) -> Vec<Binding> {
+    let chars: Vec<char> = scrubbed.chars().collect();
+    let mut out = Vec::new();
+    let mut line = 0usize;
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if starts_word_at(&chars, i, "let") {
+            i += 3;
+            i = skip_ws(&chars, i);
+            if starts_word_at(&chars, i, "mut") {
+                i += 3;
+                i = skip_ws(&chars, i);
+            }
+            let start = i;
+            while i < chars.len() && is_ident_char(chars[i]) {
+                i += 1;
+            }
+            let name: String = chars[start..i].iter().collect();
+            let lowercase_start = name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_lowercase() || c == '_');
+            let decl_line = line;
+            // Initializer: everything up to the statement's semicolon.
+            let init_start = i;
+            while i < chars.len() && chars[i] != ';' {
+                if chars[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            if !name.is_empty() && name != "_" && lowercase_start {
+                let init: String = chars[init_start..i].iter().collect();
+                if init.trim_start().starts_with([':', '=']) {
+                    out.push((name, init, decl_line));
+                }
+            }
+            continue;
+        }
+        if chars[i] == '=' && is_plain_or_compound_assign(&chars, i) {
+            if let Some(name) = assigned_base_name(&chars, i) {
+                let decl_line = line;
+                let rhs_start = i + 1;
+                let mut j = rhs_start;
+                let mut rhs_line = line;
+                while j < chars.len() && chars[j] != ';' {
+                    if chars[j] == '\n' {
+                        rhs_line += 1;
+                    }
+                    j += 1;
+                }
+                let rhs: String = chars[rhs_start..j].iter().collect();
+                out.push((name, rhs, decl_line));
+                line = rhs_line;
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// True when the `=` at `i` is a plain assignment or the tail of a
+/// compound one (`+=`, `^=`, …) — not `==`, `<=`, `=>`, `..=`, etc.
+fn is_plain_or_compound_assign(chars: &[char], i: usize) -> bool {
+    if chars.get(i + 1) == Some(&'=') || chars.get(i + 1) == Some(&'>') {
+        return false;
+    }
+    !matches!(
+        i.checked_sub(1).and_then(|p| chars.get(p)),
+        Some(&p) if "=!<>.".contains(p)
+    )
+}
+
+/// The base identifier of the place being assigned at the `=` at `i`:
+/// `t` for `t[j] = v`, `out` for `out.x += v`, `self` for
+/// `self.0 = v`. `None` when the place is not a simple chain.
+fn assigned_base_name(chars: &[char], i: usize) -> Option<String> {
+    let mut j = i; // exclusive end of the place
+                   // Skip one compound-operator char (`+=`, `|=`, …).
+    if let Some(p) = j.checked_sub(1) {
+        if "+-*/%&|^".contains(chars[p]) {
+            j = p;
+        }
+    }
+    // Skip trailing whitespace.
+    while j > 0 && chars[j - 1].is_whitespace() {
+        j -= 1;
+    }
+    let end = j;
+    // Walk back over the place chain: idents, `.`, balanced `[..]`.
+    while let Some(p) = j.checked_sub(1) {
+        let c = chars[p];
+        if is_ident_char(c) || c == '.' {
+            j = p;
+            continue;
+        }
+        if c == ']' {
+            let mut depth = 0i32;
+            let mut k = p;
+            loop {
+                if chars[k] == ']' {
+                    depth += 1;
+                } else if chars[k] == '[' {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k = k.checked_sub(1)?;
+            }
+            j = k;
+            continue;
+        }
+        break;
+    }
+    if j >= end {
+        return None;
+    }
+    // The place must start at a statement-ish boundary, not mid-expression.
+    let before = chars[..j]
+        .iter()
+        .rev()
+        .copied()
+        .find(|c| !c.is_whitespace());
+    if before.is_some_and(|b| !"{};".contains(b)) {
+        return None;
+    }
+    let place: String = chars[j..end].iter().collect();
+    let base: String = place.chars().take_while(|c| is_ident_char(*c)).collect();
+    let ok_start = base
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_lowercase() || c == '_');
+    (ok_start && !base.is_empty() && base != "_").then_some(base)
+}
+
+/// Names declassified by a justified `taint-public:` marker, plus the
+/// lines of bare markers (which are themselves findings).
+struct Declassified {
+    names: HashSet<String>,
+    bare_lines: Vec<usize>,
+}
+
+fn declassified_names(bindings: &[Binding], body_line: usize, raw_lines: &[&str]) -> Declassified {
+    let mut names = HashSet::new();
+    let mut bare_lines = Vec::new();
+    for (name, _, off) in bindings {
+        let file_line = body_line + off;
+        match suppression_near(raw_lines, file_line, DECLASS_MARKER) {
+            Suppression::Justified => {
+                names.insert(name.clone());
+            }
+            Suppression::MissingReason => bare_lines.push(file_line),
+            Suppression::None => {}
+        }
+    }
+    bare_lines.sort_unstable();
+    bare_lines.dedup();
+    Declassified { names, bare_lines }
+}
+
+/// Expands the taint set until stable: seeded by [`TAINT_SOURCES`], the
+/// caller's seed names, and secret-returning calls; propagated through
+/// bindings whose right-hand side mentions tainted names.
+fn taint_fixpoint(
+    bindings: &[Binding],
+    seeds: &[String],
+    secret_calls: &HashSet<String>,
+    declassified: &HashSet<String>,
+) -> Vec<String> {
+    let mut tainted: Vec<String> = seeds
+        .iter()
+        .filter(|s| !declassified.contains(*s))
+        .cloned()
+        .collect();
     loop {
         let mut changed = false;
-        for (name, init) in bindings {
-            if tainted.contains(name) {
+        for (name, init, _) in bindings {
+            if tainted.contains(name) || declassified.contains(name) {
                 continue;
             }
             let from_source = TAINT_SOURCES.iter().any(|s| init.contains(s));
-            let from_taint = tainted.iter().any(|t| contains_word(init, t));
-            if from_source || from_taint {
+            let from_taint = tainted.iter().any(|t| mentions_secret(init, t));
+            let from_call = secret_calls.iter().any(|c| contains_call(init, c));
+            if from_source || from_taint || from_call {
                 tainted.push(name.clone());
                 changed = true;
             }
@@ -244,6 +629,49 @@ fn taint_fixpoint(bindings: &[(String, String)]) -> Vec<String> {
             return tainted;
         }
     }
+}
+
+/// True when `text` contains a call to `name` (the word followed by
+/// an opening paren, ignoring whitespace).
+pub(crate) fn contains_call(text: &str, name: &str) -> bool {
+    let chars: Vec<char> = text.chars().collect();
+    let pat: Vec<char> = name.chars().collect();
+    if pat.is_empty() || chars.len() < pat.len() {
+        return false;
+    }
+    for i in 0..=chars.len() - pat.len() {
+        if chars[i..i + pat.len()] == pat[..]
+            && (i == 0 || !is_ident_char(chars[i - 1]))
+            && chars[i + pat.len()..]
+                .iter()
+                .find(|c| !c.is_whitespace())
+                .is_some_and(|&c| c == '(')
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// True when the body's return value mentions a tainted name: either an
+/// explicit `return <expr>` or the tail expression before the final `}`.
+fn returns_secret(body: &str, tainted: &[String]) -> bool {
+    if tainted.is_empty() {
+        return false;
+    }
+    for line in body.lines() {
+        let t = line.trim_start();
+        if t.starts_with("return ") && tainted.iter().any(|n| mentions_secret(t, n)) {
+            return true;
+        }
+    }
+    // Tail expression: the text after the last `;`, `{`, or inner `}`,
+    // with the body's final `}` stripped.
+    let trimmed = body.trim_end();
+    let without_close = trimmed.strip_suffix('}').unwrap_or(trimmed);
+    let tail_start = without_close.rfind([';', '{', '}']).map_or(0, |p| p + 1);
+    let tail = &without_close[tail_start..];
+    tainted.iter().any(|n| mentions_secret(tail, n))
 }
 
 fn starts_word_at(chars: &[char], i: usize, word: &str) -> bool {
@@ -318,6 +746,14 @@ mod tests {
     }
 
     #[test]
+    fn taint_propagates_through_assignments() {
+        let src = "fn f(k: &Keys) {\n    let mut acc = Acc::zero();\n    acc = acc.mix(&k.secret.invert_ct());\n    if acc.is_zero() { bail(); }\n}\n";
+        let findings = scan("x.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`acc`"));
+    }
+
+    #[test]
     fn parameters_are_not_sources() {
         let src = "fn f(secret_ish: u64) {\n    if secret_ish > 0 { g(); }\n}\n";
         assert!(scan("x.rs", src).is_empty());
@@ -336,6 +772,95 @@ mod tests {
     #[test]
     fn test_modules_are_exempt() {
         let src = "#[cfg(test)]\nmod tests {\n    fn t(k: &Keys) {\n        let x = k.secret;\n        if x.is_zero() { panic!(); }\n    }\n}\n";
+        assert!(scan("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn seeded_params_taint_the_body() {
+        let raw: Vec<&str> = vec![];
+        let a = analyze_body(
+            "{\n    if k.is_zero() { bail(); }\n}",
+            1,
+            &raw,
+            &["k".to_owned()],
+            &HashSet::new(),
+        );
+        assert_eq!(a.violations.len(), 1);
+        assert!(a.violations[0].1.contains("`k`"));
+    }
+
+    #[test]
+    fn secret_returning_calls_taint_bindings() {
+        let raw: Vec<&str> = vec![];
+        let mut secret_calls = HashSet::new();
+        secret_calls.insert("derive_key".to_owned());
+        let a = analyze_body(
+            "{\n    let k = derive_key(seed);\n    if k.is_zero() { bail(); }\n}",
+            1,
+            &raw,
+            &[],
+            &secret_calls,
+        );
+        assert_eq!(a.violations.len(), 1, "{:?}", a.violations);
+        assert!(!a.returns_secret);
+    }
+
+    #[test]
+    fn returns_secret_via_tail_and_return() {
+        let raw: Vec<&str> = vec![];
+        let seeds = ["k".to_owned()];
+        let tail = analyze_body("{\n    k.double()\n}", 1, &raw, &seeds, &HashSet::new());
+        assert!(tail.returns_secret);
+        let explicit = analyze_body(
+            "{\n    return k.double();\n}",
+            1,
+            &raw,
+            &seeds,
+            &HashSet::new(),
+        );
+        assert!(explicit.returns_secret);
+        let neither = analyze_body("{\n    g(&k);\n}", 1, &raw, &seeds, &HashSet::new());
+        assert!(!neither.returns_secret);
+    }
+
+    #[test]
+    fn declassified_bindings_drop_taint() {
+        let src = "fn f(rng: &mut R) -> G2 {\n    let n = Fr::random(rng);\n    // taint-public: R is a published signature component\n    let r = ladder(&n);\n    if r.is_identity() { retry(); }\n    r\n}\n";
+        // `ladder` is not a secret-returning call here, but `r` would be
+        // tainted through `n`… unless declassified.
+        let findings = scan("x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn bare_declass_marker_is_reported() {
+        let src = "fn f(rng: &mut R) -> G2 {\n    let n = Fr::random(rng);\n    // taint-public:\n    let r = ladder(&n);\n    r\n}\n";
+        let findings = scan("x.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("gives no reason"));
+    }
+
+    #[test]
+    fn secret_index_division_and_try_are_flagged() {
+        let src = "fn f(k: &Keys) {\n    let d = k.secret;\n    let e = table[d];\n    let q = n / d;\n    let w = d.checked()?;\n}\n";
+        let msgs: Vec<String> = scan("x.rs", src).into_iter().map(|f| f.message).collect();
+        assert!(
+            msgs.iter().any(|m| m.contains("secret-dependent index")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("division/modulus")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("`?` early return")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn plain_loop_indexing_is_not_flagged() {
+        let src = "fn f(k: &Keys) {\n    let d = k.secret;\n    let mut out = [0u64; 4];\n    for i in 0..4 { out[i] = base[i]; }\n    g(&d);\n}\n";
         assert!(scan("x.rs", src).is_empty());
     }
 }

@@ -140,8 +140,10 @@ pub fn scrub(src: &str) -> String {
                 while i < n && chars[i] != '\'' {
                     if chars[i] == '\\' {
                         out.push(' ');
-                        if chars.get(i + 1).is_some() {
-                            out.push(' ');
+                        // blank(), not ' ': an escaped literal newline
+                        // must survive or every line below desyncs.
+                        if let Some(&esc) = chars.get(i + 1) {
+                            out.push(blank(esc));
                         }
                         i += 2;
                     } else {
@@ -314,6 +316,39 @@ mod tests {
         assert!(in_spans(4, &spans));
         assert!(!in_spans(1, &spans));
         assert!(!in_spans(6, &spans));
+    }
+
+    #[test]
+    fn scrub_line_accounting_survives_raw_strings_and_nested_comments() {
+        let src = "let a = r#\"one\ntwo\"#;\n/* outer /* inner\n*/ still comment\n*/\nfn f() { x.unwrap(); }\n";
+        let s = scrub(src);
+        assert_eq!(s.chars().count(), src.chars().count());
+        assert_eq!(s.matches('\n').count(), src.matches('\n').count());
+        // `unwrap` sits on line 6 of the original; one desynced newline
+        // above it would shift every finding below.
+        let idx = s.find("unwrap").unwrap();
+        assert_eq!(line_of(&s, s[..idx].chars().count()), 6);
+    }
+
+    #[test]
+    fn scrub_multiline_raw_byte_string_keeps_following_lines_aligned() {
+        let src = "let a = br##\"w1\nw2\nw3\"##;\ny.expect(\"no\");\n";
+        let s = scrub(src);
+        assert_eq!(s.matches('\n').count(), src.matches('\n').count());
+        assert!(!s.contains("w1") && !s.contains("w3"));
+        let idx = s.find("expect").unwrap();
+        assert_eq!(line_of(&s, s[..idx].chars().count()), 4);
+    }
+
+    #[test]
+    fn scrub_char_escape_keeps_newline_count() {
+        // `'\<newline>'` is not valid Rust, but the scanner must still
+        // not eat the newline: a desynced line shifts every finding
+        // below it in the file.
+        let src = "let c = '\\\n'; let d = 1;\nx.unwrap();\n";
+        let s = scrub(src);
+        assert_eq!(s.chars().count(), src.chars().count());
+        assert_eq!(s.matches('\n').count(), src.matches('\n').count());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! `mccls-xtask` — the workspace's static-analysis gate.
 //!
-//! `cargo run -p mccls-xtask -- check` runs four lints over the tree and
+//! `cargo run -p mccls-xtask -- check` runs six lints over the tree and
 //! exits non-zero if any finding survives its suppression filter:
 //!
 //! * **panic** — no `unwrap`/`expect`/`panic!`-family macros or risky
@@ -8,24 +8,42 @@
 //!   (`mccls-hash`, `mccls-pairing`, `mccls-core`). Suppress a justified
 //!   site with `// lint:allow(panic) <reason>`.
 //! * **ct** — no branching on secret-carrying identifiers in
-//!   `mccls-core`/`mccls-pairing`, using a light file-local taint pass
-//!   seeded from the key-material field names and RNG draws. Suppress
-//!   with `// ct-ok: <reason>`.
+//!   `mccls-core`/`mccls-pairing`, using a light function-scoped taint
+//!   pass seeded from the key-material field names and RNG draws.
+//!   Suppress with `// ct-ok: <reason>`.
+//! * **taint** — the interprocedural extension of **ct**: secrets are
+//!   tracked across call edges and return values over the workspace
+//!   call graph ([`taint`]), so a master secret branched on two calls
+//!   below `sign()` is still caught. Same suppression marker; a
+//!   published protocol value is declassified at its binding with
+//!   `// taint-public: <reason>`.
+//! * **reach** — panic-reachability from the public scheme API
+//!   ([`reach`]): any `panic!`-family site reachable from
+//!   `sign`/`verify`/key-extraction entry points is reported with its
+//!   call chain.
 //! * **hygiene** — every crate keeps `#![forbid(unsafe_code)]` at its
 //!   root and opts into the shared `[workspace.lints]` table.
 //! * **deps** — every `Cargo.toml` dependency resolves in-repo (path or
 //!   workspace), keeping the build offline-safe by construction.
+//!
+//! Suppression reasons are mandatory everywhere: a marker whose reason
+//! has no alphanumeric content is itself a finding.
 //!
 //! The crate is std-only on purpose: the gate must never be the reason
 //! the offline build breaks.
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod ct_lint;
 pub mod deps_lint;
 pub mod hygiene_lint;
 pub mod lexer;
 pub mod panic_lint;
+pub mod parser;
+pub mod reach;
+pub mod report;
+pub mod taint;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -68,8 +86,10 @@ pub enum Suppression {
 /// Looks for `marker` as a trailing comment on line `line` (1-based) or
 /// anywhere in the contiguous run of comment-only lines directly above.
 ///
-/// The text after the marker is the justification; it must be non-empty
-/// for the suppression to count.
+/// The text after the marker is the justification; it must contain at
+/// least one alphanumeric character for the suppression to count —
+/// whitespace-only or purely decorative "reasons" (`---`, `*/`) are
+/// treated as missing.
 pub fn suppression_near(lines: &[&str], line: usize, marker: &str) -> Suppression {
     fn marker_on(lines: &[&str], l: usize, marker: &str) -> Suppression {
         let Some(text) = lines.get(l.wrapping_sub(1)) else {
@@ -78,10 +98,11 @@ pub fn suppression_near(lines: &[&str], line: usize, marker: &str) -> Suppressio
         match text.find(marker) {
             None => Suppression::None,
             Some(pos) => {
-                if text[pos + marker.len()..].trim().is_empty() {
-                    Suppression::MissingReason
-                } else {
+                let reason = &text[pos + marker.len()..];
+                if reason.chars().any(char::is_alphanumeric) {
                     Suppression::Justified
+                } else {
+                    Suppression::MissingReason
                 }
             }
         }
@@ -137,7 +158,25 @@ pub const PANIC_SCOPE: &[&str] = &["crates/hash", "crates/pairing", "crates/core
 /// Crates subject to the constant-time discipline lint.
 pub const CT_SCOPE: &[&str] = &["crates/core", "crates/pairing"];
 
-/// Runs all four lints over the workspace rooted at `root`.
+/// Crates covered by the interprocedural call graph (taint and
+/// reachability passes).
+pub const GRAPH_SCOPE: &[&str] = &["crates/hash", "crates/pairing", "crates/core"];
+
+/// Reads and parses every `.rs` file in the given scope directories,
+/// labelled with workspace-relative paths.
+pub fn parse_scope(root: &Path, scope: &[&str]) -> Vec<parser::ParsedFile> {
+    let mut sources = Vec::new();
+    for rel in scope {
+        for file in rust_files(&root.join(rel).join("src")) {
+            if let Ok(src) = std::fs::read_to_string(&file) {
+                sources.push((display_path(root, &file), src));
+            }
+        }
+    }
+    parser::parse_files(&sources)
+}
+
+/// Runs all six lints over the workspace rooted at `root`.
 pub fn check_workspace(root: &Path) -> Vec<Finding> {
     let mut findings = Vec::new();
 
@@ -155,6 +194,9 @@ pub fn check_workspace(root: &Path) -> Vec<Finding> {
             }
         }
     }
+    let parsed = parse_scope(root, GRAPH_SCOPE);
+    findings.extend(taint::analyze(&parsed));
+    findings.extend(reach::analyze(&parsed));
     findings.extend(hygiene_lint::scan(root));
     findings.extend(deps_lint::scan(root));
 

@@ -5,6 +5,8 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use mccls_xtask::report::{self, Format};
+
 fn workspace_root() -> PathBuf {
     // This crate always lives at `<root>/crates/xtask`.
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -17,6 +19,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut root = workspace_root();
     let mut command = None;
+    let mut format = Format::Human;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -28,6 +31,16 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 root = PathBuf::from(path);
+                i += 1;
+            }
+            "--format" => {
+                let parsed = args.get(i + 1).and_then(|v| Format::parse(v));
+                let Some(f) = parsed else {
+                    eprintln!("`--format` requires one of: human, json, sarif\n");
+                    print_usage();
+                    return ExitCode::FAILURE;
+                };
+                format = f;
                 i += 1;
             }
             "--help" | "-h" => {
@@ -44,7 +57,7 @@ fn main() -> ExitCode {
     }
 
     match command {
-        Some("check") => run_check(&root),
+        Some("check") => run_check(&root, format),
         _ => {
             print_usage();
             ExitCode::FAILURE
@@ -52,7 +65,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_check(root: &std::path::Path) -> ExitCode {
+fn run_check(root: &std::path::Path, format: Format) -> ExitCode {
     // A wrong root would scan nothing and report a vacuous "clean" —
     // refuse instead, so a misconfigured CI step fails loudly.
     if !root.join("Cargo.toml").is_file() || !root.join("crates").is_dir() {
@@ -64,27 +77,28 @@ fn run_check(root: &std::path::Path) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let findings = mccls_xtask::check_workspace(root);
+    print!("{}", report::render(&findings, format));
     if findings.is_empty() {
-        println!("xtask check: clean (panic, ct, hygiene, deps)");
-        return ExitCode::SUCCESS;
+        ExitCode::SUCCESS
+    } else {
+        if format == Format::Human {
+            println!(
+                "Fix the code, or suppress a reviewed site with \
+                 `// lint:allow(panic) <reason>` / `// ct-ok: <reason>`."
+            );
+        }
+        ExitCode::FAILURE
     }
-    for finding in &findings {
-        println!("{finding}");
-    }
-    println!(
-        "\nxtask check: {} finding(s). Fix the code, or suppress a reviewed \
-         site with `// lint:allow(panic) <reason>` / `// ct-ok: <reason>`.",
-        findings.len()
-    );
-    ExitCode::FAILURE
 }
 
 fn print_usage() {
     println!(
         "mccls-xtask — static-analysis gate for this workspace\n\n\
-         USAGE:\n    cargo run -p mccls-xtask -- check [--root <dir>]\n\n\
+         USAGE:\n    cargo run -p mccls-xtask -- check [--root <dir>] [--format human|json|sarif]\n\n\
          LINTS:\n    panic    no unwrap/expect/panic!-family/risky indexing in crypto crates\n    \
          ct       no branching on secret-carrying identifiers (core, pairing)\n    \
+         taint    interprocedural secret flow across the workspace call graph\n    \
+         reach    panic sites reachable from the public scheme API, with call chains\n    \
          hygiene  #![forbid(unsafe_code)] + [lints] workspace = true everywhere\n    \
          deps     every dependency is an in-repo path (offline-safe builds)"
     );

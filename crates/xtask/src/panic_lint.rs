@@ -27,16 +27,23 @@ pub const ALLOW_MARKER: &str = "lint:allow(panic)";
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
 
+/// Every potential panic site in already-scrubbed text, as
+/// `(1-based line, message)` pairs with no suppression filtering: the
+/// intraprocedural backend shared by [`scan`] and [`crate::reach`].
+pub fn panic_sites(scrubbed: &str) -> Vec<(usize, String)> {
+    let chars: Vec<char> = scrubbed.chars().collect();
+    let mut raw = Vec::new();
+    collect_calls(&chars, scrubbed, &mut raw);
+    collect_indexing(&chars, scrubbed, &mut raw);
+    raw
+}
+
 /// Scans one file's source; `file` is the label used in findings.
 pub fn scan(file: &str, src: &str) -> Vec<Finding> {
     let scrubbed = lexer::scrub(src);
     let spans = lexer::test_spans(&scrubbed);
     let raw_lines: Vec<&str> = src.lines().collect();
-    let chars: Vec<char> = scrubbed.chars().collect();
-
-    let mut raw = Vec::new();
-    collect_calls(&chars, &scrubbed, &mut raw);
-    collect_indexing(&chars, &scrubbed, &mut raw);
+    let raw = panic_sites(&scrubbed);
 
     let mut findings = Vec::new();
     for (line, message) in raw {

@@ -1,0 +1,776 @@
+//! A lightweight Rust item parser on top of [`crate::lexer`].
+//!
+//! The interprocedural passes ([`crate::taint`], [`crate::reach`]) need
+//! more structure than "lines of scrubbed text": which functions exist,
+//! what their parameters are, and which calls each body makes. This
+//! module extracts exactly that — `fn` signatures (with the owning
+//! `impl` type), parameter names and types, return types, and every
+//! call expression with its receiver and argument texts — from scrubbed
+//! source, without a full Rust grammar.
+//!
+//! Deliberate approximations, documented in DESIGN.md §8:
+//!
+//! * functions inside `macro_rules!` bodies are parsed like ordinary
+//!   functions (their `$metavariables` survive as identifiers), which is
+//!   what makes the `montgomery_field!`-generated arithmetic visible to
+//!   the taint pass at all;
+//! * pattern parameters (`(a, b): (Fr, Fr)`) are kept with an empty
+//!   name and never carry taint;
+//! * nested `fn` items are folded into their enclosing body, like
+//!   closures.
+
+use crate::lexer::{self, is_ident_char};
+
+/// One parsed source file.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Path label used in findings (workspace-relative).
+    pub path: String,
+    /// The raw source lines, for suppression-comment lookup.
+    pub raw_lines: Vec<String>,
+    /// All `fn` items found in the file.
+    pub fns: Vec<FnItem>,
+}
+
+/// A parsed `fn` item.
+#[derive(Debug)]
+pub struct FnItem {
+    /// The function name.
+    pub name: String,
+    /// The `impl`/`trait` type the function is defined on, if any.
+    pub owner: Option<String>,
+    /// Parameters in order; `self` receivers become a parameter named
+    /// `self` whose type is the owner.
+    pub params: Vec<Param>,
+    /// Return type text (empty for `()`-returning functions).
+    pub ret: String,
+    /// Scrubbed body text, from the opening `{` through the matching
+    /// closing brace.
+    pub body: String,
+    /// 1-based line the body's `{` opens on.
+    pub body_line: usize,
+    /// True when the item sits inside a `#[cfg(test)]`/`#[test]` span.
+    pub is_test: bool,
+    /// Call expressions made anywhere in the body.
+    pub calls: Vec<Call>,
+}
+
+/// One function parameter.
+#[derive(Debug)]
+pub struct Param {
+    /// Binding name; empty for pattern parameters.
+    pub name: String,
+    /// Type text (trimmed).
+    pub ty: String,
+}
+
+/// One call expression inside a function body.
+#[derive(Debug)]
+pub struct Call {
+    /// Last path segment — the function or method name.
+    pub callee: String,
+    /// The path segment before the name (`ops` in `ops::mul_g1`,
+    /// `Self` in `Self::mont_mul`), if any.
+    pub qualifier: Option<String>,
+    /// True for `.name(...)` method-call syntax.
+    pub is_method: bool,
+    /// Receiver expression text for method calls (`keys.secret` in
+    /// `keys.secret.invert_ct()`).
+    pub receiver: Option<String>,
+    /// Argument expression texts, split on top-level commas.
+    pub args: Vec<String>,
+    /// 1-based source line of the call.
+    pub line: usize,
+}
+
+impl FnItem {
+    /// The parameter names that can carry taint (plain bindings only).
+    pub fn param_names(&self) -> Vec<&str> {
+        self.params
+            .iter()
+            .filter(|p| !p.name.is_empty())
+            .map(|p| p.name.as_str())
+            .collect()
+    }
+}
+
+/// Parses a batch of `(path, source)` pairs.
+pub fn parse_files(sources: &[(String, String)]) -> Vec<ParsedFile> {
+    sources
+        .iter()
+        .map(|(path, src)| parse_file(path, src))
+        .collect()
+}
+
+/// Parses one file.
+pub fn parse_file(path: &str, src: &str) -> ParsedFile {
+    let scrubbed = lexer::scrub(src);
+    let spans = lexer::test_spans(&scrubbed);
+    let chars: Vec<char> = scrubbed.chars().collect();
+    let impls = impl_spans(&chars);
+
+    let mut fns = Vec::new();
+    let mut last_close = 0usize;
+    let mut i = 0;
+    while i < chars.len() {
+        if !starts_word_at(&chars, i, "fn") {
+            i += 1;
+            continue;
+        }
+        if i < last_close {
+            // Nested fn inside a body we already captured.
+            i += 2;
+            continue;
+        }
+        let Some(item) = parse_fn(&chars, &scrubbed, i, &impls, &spans) else {
+            i += 2;
+            continue;
+        };
+        let body_end = item.1;
+        fns.push(item.0);
+        last_close = body_end;
+        i += 2;
+    }
+
+    ParsedFile {
+        path: path.to_owned(),
+        raw_lines: src.lines().map(str::to_owned).collect(),
+        fns,
+    }
+}
+
+/// `impl`/`trait` block spans: `(open_brace, close_brace, owner_type)`.
+fn impl_spans(chars: &[char]) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let is_impl = starts_word_at(chars, i, "impl");
+        let is_trait = starts_word_at(chars, i, "trait");
+        if !is_impl && !is_trait {
+            i += 1;
+            continue;
+        }
+        let kw_len = if is_impl { 4 } else { 5 };
+        let header_start = i + kw_len;
+        // The block body is the first top-level `{` after the keyword.
+        let Some(open) = (header_start..chars.len()).find(|&j| chars[j] == '{') else {
+            break;
+        };
+        let header: String = chars[header_start..open].iter().collect();
+        let owner = if is_trait {
+            first_type_name(&header)
+        } else {
+            impl_owner(&header)
+        };
+        let close = match_brace(chars, open).unwrap_or(chars.len().saturating_sub(1));
+        if let Some(owner) = owner {
+            out.push((open, close, owner));
+        }
+        i = open + 1;
+    }
+    out
+}
+
+/// Owner type of an `impl` header: the type after `for` when present
+/// (`impl Trait for Type`), else the first type name.
+fn impl_owner(header: &str) -> Option<String> {
+    let chars: Vec<char> = header.chars().collect();
+    // Find ` for ` at angle-depth 0 so `Iterator<Item = X> for Y` works.
+    let mut depth = 0i32;
+    let mut j = 0;
+    let mut for_pos = None;
+    while j < chars.len() {
+        match chars[j] {
+            '<' => depth += 1,
+            '>' if j > 0 && chars[j - 1] != '-' => depth -= 1,
+            _ => {}
+        }
+        if depth == 0 && starts_word_at(&chars, j, "for") {
+            for_pos = Some(j + 3);
+            break;
+        }
+        j += 1;
+    }
+    let rest: String = match for_pos {
+        Some(p) => chars[p..].iter().collect(),
+        None => skip_generics(&chars),
+    };
+    first_type_name(&rest)
+}
+
+/// Drops a leading `<...>` generics group (after `impl`).
+fn skip_generics(chars: &[char]) -> String {
+    let mut j = 0;
+    while j < chars.len() && chars[j].is_whitespace() {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'<') {
+        let mut depth = 0i32;
+        while j < chars.len() {
+            match chars[j] {
+                '<' => depth += 1,
+                '>' if chars.get(j.wrapping_sub(1)) != Some(&'-') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    chars[j.min(chars.len())..].iter().collect()
+}
+
+/// The significant type name in a header fragment: the **last** segment
+/// of the leading path (`core::ops::Add` → `Add`), ignoring generics.
+/// `$metavariables` are kept verbatim so macro-generated impls resolve.
+fn first_type_name(fragment: &str) -> Option<String> {
+    let chars: Vec<char> = fragment.chars().collect();
+    let mut j = 0;
+    let mut last = None;
+    while j < chars.len() {
+        let c = chars[j];
+        if c.is_whitespace() || c == '&' {
+            j += 1;
+            continue;
+        }
+        if c == ':' {
+            j += 1;
+            continue;
+        }
+        if c == '$' || is_ident_char(c) {
+            let start = j;
+            j += 1;
+            while j < chars.len() && is_ident_char(chars[j]) {
+                j += 1;
+            }
+            let word: String = chars[start..j].iter().collect();
+            if word == "dyn" || word == "mut" || word == "crate" {
+                continue;
+            }
+            last = Some(word);
+            // Continue only through `::`; anything else ends the path.
+            if chars.get(j) == Some(&':') && chars.get(j + 1) == Some(&':') {
+                j += 2;
+                continue;
+            }
+            break;
+        }
+        if c == '<' {
+            break;
+        }
+        j += 1;
+    }
+    last
+}
+
+/// Parses the `fn` starting at `start` (index of the `fn` keyword).
+/// Returns the item and the char index of its closing brace.
+fn parse_fn(
+    chars: &[char],
+    scrubbed: &str,
+    start: usize,
+    impls: &[(usize, usize, String)],
+    spans: &[(usize, usize)],
+) -> Option<(FnItem, usize)> {
+    let mut i = start + 2;
+    i = skip_ws(chars, i);
+    let name_start = i;
+    while i < chars.len() && is_ident_char(chars[i]) {
+        i += 1;
+    }
+    if i == name_start {
+        return None;
+    }
+    let name: String = chars[name_start..i].iter().collect();
+
+    // Find the parameter list `(` at angle-depth 0 (skipping generics,
+    // where `Fn(..) -> X` bounds may nest parens and arrows).
+    let mut depth = 0i32;
+    let mut paren_open = None;
+    while i < chars.len() {
+        match chars[i] {
+            '<' => depth += 1,
+            '>' if i > 0 && chars[i - 1] != '-' => depth -= 1,
+            '(' if depth == 0 => {
+                paren_open = Some(i);
+                break;
+            }
+            '{' | ';' => return None,
+            _ => {}
+        }
+        i += 1;
+    }
+    let paren_open = paren_open?;
+    let paren_close = match_paren(chars, paren_open)?;
+    let owner = impls
+        .iter()
+        .find(|(open, close, _)| *open < start && start < *close)
+        .map(|(_, _, o)| o.clone());
+    let params_text: String = chars[paren_open + 1..paren_close].iter().collect();
+    let params = parse_params(&params_text, owner.as_deref());
+
+    // Return type and body: scan to the body `{` or a `;` (trait decl).
+    // Depth-track brackets so the `;` inside an array type like
+    // `-> [u64; 6]` is not mistaken for a declaration terminator.
+    let mut j = paren_close + 1;
+    let mut ret = String::new();
+    let mut body_open = None;
+    let mut bracket = 0i32;
+    while j < chars.len() {
+        match chars[j] {
+            '(' | '[' => bracket += 1,
+            ')' | ']' => bracket -= 1,
+            '{' if bracket == 0 => {
+                body_open = Some(j);
+                break;
+            }
+            ';' if bracket == 0 => break,
+            '-' if chars.get(j + 1) == Some(&'>') => {
+                // Return type: up to `{`, `;`, or a `where` clause,
+                // all at bracket depth 0.
+                let mut k = j + 2;
+                let ret_start = k;
+                let mut d = 0i32;
+                while k < chars.len() {
+                    match chars[k] {
+                        '(' | '[' => d += 1,
+                        ')' | ']' => d -= 1,
+                        '{' | ';' if d == 0 => break,
+                        _ if d == 0 && starts_word_at(chars, k, "where") => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                ret = chars[ret_start..k]
+                    .iter()
+                    .collect::<String>()
+                    .trim()
+                    .to_owned();
+                j = k;
+                continue;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let body_open = body_open?;
+    let body_close = match_brace(chars, body_open)?;
+    let body: String = chars[body_open..=body_close].iter().collect();
+    let body_line = lexer::line_of(scrubbed, body_open);
+    let calls = collect_calls(&body, body_line);
+
+    Some((
+        FnItem {
+            name,
+            owner,
+            params,
+            ret,
+            body,
+            body_line,
+            is_test: lexer::in_spans(body_line, spans)
+                || lexer::in_spans(lexer::line_of(scrubbed, start), spans),
+            calls,
+        },
+        body_close,
+    ))
+}
+
+/// Splits a parameter list on top-level commas and parses each entry.
+fn parse_params(text: &str, owner: Option<&str>) -> Vec<Param> {
+    split_top_level(text)
+        .into_iter()
+        .filter_map(|p| parse_param(&p, owner))
+        .collect()
+}
+
+fn parse_param(text: &str, owner: Option<&str>) -> Option<Param> {
+    let t = text.trim();
+    if t.is_empty() {
+        return None;
+    }
+    // Receiver forms: `self`, `&self`, `&mut self`, `mut self`,
+    // `self: Pin<..>`.
+    let bare = t.trim_start_matches('&').trim_start();
+    let bare = bare
+        .strip_prefix("mut ")
+        .map(str::trim_start)
+        .unwrap_or(bare);
+    let bare_head: String = bare.chars().take_while(|c| is_ident_char(*c)).collect();
+    // A lifetime like `&'a self` leaves a leading quote; strip it.
+    let bare2 = bare.trim_start_matches('\'');
+    if bare_head == "self" || bare2.trim_start().starts_with("self") {
+        return Some(Param {
+            name: "self".to_owned(),
+            ty: owner.unwrap_or("Self").to_owned(),
+        });
+    }
+    // Split at the first top-level `:` that is not part of `::`.
+    let chars: Vec<char> = t.chars().collect();
+    let mut depth = 0i32;
+    let mut colon = None;
+    let mut k = 0;
+    while k < chars.len() {
+        match chars[k] {
+            '(' | '[' | '{' | '<' => depth += 1,
+            ')' | ']' | '}' => depth -= 1,
+            '>' if k > 0 && chars[k - 1] != '-' => depth -= 1,
+            ':' if depth == 0 => {
+                if chars.get(k + 1) == Some(&':') {
+                    k += 2;
+                    continue;
+                }
+                colon = Some(k);
+                break;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    let colon = colon?;
+    let pat: String = chars[..colon].iter().collect();
+    let ty: String = chars[colon + 1..].iter().collect();
+    let pat = pat.trim();
+    let pat = pat.strip_prefix("mut ").map(str::trim).unwrap_or(pat);
+    let name = if !pat.is_empty() && pat.chars().all(is_ident_char) && pat != "_" {
+        pat.to_owned()
+    } else {
+        String::new() // pattern parameter: carries no taint
+    };
+    Some(Param {
+        name,
+        ty: ty.trim().to_owned(),
+    })
+}
+
+/// Splits on commas at paren/bracket/brace/angle depth 0.
+fn split_top_level(text: &str) -> Vec<String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (k, &c) in chars.iter().enumerate() {
+        match c {
+            '(' | '[' | '{' | '<' => depth += 1,
+            ')' | ']' | '}' => depth -= 1,
+            '>' if k > 0 && chars[k - 1] != '-' => depth -= 1,
+            ',' if depth <= 0 => {
+                out.push(chars[start..k].iter().collect());
+                start = k + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < chars.len() {
+        out.push(chars[start..].iter().collect());
+    }
+    out
+}
+
+/// Keywords that can directly precede a `(` without being a call.
+const NON_CALL_WORDS: &[&str] = &[
+    "if", "else", "while", "for", "in", "match", "return", "loop", "fn", "let", "move", "as",
+    "impl", "dyn", "where", "mut", "ref", "break", "continue",
+];
+
+/// Extracts call expressions from a scrubbed body. `body_line` is the
+/// 1-based file line of the body's first character.
+fn collect_calls(body: &str, body_line: usize) -> Vec<Call> {
+    let chars: Vec<char> = body.chars().collect();
+    let mut out = Vec::new();
+    for i in 0..chars.len() {
+        if chars[i] != '(' {
+            continue;
+        }
+        // The token before the paren must be an identifier (calls) —
+        // `!` (macros) and `>` (turbofish/comparison) are skipped.
+        let Some(word_end) = prev_non_ws_idx(&chars, i) else {
+            continue;
+        };
+        if !is_ident_char(chars[word_end]) {
+            continue;
+        }
+        let mut word_start = word_end;
+        while word_start > 0 && is_ident_char(chars[word_start - 1]) {
+            word_start -= 1;
+        }
+        let word: String = chars[word_start..=word_end].iter().collect();
+        if word.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            continue;
+        }
+        if NON_CALL_WORDS.contains(&word.as_str()) {
+            continue;
+        }
+        // Walk the path backwards through `::` segments.
+        let mut qualifier = None;
+        let mut path_start = word_start;
+        if path_start >= 2 && chars[path_start - 1] == ':' && chars[path_start - 2] == ':' {
+            let mut q_end = path_start - 2;
+            // Skip a turbofish-free qualifier: plain ident or `$meta`.
+            let mut q_start = q_end;
+            while q_start > 0 && (is_ident_char(chars[q_start - 1]) || chars[q_start - 1] == '$') {
+                q_start -= 1;
+            }
+            if q_start < q_end {
+                qualifier = Some(chars[q_start..q_end].iter().collect::<String>());
+                // Walk further path segments back for path_start only.
+                path_start = q_start;
+                while path_start >= 2
+                    && chars[path_start - 1] == ':'
+                    && chars[path_start - 2] == ':'
+                {
+                    q_end = path_start - 2;
+                    q_start = q_end;
+                    while q_start > 0
+                        && (is_ident_char(chars[q_start - 1]) || chars[q_start - 1] == '$')
+                    {
+                        q_start -= 1;
+                    }
+                    if q_start == q_end {
+                        break;
+                    }
+                    path_start = q_start;
+                }
+            }
+        }
+        // Method call: a `.` directly before the (unqualified) name.
+        let mut is_method = false;
+        let mut receiver = None;
+        if qualifier.is_none() {
+            if let Some(prev) = prev_non_ws_idx(&chars, word_start) {
+                if chars[prev] == '.' {
+                    is_method = true;
+                    receiver = receiver_text(&chars, prev);
+                }
+            }
+        }
+        let Some(close) = match_paren(&chars, i) else {
+            continue;
+        };
+        let args_text: String = chars[i + 1..close].iter().collect();
+        let args = split_top_level(&args_text)
+            .into_iter()
+            .map(|a| a.trim().to_owned())
+            .filter(|a| !a.is_empty())
+            .collect();
+        out.push(Call {
+            callee: word,
+            qualifier,
+            is_method,
+            receiver,
+            args,
+            line: body_line + count_newlines(&chars[..i]),
+        });
+    }
+    out
+}
+
+/// Reconstructs the receiver chain ending at the `.` at index `dot`:
+/// identifiers, field accesses, `?`, and balanced `(..)`/`[..]` groups.
+fn receiver_text(chars: &[char], dot: usize) -> Option<String> {
+    let mut j = dot; // exclusive end
+    while let Some(prev) = j.checked_sub(1) {
+        let c = chars[prev];
+        if is_ident_char(c) || c == '.' || c == '?' {
+            j = prev;
+            continue;
+        }
+        if c == ')' || c == ']' {
+            // Skip the balanced group.
+            let open_ch = if c == ')' { '(' } else { '[' };
+            let mut depth = 0i32;
+            let mut k = prev;
+            loop {
+                if chars[k] == c {
+                    depth += 1;
+                } else if chars[k] == open_ch {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k = k.checked_sub(1)?;
+            }
+            j = k;
+            continue;
+        }
+        break;
+    }
+    (j < dot).then(|| chars[j..dot].iter().collect())
+}
+
+fn count_newlines(chars: &[char]) -> usize {
+    chars.iter().filter(|&&c| c == '\n').count()
+}
+
+fn match_paren(chars: &[char], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, &c) in chars.iter().enumerate().skip(open) {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn match_brace(chars: &[char], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, &c) in chars.iter().enumerate().skip(open) {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn starts_word_at(chars: &[char], i: usize, word: &str) -> bool {
+    let pat: Vec<char> = word.chars().collect();
+    i + pat.len() <= chars.len()
+        && chars[i..i + pat.len()] == pat[..]
+        && (i == 0 || !is_ident_char(chars[i - 1]))
+        && chars.get(i + pat.len()).is_none_or(|c| !is_ident_char(*c))
+}
+
+fn skip_ws(chars: &[char], mut i: usize) -> usize {
+    while i < chars.len() && chars[i].is_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+fn prev_non_ws_idx(chars: &[char], before: usize) -> Option<usize> {
+    (0..before).rev().find(|&j| !chars[j].is_whitespace())
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_free_and_method_fns() {
+        let src = "fn free(a: u64, b: &Fr) -> Fr { a.wrap(b) }\n\
+                   impl Foo {\n    pub fn method(&self, k: &Fr) -> Fr { self.mul(k) }\n}\n";
+        let f = parse_file("x.rs", src);
+        assert_eq!(f.fns.len(), 2);
+        assert_eq!(f.fns[0].name, "free");
+        assert_eq!(f.fns[0].owner, None);
+        assert_eq!(f.fns[0].param_names(), vec!["a", "b"]);
+        assert_eq!(f.fns[0].ret, "Fr");
+        assert_eq!(f.fns[1].name, "method");
+        assert_eq!(f.fns[1].owner.as_deref(), Some("Foo"));
+        assert_eq!(f.fns[1].param_names(), vec!["self", "k"]);
+        assert_eq!(f.fns[1].params[0].ty, "Foo");
+    }
+
+    #[test]
+    fn trait_impl_owner_is_the_for_type() {
+        let src = "impl CertificatelessScheme for McCls {\n    fn sign(&self) {}\n}\n";
+        let f = parse_file("x.rs", src);
+        assert_eq!(f.fns[0].owner.as_deref(), Some("McCls"));
+    }
+
+    #[test]
+    fn generic_impl_owner_strips_generics_and_paths() {
+        let src = "impl<C: Curve> ProjectivePoint<C> {\n    fn double(&self) -> Self { self }\n}\n\
+                   impl core::ops::Add for $name {\n    fn add(self, rhs: $name) -> $name { rhs }\n}\n";
+        let f = parse_file("x.rs", src);
+        assert_eq!(f.fns[0].owner.as_deref(), Some("ProjectivePoint"));
+        assert_eq!(f.fns[1].owner.as_deref(), Some("$name"));
+    }
+
+    #[test]
+    fn calls_capture_path_method_and_args() {
+        let src = "fn f(k: &Keys) {\n    let s = ops::mul_g1_ct(&partial.d, &x_inv);\n    \
+                   let t = k.secret.invert_ct();\n    Self::helper(s, t);\n}\n";
+        let f = parse_file("x.rs", src);
+        let calls = &f.fns[0].calls;
+        let mul = calls.iter().find(|c| c.callee == "mul_g1_ct").unwrap();
+        assert_eq!(mul.qualifier.as_deref(), Some("ops"));
+        assert_eq!(mul.args, vec!["&partial.d", "&x_inv"]);
+        assert_eq!(mul.line, 2);
+        let inv = calls.iter().find(|c| c.callee == "invert_ct").unwrap();
+        assert!(inv.is_method);
+        assert_eq!(inv.receiver.as_deref(), Some("k.secret"));
+        let helper = calls.iter().find(|c| c.callee == "helper").unwrap();
+        assert_eq!(helper.qualifier.as_deref(), Some("Self"));
+    }
+
+    #[test]
+    fn chained_method_receiver_includes_call_groups() {
+        let src = "fn f(r: &G2) { let x = r.to_affine().to_compressed(); }\n";
+        let f = parse_file("x.rs", src);
+        let c = f.fns[0]
+            .calls
+            .iter()
+            .find(|c| c.callee == "to_compressed")
+            .unwrap();
+        assert_eq!(c.receiver.as_deref(), Some("r.to_affine()"));
+    }
+
+    #[test]
+    fn keywords_and_macros_are_not_calls() {
+        let src = "fn f(x: u64) { if (x > 0) { assert!(x < 9); } for v in (0..x) {} }\n";
+        let f = parse_file("x.rs", src);
+        assert!(f.fns[0].calls.is_empty(), "{:?}", f.fns[0].calls);
+    }
+
+    #[test]
+    fn test_fns_are_marked() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\n";
+        let f = parse_file("x.rs", src);
+        assert!(!f.fns[0].is_test);
+        assert!(f.fns[1].is_test);
+    }
+
+    #[test]
+    fn fn_with_generic_bound_parens() {
+        let src = "fn apply<F: Fn(&u64) -> bool>(v: u64, f: F) -> bool { f(&v) }\n";
+        let f = parse_file("x.rs", src);
+        assert_eq!(f.fns[0].name, "apply");
+        assert_eq!(f.fns[0].param_names(), vec!["v", "f"]);
+        assert_eq!(f.fns[0].ret, "bool");
+    }
+
+    #[test]
+    fn pattern_params_carry_no_name() {
+        let src = "fn f((a, b): (u64, u64), c: u64) -> u64 { a + b + c }\n";
+        let f = parse_file("x.rs", src);
+        assert_eq!(f.fns[0].params.len(), 2);
+        assert_eq!(f.fns[0].param_names(), vec!["c"]);
+    }
+
+    #[test]
+    fn where_clause_is_not_part_of_return_type() {
+        let src = "fn f<T>(x: T) -> Vec<T> where T: Clone { vec![x] }\n";
+        let f = parse_file("x.rs", src);
+        assert_eq!(f.fns[0].ret, "Vec<T>");
+    }
+
+    #[test]
+    fn rng_trait_object_param_parses() {
+        let src = "fn gen(rng: &mut (impl RngCore + ?Sized)) -> Fr { Fr::random(rng) }\n";
+        let f = parse_file("x.rs", src);
+        assert_eq!(f.fns[0].param_names(), vec!["rng"]);
+        let c = &f.fns[0].calls[0];
+        assert_eq!(c.callee, "random");
+        assert_eq!(c.qualifier.as_deref(), Some("Fr"));
+    }
+}

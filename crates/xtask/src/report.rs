@@ -1,0 +1,198 @@
+//! Finding reporters: human, JSON, and SARIF 2.1.0.
+//!
+//! The SARIF output is the minimal subset GitHub code scanning accepts
+//! (one run, one rule per lint, one location per result), hand-rolled
+//! because the gate is deliberately std-only — the analysis must never
+//! be the reason the offline build breaks.
+
+use std::fmt::Write as _;
+
+use crate::Finding;
+
+/// Output format for [`render`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// One `file:line: [lint] message` per line (the CI gate default).
+    Human,
+    /// A JSON array of finding objects.
+    Json,
+    /// SARIF 2.1.0, for GitHub code-scanning annotations.
+    Sarif,
+}
+
+impl Format {
+    /// Parses a `--format` argument value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "human" => Some(Self::Human),
+            "json" => Some(Self::Json),
+            "sarif" => Some(Self::Sarif),
+            _ => None,
+        }
+    }
+}
+
+/// Renders findings in the chosen format. Human format includes a
+/// trailing summary line; machine formats are pure payload.
+pub fn render(findings: &[Finding], format: Format) -> String {
+    match format {
+        Format::Human => human(findings),
+        Format::Json => json(findings),
+        Format::Sarif => sarif(findings),
+    }
+}
+
+fn human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "{f}");
+    }
+    if findings.is_empty() {
+        out.push_str("xtask check: clean\n");
+    } else {
+        let _ = writeln!(out, "xtask check: {} finding(s)", findings.len());
+    }
+    out
+}
+
+fn json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n  {{\"file\":{},\"line\":{},\"lint\":{},\"message\":{}}}",
+            quote(&f.file),
+            f.line,
+            quote(f.lint),
+            quote(&f.message)
+        );
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn sarif(findings: &[Finding]) -> String {
+    let mut rules: Vec<&str> = findings.iter().map(|f| f.lint).collect();
+    rules.sort_unstable();
+    rules.dedup();
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [{\n");
+    out.push_str("    \"tool\": {\"driver\": {\"name\": \"mccls-xtask\", \"rules\": [");
+    for (i, r) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{{\"id\": {}}}", quote(r));
+    }
+    out.push_str("]}},\n");
+    out.push_str("    \"results\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // SARIF regions require a positive line; whole-file findings
+        // (line 0) anchor to line 1.
+        let _ = write!(
+            out,
+            "\n      {{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": {}}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]}}",
+            quote(f.lint),
+            quote(&f.message),
+            quote(&f.file),
+            f.line.max(1)
+        );
+    }
+    if !findings.is_empty() {
+        out.push_str("\n    ");
+    }
+    out.push_str("]\n  }]\n}\n");
+    out
+}
+
+/// JSON string quoting (std-only, ASCII control escapes).
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            file: "crates/core/src/mccls.rs".into(),
+            line: 12,
+            lint: "taint",
+            message: "branch conditioned on secret-carrying `x`".into(),
+        }]
+    }
+
+    #[test]
+    fn format_parse_round_trips() {
+        assert_eq!(Format::parse("human"), Some(Format::Human));
+        assert_eq!(Format::parse("json"), Some(Format::Json));
+        assert_eq!(Format::parse("sarif"), Some(Format::Sarif));
+        assert_eq!(Format::parse("xml"), None);
+    }
+
+    #[test]
+    fn human_output_lists_and_summarizes() {
+        let out = render(&sample(), Format::Human);
+        assert!(out.contains("mccls.rs:12: [taint]"));
+        assert!(out.contains("1 finding(s)"));
+        assert!(render(&[], Format::Human).contains("clean"));
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let out = render(&sample(), Format::Json);
+        assert!(out.contains("\"file\":\"crates/core/src/mccls.rs\""));
+        assert!(out.contains("\"line\":12"));
+        assert_eq!(render(&[], Format::Json).trim(), "[]");
+    }
+
+    #[test]
+    fn sarif_output_has_schema_rules_and_results() {
+        let out = render(&sample(), Format::Sarif);
+        assert!(out.contains("sarif-2.1.0.json"));
+        assert!(out.contains("\"name\": \"mccls-xtask\""));
+        assert!(out.contains("{\"id\": \"taint\"}"));
+        assert!(out.contains("\"startLine\": 12"));
+        // Empty runs still produce a structurally valid document.
+        let empty = render(&[], Format::Sarif);
+        assert!(empty.contains("\"results\": []"));
+    }
+
+    #[test]
+    fn quoting_escapes_specials() {
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

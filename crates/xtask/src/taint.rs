@@ -1,0 +1,385 @@
+//! The interprocedural secret-taint pass.
+//!
+//! The function-scoped lint ([`crate::ct_lint::scan`]) cannot see a
+//! master secret handed two calls down into a helper that branches on
+//! it. This pass can: it builds the workspace call graph, seeds taint
+//! at the declared secret sources, propagates it across call edges and
+//! return values to a fixed point, and reports every secret-reaching
+//! function that still contains data-dependent control flow.
+//!
+//! **Sources** (the declarative list the issue asks for):
+//!
+//! * parameters whose type mentions a name in [`SECRET_PARAM_TYPES`]
+//!   (`MasterSecret`, `PartialPrivateKey`) — key material by type;
+//! * the textual initializer sources of
+//!   [`crate::ct_lint::TAINT_SOURCES`] — key-material field reads
+//!   (`.secret`, `.master`) and scalar-nonce draws (`random_nonzero`,
+//!   `::random`), covering "scalar nonces" without tainting every `Fr`;
+//! * return values of functions whose body was found to return a
+//!   tainted value (name-based, over-approximate).
+//!
+//! **Propagation**: a call argument that mentions a tainted name taints
+//! the corresponding callee parameter; a tainted method receiver taints
+//! the callee's `self`. Within a body, taint flows through `let`
+//! bindings and assignments ([`crate::ct_lint::analyze_body`]).
+//!
+//! **Reporting**: only findings that would *not* fire under the
+//! function-scoped scan are emitted (lint name `taint`), so a local
+//! violation is never double-reported. Suppression uses the same
+//! `// ct-ok: <reason>` marker; `// taint-public: <reason>` on a
+//! binding declassifies a published protocol value.
+
+use std::collections::{BTreeSet, HashSet};
+
+use crate::callgraph::CallGraph;
+use crate::ct_lint::{self, contains_call, TAINT_SOURCES};
+use crate::lexer::contains_word;
+use crate::parser::ParsedFile;
+use crate::Finding;
+
+/// Parameter types that are secret by declaration.
+pub const SECRET_PARAM_TYPES: &[&str] = &["MasterSecret", "PartialPrivateKey"];
+
+/// Functions that are variable-time **by contract**: scalar ladders and
+/// pairing frontends whose running time legitimately depends on their
+/// operands. A secret-carrying argument reaching one of these is
+/// reported **at the call site** (where the intent lives — e.g. a
+/// baseline scheme accepting the paper's variable-time accounting gets
+/// one reviewed `// ct-ok:` per call), and taint is *not* propagated
+/// into the sink's body, so the ladder internals don't demand dozens of
+/// per-line suppressions for a decision made at the boundary.
+pub const VARTIME_SINKS: &[&str] = &[
+    "mul_scalar",
+    "mul_g1",
+    "mul_g2",
+    "invert",
+    "pair",
+    "pair_prepared",
+    "pairing",
+    "pairing_product",
+    "pairing_product_prepared",
+    "miller_loop",
+    "multi_miller_loop",
+    "final_exp",
+    "final_exponentiation",
+];
+
+/// Runs the interprocedural taint pass over already-parsed files.
+pub fn analyze(files: &[ParsedFile]) -> Vec<Finding> {
+    let graph = CallGraph::build(files);
+    let state = fixpoint(files, &graph);
+    report(files, &graph, &state)
+}
+
+/// Converged taint facts.
+struct TaintState {
+    /// Per node: tainted parameter names (`self` included).
+    param_taint: Vec<BTreeSet<String>>,
+    /// Function names whose return value carries secrets.
+    secret_fns: HashSet<String>,
+}
+
+/// Declared-secret parameter names of a node (the type-based seeds).
+fn declared_seeds(files: &[ParsedFile], graph: &CallGraph, ni: usize) -> BTreeSet<String> {
+    graph
+        .item(files, ni)
+        .params
+        .iter()
+        .filter(|p| {
+            !p.name.is_empty() && SECRET_PARAM_TYPES.iter().any(|t| contains_word(&p.ty, t))
+        })
+        .map(|p| p.name.clone())
+        .collect()
+}
+
+/// Computes the set of secret-*returning* function names: functions
+/// whose return value is secret under their **intrinsic** sources only
+/// (textual sources in the body, declared-secret-type parameters, and
+/// calls to other secret-returning functions) — to a fixed point.
+///
+/// Interprocedurally-propagated parameter taint is deliberately *not*
+/// fed into this computation: a combinator like `Fq::mul` returns a
+/// secret exactly when its call site hands it one, and the call-site
+/// mention rule already covers that. Folding caller taint in here would
+/// mark `mul` secret *by name* for the whole workspace — the pollution
+/// that drowns the signal.
+fn secret_return_fns(files: &[ParsedFile], graph: &CallGraph) -> HashSet<String> {
+    let mut secret_fns: HashSet<String> = HashSet::new();
+    loop {
+        let mut changed = false;
+        for ni in 0..graph.nodes.len() {
+            let item = graph.item(files, ni);
+            if secret_fns.contains(&item.name) {
+                continue;
+            }
+            let file = graph.file(files, ni);
+            let raw: Vec<&str> = file.raw_lines.iter().map(String::as_str).collect();
+            let seeds: Vec<String> = declared_seeds(files, graph, ni).into_iter().collect();
+            let analysis =
+                ct_lint::analyze_body(&item.body, item.body_line, &raw, &seeds, &secret_fns);
+            if analysis.returns_secret {
+                secret_fns.insert(item.name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            return secret_fns;
+        }
+    }
+}
+
+/// Seeds and propagates taint until nothing changes. Each round
+/// re-analyzes every body with the current facts; the workspace is
+/// small enough that simplicity wins over a finer worklist.
+fn fixpoint(files: &[ParsedFile], graph: &CallGraph) -> TaintState {
+    let secret_fns = secret_return_fns(files, graph);
+    let mut param_taint: Vec<BTreeSet<String>> = (0..graph.nodes.len())
+        .map(|ni| declared_seeds(files, graph, ni))
+        .collect();
+
+    loop {
+        let mut changed = false;
+        for ni in 0..graph.nodes.len() {
+            let item = graph.item(files, ni);
+            let file = graph.file(files, ni);
+            let raw: Vec<&str> = file.raw_lines.iter().map(String::as_str).collect();
+            let seeds: Vec<String> = param_taint[ni].iter().cloned().collect();
+            let analysis =
+                ct_lint::analyze_body(&item.body, item.body_line, &raw, &seeds, &secret_fns);
+
+            for edge in &graph.edges[ni] {
+                let call = &item.calls[edge.call];
+                let callee = graph.item(files, edge.callee);
+                if VARTIME_SINKS.contains(&callee.name.as_str()) {
+                    // Reported at the call site by `report`; the sink's
+                    // body is variable-time by contract.
+                    continue;
+                }
+                let callee_has_self = callee.params.first().is_some_and(|p| p.name == "self");
+                if call.is_method && callee_has_self {
+                    if let Some(recv) = &call.receiver {
+                        if expr_is_tainted(recv, &analysis.tainted, &secret_fns)
+                            && param_taint[edge.callee].insert("self".to_owned())
+                        {
+                            changed = true;
+                        }
+                    }
+                }
+                let offset = usize::from(call.is_method && callee_has_self);
+                for (k, arg) in call.args.iter().enumerate() {
+                    if !expr_is_tainted(arg, &analysis.tainted, &secret_fns) {
+                        continue;
+                    }
+                    let Some(p) = callee.params.get(k + offset) else {
+                        continue;
+                    };
+                    if !p.name.is_empty() && param_taint[edge.callee].insert(p.name.clone()) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return TaintState {
+                param_taint,
+                secret_fns,
+            };
+        }
+    }
+}
+
+/// True when an expression carries secrets: it mentions a tainted name,
+/// contains a textual taint source, or calls a secret-returning fn.
+fn expr_is_tainted(expr: &str, tainted: &[String], secret_fns: &HashSet<String>) -> bool {
+    tainted.iter().any(|t| ct_lint::mentions_secret(expr, t))
+        || TAINT_SOURCES.iter().any(|s| expr.contains(s))
+        || secret_fns.iter().any(|f| contains_call(expr, f))
+}
+
+/// Emits the findings the function-scoped scan could not see: for each
+/// node, violations present under the converged facts but absent under
+/// empty facts are reported as lint `taint`, annotated with the
+/// interprocedural entry points (tainted parameters).
+fn report(files: &[ParsedFile], graph: &CallGraph, state: &TaintState) -> Vec<Finding> {
+    let empty_calls = HashSet::new();
+    let mut findings = Vec::new();
+    for ni in 0..graph.nodes.len() {
+        let item = graph.item(files, ni);
+        let file = graph.file(files, ni);
+        let raw: Vec<&str> = file.raw_lines.iter().map(String::as_str).collect();
+        let seeds: Vec<String> = state.param_taint[ni].iter().cloned().collect();
+
+        let mut full =
+            ct_lint::analyze_body(&item.body, item.body_line, &raw, &seeds, &state.secret_fns);
+        let local = ct_lint::analyze_body(&item.body, item.body_line, &raw, &[], &empty_calls);
+        let local_set: HashSet<&(usize, String)> = local.violations.iter().collect();
+        full.violations.retain(|v| !local_set.contains(v));
+        // Bare-declass markers are the function-scoped scan's to report.
+        full.bare_declass.clear();
+        // Vartime-sink rule: a secret-carrying argument or receiver
+        // handed to a variable-time-by-contract function.
+        for edge in &graph.edges[ni] {
+            let call = &item.calls[edge.call];
+            let callee = graph.item(files, edge.callee);
+            if !VARTIME_SINKS.contains(&callee.name.as_str()) {
+                continue;
+            }
+            let hot = call
+                .args
+                .iter()
+                .chain(call.receiver.as_ref())
+                .any(|a| expr_is_tainted(a, &full.tainted, &state.secret_fns));
+            if hot {
+                full.violations.push((
+                    call.line,
+                    format!(
+                        "secret-carrying operand passed to variable-time `{}`",
+                        callee.name
+                    ),
+                ));
+            }
+        }
+        full.violations.sort();
+        full.violations.dedup();
+
+        let entry = if seeds.is_empty() {
+            String::new()
+        } else {
+            format!(" [secret enters `{}` via {}]", item.name, seeds.join(", "))
+        };
+        for f in ct_lint::filter_violations(&file.path, &raw, &[], &full) {
+            findings.push(Finding {
+                lint: "taint",
+                message: format!("{}{entry}", f.message),
+                ..f
+            });
+        }
+    }
+    findings.sort();
+    findings.dedup();
+    findings
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+mod tests {
+    use super::*;
+    use crate::parser::parse_files;
+
+    fn run(sources: &[(&str, &str)]) -> Vec<Finding> {
+        let owned: Vec<(String, String)> = sources
+            .iter()
+            .map(|(p, s)| ((*p).to_owned(), (*s).to_owned()))
+            .collect();
+        analyze(&parse_files(&owned))
+    }
+
+    #[test]
+    fn secret_param_type_seeds_taint() {
+        let findings = run(&[(
+            "a.rs",
+            "fn extract(master: &MasterSecret) {\n    if master.is_zero() { bail(); }\n}\n",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`master`"));
+        assert!(findings[0].message.contains("via master"));
+    }
+
+    #[test]
+    fn taint_crosses_one_call_edge() {
+        let findings = run(&[(
+            "a.rs",
+            "fn sign(keys: &Keys) {\n    let x = keys.secret;\n    helper(&x);\n}\n\
+             fn helper(v: &Fr) {\n    if v.is_zero() { bail(); }\n}\n",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`v`"));
+        assert!(findings[0].message.contains("enters `helper` via v"));
+    }
+
+    #[test]
+    fn taint_crosses_two_hops_and_method_receivers() {
+        let findings = run(&[(
+            "a.rs",
+            "fn sign(keys: &Keys) {\n    let x = keys.secret;\n    mid(&x);\n}\n\
+             fn mid(a: &Fr) {\n    a.leak();\n}\n\
+             impl Fr {\n    fn leak(&self) {\n        if self.is_zero() { bail(); }\n    }\n}\n",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`self`"));
+        assert!(findings[0].message.contains("enters `leak` via self"));
+    }
+
+    #[test]
+    fn secret_returning_fn_taints_caller_bindings() {
+        let findings = run(&[(
+            "a.rs",
+            "fn derive(keys: &Keys) -> Fr {\n    let d = keys.secret.invert_ct();\n    d\n}\n\
+             fn top() {\n    let k = derive(&keys());\n    if k.is_zero() { bail(); }\n}\n",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`k`"), "{findings:?}");
+    }
+
+    #[test]
+    fn local_violations_are_not_double_reported() {
+        // This branch fires under the function-scoped scan already; the
+        // taint pass must stay silent about it.
+        let findings = run(&[(
+            "a.rs",
+            "fn f(keys: &Keys) {\n    let x = keys.secret;\n    if x.is_zero() { bail(); }\n}\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn ct_ok_suppresses_interprocedural_findings() {
+        let findings = run(&[(
+            "a.rs",
+            "fn sign(keys: &Keys) {\n    helper(&keys.secret);\n}\n\
+             fn helper(v: &Fr) {\n    // ct-ok: rejection sampling leaks only candidate-was-zero\n    if v.is_zero() { bail(); }\n}\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn declassified_binding_stops_propagation() {
+        let findings = run(&[(
+            "a.rs",
+            "fn sign(keys: &Keys) {\n    let n = keys.secret.invert_ct();\n    // taint-public: R is a published signature component\n    let r = ladder(&n);\n    publish(&r);\n}\n\
+             fn publish(r: &G2) {\n    if r.is_identity() { skip(); }\n}\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn vartime_sink_is_flagged_at_the_call_site_only() {
+        let findings = run(&[(
+            "a.rs",
+            "fn sign(keys: &Keys) {\n    let u = mul_g1(&base(), &keys.secret);\n    publish(&u);\n}\n\
+             fn mul_g1(p: &G1, k: &Fr) -> G1 {\n    if k.is_zero() { identity() } else { ladder(p, k) }\n}\n",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 2, "call site, not ladder internals");
+        assert!(findings[0].message.contains("variable-time `mul_g1`"));
+    }
+
+    #[test]
+    fn suppressed_sink_call_is_quiet() {
+        let findings = run(&[(
+            "a.rs",
+            "fn sign(keys: &Keys) {\n    // ct-ok: AP baseline is variable-time per the paper's accounting\n    let u = mul_g1(&base(), &keys.secret);\n    publish(&u);\n}\n\
+             fn mul_g1(p: &G1, k: &Fr) -> G1 {\n    if k.is_zero() { identity() } else { ladder(p, k) }\n}\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn untainted_workspaces_produce_nothing() {
+        let findings = run(&[(
+            "a.rs",
+            "fn add(a: u64, b: u64) -> u64 {\n    if a > b { a } else { b }\n}\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

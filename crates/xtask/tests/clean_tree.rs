@@ -45,6 +45,86 @@ fn fixtures_do_fail_the_gate() {
 }
 
 #[test]
+fn taint_fixture_trips_only_the_interprocedural_pass() {
+    // The dirty chain (extract_share -> fold_exponent -> reduce_window)
+    // is locally clean in every function; only the call-graph fixpoint
+    // can connect the master secret to the branch two hops away. The
+    // `_ct` twins are branch-free and must stay silent.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let src = std::fs::read_to_string(dir.join("taint_cases.rs")).expect("taint fixture exists");
+    // Sanity: the function-scoped scan sees nothing, so anything the
+    // taint pass reports is genuinely interprocedural.
+    assert!(
+        mccls_xtask::ct_lint::scan("taint_cases.rs", &src).is_empty(),
+        "fixture must be locally clean or the test proves nothing"
+    );
+    let files = mccls_xtask::parser::parse_files(&[("taint_cases.rs".to_owned(), src)]);
+    let findings = mccls_xtask::taint::analyze(&files);
+    assert!(
+        findings.iter().any(|f| f
+            .message
+            .contains("branch conditioned on secret-carrying `window`")),
+        "expected the two-hop branch leak to fire, got: {findings:?}"
+    );
+    assert!(
+        findings.iter().all(|f| !f.message.contains("_ct")),
+        "the constant-time twins must not be flagged: {findings:?}"
+    );
+}
+
+#[test]
+fn reach_fixture_trips_only_the_interprocedural_pass() {
+    // `verify` is locally panic-free; the unwrap lives two calls down,
+    // so a finding proves the BFS crossed call boundaries. The orphan
+    // helper (unreachable) and the justified suppression must stay
+    // silent.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let src = std::fs::read_to_string(dir.join("reach_cases.rs")).expect("reach fixture exists");
+    let files = mccls_xtask::parser::parse_files(&[("reach_cases.rs".to_owned(), src)]);
+    let findings = mccls_xtask::reach::analyze(&files);
+    assert!(
+        findings.iter().any(|f| f
+            .message
+            .contains("verify -> decode_point -> normalize_limbs")),
+        "expected the two-hop panic chain to fire, got: {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .all(|f| !f.message.contains("orphan_helper") && !f.message.contains("check_equation")),
+        "unreachable/suppressed panics must not be flagged: {findings:?}"
+    );
+}
+
+#[test]
+fn bare_suppression_reasons_do_not_suppress() {
+    // A marker with an empty or whitespace-only reason is itself a
+    // finding; only a written justification silences the lints.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let src = std::fs::read_to_string(dir.join("suppression_cases.rs"))
+        .expect("suppression fixture exists");
+    let ct = mccls_xtask::ct_lint::scan("suppression_cases.rs", &src);
+    assert!(
+        ct.iter().any(|f| f.message.contains("gives no reason")),
+        "bare ct-ok must still be reported: {ct:?}"
+    );
+    let panics = mccls_xtask::panic_lint::scan("suppression_cases.rs", &src);
+    assert!(
+        !panics.is_empty(),
+        "bare lint:allow(panic) must still be reported"
+    );
+    // The justified twin's sites are suppressed: every surviving
+    // finding points at the bare-marker functions (lines 1-21).
+    for f in ct.iter().chain(panics.iter()) {
+        assert!(
+            f.line <= 21,
+            "justified suppression failed to silence line {}: {f:?}",
+            f.line
+        );
+    }
+}
+
+#[test]
 fn prepared_pairing_fixture_fails_both_gates() {
     // Violations shaped like the prepared-pairing engine (cached line
     // coefficients, fixed-base table lookups, secret digit recoding)
