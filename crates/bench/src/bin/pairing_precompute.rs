@@ -102,7 +102,11 @@ fn build_world() -> World {
         let keys = scheme.generate_key_pair(&params, &mut rng);
         let msg = format!("routing payload {i}").into_bytes();
         let sig = scheme.sign(&params, &id, &partial, &keys, &msg, &mut rng);
-        verifier.register_peer(&id, keys.public);
+        let registered = verifier.register_peer(&id, keys.public);
+        assert!(
+            registered.is_ok(),
+            "benchmark keys are honest: {registered:?}"
+        );
         items.push((id, keys.public, msg, sig));
     }
     World {

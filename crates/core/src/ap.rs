@@ -76,6 +76,8 @@ impl CertificatelessScheme for Ap {
         }
     }
 
+    // validated: honest-signer output; every component is a scalar
+    // multiple of a subgroup generator or a cofactor-cleared hash point
     fn sign(
         &self,
         params: &SystemParams,
@@ -116,6 +118,12 @@ impl CertificatelessScheme for Ap {
         let Some(x_a) = public.secondary else {
             return Err(VerifyError::MissingKeyComponent);
         };
+        if public.has_identity_component() {
+            return Err(VerifyError::IdentityPublicKey);
+        }
+        if u.is_identity() {
+            return Err(VerifyError::IdentityPoint);
+        }
         // Public-key well-formedness, e(X_A, P_pub) == e(G, Y_A), folded
         // into one two-factor product e(X_A, P_pub)·e(-G, Y_A) == 1 with
         // a shared final exponentiation. P_pub's lines come prepared

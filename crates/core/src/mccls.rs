@@ -90,6 +90,12 @@ impl McCls {
         let Signature::McCls { v, s, r } = sig else {
             return Err(VerifyError::WrongScheme);
         };
+        if public.has_identity_component() {
+            return Err(VerifyError::IdentityPublicKey);
+        }
+        if s.is_identity() || r.is_identity() {
+            return Err(VerifyError::IdentityPoint);
+        }
         let h = Self::challenge(msg, r, public);
         let h_inv = h.invert().ok_or(VerifyError::NonInvertibleChallenge)?;
         // V·P - h·R ∈ G2 (two scalar mults), S/h ∈ G1 (one scalar mult).
@@ -123,6 +129,8 @@ impl CertificatelessScheme for McCls {
         }
     }
 
+    // validated: honest-signer output; every component is a scalar
+    // multiple of a subgroup generator or a cofactor-cleared hash point
     fn sign(
         &self,
         params: &SystemParams,

@@ -68,6 +68,7 @@ impl SystemParams {
     }
 
     /// Hashes an identity onto G1 (`Q_ID = H1(ID)`).
+    // validated: hash-to-curve output, subgroup-valid by construction
     pub fn hash_identity(&self, id: &[u8]) -> G1Projective {
         ops::hash_to_g1(id, DST_H1)
     }
@@ -188,6 +189,13 @@ pub struct UserPublicKey {
 }
 
 impl UserPublicKey {
+    /// True when any component is the group identity. Pairings against
+    /// the identity are constant, so verifiers must reject such keys —
+    /// accepting one is the cheapest key-replacement attack.
+    pub fn has_identity_component(&self) -> bool {
+        self.primary.is_identity() || self.secondary.is_some_and(|s| s.is_identity())
+    }
+
     /// Encoded size in bytes (compressed points), reported by the
     /// Table 1 harness.
     pub fn encoded_len(&self) -> usize {

@@ -69,6 +69,10 @@ pub enum VerifyError {
     /// The public key failed the scheme's well-formedness pairing check
     /// (AP's `e(X_A, P_pub) = e(G, Y_A)`).
     MalformedPublicKey,
+    /// A public-key component is the group identity. Pairing against
+    /// the identity is constant, so such a "key" (the cheapest
+    /// key-replacement attempt) would trivialize the equation.
+    IdentityPublicKey,
     /// The verifier has no registered public key for this identity.
     UnknownPeer,
     /// The pairing equation did not balance: the signature is not valid
@@ -85,6 +89,7 @@ impl core::fmt::Display for VerifyError {
             VerifyError::NonInvertibleChallenge => "challenge scalar hashed to zero",
             VerifyError::MissingKeyComponent => "public key lacks a required component",
             VerifyError::MalformedPublicKey => "public key failed its well-formedness check",
+            VerifyError::IdentityPublicKey => "public key contains the group identity",
             VerifyError::UnknownPeer => "no public key registered for this identity",
             VerifyError::PairingMismatch => "pairing equation did not balance",
         };
@@ -116,7 +121,7 @@ impl std::error::Error for VerifyError {}
 /// let keys = scheme.generate_key_pair(&params, &mut rng);
 ///
 /// let mut verifier = Verifier::new(params.clone());
-/// verifier.register_peer(b"node-1", keys.public);
+/// verifier.register_peer(b"node-1", keys.public).unwrap();
 ///
 /// let sig = scheme.sign(&params, b"node-1", &partial, &keys, b"RREQ", &mut rng);
 /// assert_eq!(verifier.verify(b"node-1", b"RREQ", &sig), Ok(()));
@@ -163,10 +168,17 @@ impl Verifier {
 
     /// Registers (or replaces) a peer's public key, paying the one-off
     /// pairing `e(Q_ID, P_pub)` that later verifications reuse.
-    pub fn register_peer(&mut self, id: &[u8], public: UserPublicKey) {
+    ///
+    /// Rejects keys containing the group identity up front — they would
+    /// make every later pairing against them trivially constant.
+    pub fn register_peer(&mut self, id: &[u8], public: UserPublicKey) -> Result<(), VerifyError> {
+        if public.has_identity_component() {
+            return Err(VerifyError::IdentityPublicKey);
+        }
         let q_id = self.params.hash_identity(id);
         let rhs = ops::pair_prepared(&q_id.to_affine(), self.params.prepared_p_pub());
         self.peers.insert(id.to_vec(), PeerEntry { public, rhs });
+        Ok(())
     }
 
     /// Whether a public key is registered for `id`.
@@ -212,7 +224,7 @@ impl Verifier {
     ) -> Result<(), VerifyError> {
         match self.peers.get(id) {
             Some(entry) if entry.public == *public => {}
-            _ => self.register_peer(id, *public),
+            _ => self.register_peer(id, *public)?,
         }
         self.verify(id, msg, sig)
     }
@@ -256,7 +268,7 @@ mod tests {
         let partial = kgc.extract_partial_private_key(b"alice");
         let keys = scheme.generate_key_pair(&params, &mut rng);
         let mut verifier = Verifier::new(params.clone());
-        verifier.register_peer(b"alice", keys.public);
+        verifier.register_peer(b"alice", keys.public).unwrap();
         (verifier, params, partial, keys, rng)
     }
 

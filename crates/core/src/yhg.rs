@@ -78,6 +78,8 @@ impl CertificatelessScheme for Yhg {
         }
     }
 
+    // validated: honest-signer output; every component is a scalar
+    // multiple of a subgroup generator or a cofactor-cleared hash point
     fn sign(
         &self,
         params: &SystemParams,
@@ -117,6 +119,12 @@ impl CertificatelessScheme for Yhg {
         let Signature::Yhg { u, v } = sig else {
             return Err(VerifyError::WrongScheme);
         };
+        if public.has_identity_component() {
+            return Err(VerifyError::IdentityPublicKey);
+        }
+        if u.is_identity() || v.is_identity() {
+            return Err(VerifyError::IdentityPoint);
+        }
         let q_id = params.hash_identity(id);
         let h = Self::challenge(msg, u, public);
         // The two pairings fold into one product with a shared final

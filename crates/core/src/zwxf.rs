@@ -95,6 +95,8 @@ impl CertificatelessScheme for Zwxf {
         }
     }
 
+    // validated: honest-signer output; every component is a scalar
+    // multiple of a subgroup generator or a cofactor-cleared hash point
     fn sign(
         &self,
         params: &SystemParams,
@@ -128,6 +130,12 @@ impl CertificatelessScheme for Zwxf {
         let Signature::Zwxf { u, v } = sig else {
             return Err(VerifyError::WrongScheme);
         };
+        if public.has_identity_component() {
+            return Err(VerifyError::IdentityPublicKey);
+        }
+        if u.is_identity() || v.is_identity() {
+            return Err(VerifyError::IdentityPoint);
+        }
         let (w, wp) = Self::message_points(msg, id, public, u);
         let q_id = params.hash_identity(id);
         // The four pairings fold into a single product with one shared

@@ -136,6 +136,8 @@ pub const fn add_one_shift_right2<const N: usize>(m: &[u64; N]) -> [u64; N] {
     while j < N {
         // lint:allow(panic) guarded by j + 1 < N
         let hi = if j + 1 < N { t[j + 1] } else { 0 };
+        // overflow-ok: shift fold — only hi's low 2 bits belong in this
+        // limb; the bits shifted out are consumed at index j + 1
         out[j] = (t[j] >> 2) | (hi << 62);
         j += 1;
     }
@@ -150,6 +152,8 @@ pub const fn sub_one_shift_right1<const N: usize>(m: &[u64; N]) -> [u64; N] {
     while j < N {
         // lint:allow(panic) guarded by j + 1 < N
         let hi = if j + 1 < N { t[j + 1] } else { 0 };
+        // overflow-ok: shift fold — only hi's low bit belongs in this
+        // limb; the bits shifted out are consumed at index j + 1
         out[j] = (t[j] >> 1) | (hi << 63);
         j += 1;
     }
@@ -174,6 +178,8 @@ fn shr1<const N: usize>(a: &mut [u64; N]) {
     for i in 0..N {
         // lint:allow(panic) guarded by i + 1 < N
         let hi = if i + 1 < N { a[i + 1] } else { 0 };
+        // overflow-ok: shift fold — only hi's low bit belongs in this
+        // limb; the bits shifted out are consumed at index i + 1
         a[i] = (a[i] >> 1) | (hi << 63);
     }
 }
@@ -193,6 +199,8 @@ fn half_mod<const N: usize>(u: &mut [u64; N], p: &[u64; N]) {
         }
         shr1(u);
         // lint:allow(panic) limb counts are const generics >= 1
+        // overflow-ok: carry is the adc carry-out (0 or 1), so the
+        // shift into the vacated top bit loses nothing
         u[N - 1] |= carry << 63;
     }
 }

@@ -365,6 +365,8 @@ macro_rules! montgomery_field {
                     }
                     let (v, c) = $crate::arith::adc(t[$n], carry, 0);
                     t[$n - 1] = v; // lint:allow(panic) scratch holds $n + 2 limbs
+                    // overflow-ok: t[$n + 1] and c are carry bits (each
+                    // 0 or 1), so their sum fits a limb without wrap
                     t[$n] = t[$n + 1] + c; // lint:allow(panic) scratch holds $n + 2 limbs
                     t[$n + 1] = 0; // lint:allow(panic) scratch holds $n + 2 limbs
                 }

@@ -101,6 +101,43 @@ impl G1Affine {
         };
         point.is_torsion_free().then_some(point)
     }
+
+    /// Parses the 48-byte compressed form **without** the subgroup
+    /// check: flag handling and coordinate canonicality are enforced,
+    /// curve membership holds by construction of `y`, but the point may
+    /// lie outside the prime-order subgroup.
+    ///
+    /// This is the raw decoder the validation-state lint exists to
+    /// police; it is exposed so adversarial tests can build
+    /// wrong-subgroup inputs. Protocol code must use
+    /// [`from_compressed`](Self::from_compressed).
+    pub fn from_compressed_unchecked(bytes: &[u8; 48]) -> Option<Self> {
+        let compressed = bytes[0] >> 7 & 1 == 1;
+        let infinity = bytes[0] >> 6 & 1 == 1;
+        let sign = bytes[0] >> 5 & 1 == 1;
+        if !compressed {
+            return None;
+        }
+        let mut xbytes = *bytes;
+        xbytes[0] &= 0b0001_1111;
+        if infinity {
+            if xbytes.iter().all(|&b| b == 0) && !sign {
+                return Some(Self::identity());
+            }
+            return None;
+        }
+        let x = Fp::from_be_bytes(&xbytes)?;
+        let y2 = x.square().mul(&x).add(&G1Params::b());
+        let mut y = y2.sqrt()?;
+        if y.is_lexicographically_largest() != sign {
+            y = y.neg();
+        }
+        Some(Self {
+            x,
+            y,
+            infinity: false,
+        })
+    }
 }
 
 /// Hashes an arbitrary message into the prime-order subgroup of G1
@@ -120,6 +157,9 @@ impl G1Affine {
 /// assert!(!p.is_identity());
 /// assert_eq!(p, hash_to_g1(b"node-17", b"MCCLS-H1"));
 /// ```
+// validated: the map solves the curve equation directly (on-curve by
+// construction) and the effective-cofactor clearing below forces the
+// result into the prime-order subgroup
 pub fn hash_to_g1(msg: &[u8], dst: &[u8]) -> G1Projective {
     let wide = mccls_hash::expand_message(msg, dst, 64);
     let mut x = Fp::from_be_bytes_mod(&wide);

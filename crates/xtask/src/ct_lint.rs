@@ -423,13 +423,15 @@ fn has_div_operator(line: &str) -> bool {
 }
 
 /// A binding: `(name, right-hand side, 0-based line offset in body)`.
-type Binding = (String, String, usize);
+pub(crate) type Binding = (String, String, usize);
 
 /// `let` bindings and plain/compound assignments, textually extracted.
 /// Pattern bindings (`let Some(x)`, `let (a, b)`) are skipped: the lint
 /// only tracks plain named bindings, which is what the scheme code uses
-/// for secrets.
-fn bindings_of(scrubbed: &str) -> Vec<Binding> {
+/// for secrets. Shared with the validation-state pass in
+/// [`crate::validate`], which tracks decoded group values through the
+/// same binding shapes.
+pub(crate) fn bindings_of(scrubbed: &str) -> Vec<Binding> {
     let chars: Vec<char> = scrubbed.chars().collect();
     let mut out = Vec::new();
     let mut line = 0usize;

@@ -1,7 +1,9 @@
 //! `mccls-xtask` — the workspace's static-analysis gate.
 //!
-//! `cargo run -p mccls-xtask -- check` runs six lints over the tree and
-//! exits non-zero if any finding survives its suppression filter:
+//! `cargo run -p mccls-xtask -- check` runs eight lints over the tree
+//! and exits non-zero if any finding survives its suppression filter
+//! (and, when a committed `xtask-baseline.json` exists, the
+//! baseline diff — see [`baseline`]):
 //!
 //! * **panic** — no `unwrap`/`expect`/`panic!`-family macros or risky
 //!   slice indexing in non-test code of the cryptographic crates
@@ -21,6 +23,17 @@
 //!   ([`reach`]): any `panic!`-family site reachable from
 //!   `sign`/`verify`/key-extraction entry points is reported with its
 //!   call chain.
+//! * **validate** — the untrusted-input validation-state pass
+//!   ([`validate`]): a value decoded from raw bytes (an unchecked
+//!   `from_compressed_unchecked`-style decoder, an AODV message parser)
+//!   must pass a curve/subgroup sanitizer before reaching a pairing or
+//!   group-arithmetic sink. Declassify a reviewed construction with
+//!   `// validated: <reason>`.
+//! * **overflow** — the limb-overflow lint ([`overflow`]): no bare
+//!   `+`/`-`/`*`/`<<` on `u64`/`u128` limb values in the pairing
+//!   arithmetic; route carries through `wrapping_*`/`overflowing_*`/
+//!   `carrying_*` or the `adc`/`sbb`/`mac` helpers. Suppress with
+//!   `// overflow-ok: <reason>`.
 //! * **hygiene** — every crate keeps `#![forbid(unsafe_code)]` at its
 //!   root and opts into the shared `[workspace.lints]` table.
 //! * **deps** — every `Cargo.toml` dependency resolves in-repo (path or
@@ -34,16 +47,19 @@
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
 pub mod callgraph;
 pub mod ct_lint;
 pub mod deps_lint;
 pub mod hygiene_lint;
 pub mod lexer;
+pub mod overflow;
 pub mod panic_lint;
 pub mod parser;
 pub mod reach;
 pub mod report;
 pub mod taint;
+pub mod validate;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -162,6 +178,21 @@ pub const CT_SCOPE: &[&str] = &["crates/core", "crates/pairing"];
 /// reachability passes).
 pub const GRAPH_SCOPE: &[&str] = &["crates/hash", "crates/pairing", "crates/core"];
 
+/// Crates subject to the limb-overflow lint: the multi-precision
+/// arithmetic lives in the pairing crate.
+pub const OVERFLOW_SCOPE: &[&str] = &["crates/pairing"];
+
+/// Crates covered by the validation-state pass. Wider than
+/// [`GRAPH_SCOPE`]: the AODV simulation is where untrusted network
+/// bytes enter, so its parsers must be visible as potential sources
+/// even though it is not held to the panic/ct discipline.
+pub const VALIDATE_SCOPE: &[&str] = &[
+    "crates/hash",
+    "crates/pairing",
+    "crates/core",
+    "crates/aodv",
+];
+
 /// Reads and parses every `.rs` file in the given scope directories,
 /// labelled with workspace-relative paths.
 pub fn parse_scope(root: &Path, scope: &[&str]) -> Vec<parser::ParsedFile> {
@@ -176,7 +207,7 @@ pub fn parse_scope(root: &Path, scope: &[&str]) -> Vec<parser::ParsedFile> {
     parser::parse_files(&sources)
 }
 
-/// Runs all six lints over the workspace rooted at `root`.
+/// Runs all eight lints over the workspace rooted at `root`.
 pub fn check_workspace(root: &Path) -> Vec<Finding> {
     let mut findings = Vec::new();
 
@@ -194,9 +225,17 @@ pub fn check_workspace(root: &Path) -> Vec<Finding> {
             }
         }
     }
+    for rel in OVERFLOW_SCOPE {
+        for file in rust_files(&root.join(rel).join("src")) {
+            if let Ok(src) = std::fs::read_to_string(&file) {
+                findings.extend(overflow::scan(&display_path(root, &file), &src));
+            }
+        }
+    }
     let parsed = parse_scope(root, GRAPH_SCOPE);
     findings.extend(taint::analyze(&parsed));
     findings.extend(reach::analyze(&parsed));
+    findings.extend(validate::analyze(&parse_scope(root, VALIDATE_SCOPE)));
     findings.extend(hygiene_lint::scan(root));
     findings.extend(deps_lint::scan(root));
 

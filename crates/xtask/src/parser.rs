@@ -47,6 +47,9 @@ pub struct FnItem {
     /// Scrubbed body text, from the opening `{` through the matching
     /// closing brace.
     pub body: String,
+    /// 1-based line the `fn` keyword sits on (for declaration-level
+    /// suppression markers on multi-line signatures).
+    pub decl_line: usize,
     /// 1-based line the body's `{` opens on.
     pub body_line: usize,
     /// True when the item sits inside a `#[cfg(test)]`/`#[test]` span.
@@ -370,6 +373,7 @@ fn parse_fn(
             params,
             ret,
             body,
+            decl_line: lexer::line_of(scrubbed, start),
             body_line,
             is_test: lexer::in_spans(body_line, spans)
                 || lexer::in_spans(lexer::line_of(scrubbed, start), spans),

@@ -125,6 +125,91 @@ fn bare_suppression_reasons_do_not_suppress() {
 }
 
 #[test]
+fn validate_fixture_trips_only_the_typestate_pass() {
+    // The dirty chain (admit_peer -> session_pairing) is locally clean
+    // in every function: the unchecked decode and the pairing sink live
+    // two hops apart, so a finding proves the validation-state fixpoint
+    // crossed call boundaries. The sanitized and declassified twins must
+    // stay silent, and the bare marker must itself be reported.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let src =
+        std::fs::read_to_string(dir.join("validate_cases.rs")).expect("validate fixture exists");
+    let files = mccls_xtask::parser::parse_files(&[("validate_cases.rs".to_owned(), src)]);
+    let findings = mccls_xtask::validate::analyze(&files);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("admit_peer -> session_pairing")),
+        "expected the two-hop unvalidated-point chain to fire, got: {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .all(|f| !f.message.contains("admit_peer_checked")
+                && !f.message.contains("admit_trusted")),
+        "sanitized/declassified twins must not be flagged: {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("gives no reason")),
+        "bare `validated:` marker must still be reported: {findings:?}"
+    );
+}
+
+#[test]
+fn overflow_fixture_fires_and_twins_stay_silent() {
+    // The bare `+`/`*`/`<<` sites on limb values must fire; the carry
+    // intrinsics, `usize` index arithmetic, and the justified
+    // suppression must stay silent; the bare marker is itself a finding.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let src =
+        std::fs::read_to_string(dir.join("overflow_cases.rs")).expect("overflow fixture exists");
+    let findings = mccls_xtask::overflow::scan("overflow_cases.rs", &src);
+    for op in ["`+`", "`*`", "`<<`"] {
+        assert!(
+            findings.iter().any(|f| f.message.contains(op)),
+            "expected a bare {op} finding, got: {findings:?}"
+        );
+    }
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("gives no reason")),
+        "bare `overflow-ok:` marker must still be reported: {findings:?}"
+    );
+    // The clean twins occupy known line ranges: `acc_fold_ct` (27-30),
+    // `index_walk` (33-36), and the justified `shift_fold` (39-42).
+    for f in &findings {
+        assert!(
+            !(27..=42).contains(&f.line),
+            "a clean twin was flagged at line {}: {f:?}",
+            f.line
+        );
+    }
+}
+
+#[test]
+fn committed_baseline_matches_the_tree() {
+    // CI diffs `xtask check` against the committed baseline; a baseline
+    // that drifts from the tree would let new findings ride in under
+    // stale entries. Keep them in lockstep.
+    let root = workspace_root();
+    let findings = mccls_xtask::check_workspace(&root);
+    let text = std::fs::read_to_string(root.join("xtask-baseline.json"))
+        .expect("xtask-baseline.json is committed at the workspace root");
+    let accepted = mccls_xtask::baseline::parse_ids(&text);
+    let diff = mccls_xtask::baseline::diff(&findings, &accepted);
+    assert!(
+        diff.new.is_empty() && diff.stale.is_empty(),
+        "baseline out of sync (run `cargo run -p mccls-xtask -- check --update-baseline`): \
+         new={:?} stale={:?}",
+        diff.new,
+        diff.stale
+    );
+}
+
+#[test]
 fn prepared_pairing_fixture_fails_both_gates() {
     // Violations shaped like the prepared-pairing engine (cached line
     // coefficients, fixed-base table lookups, secret digit recoding)
