@@ -78,6 +78,7 @@ impl CertificatelessScheme for Ap {
 
     // validated: honest-signer output; every component is a scalar
     // multiple of a subgroup generator or a cofactor-cleared hash point
+    // opcount-budget: ap.sign
     fn sign(
         &self,
         params: &SystemParams,
@@ -104,6 +105,7 @@ impl CertificatelessScheme for Ap {
         Signature::Ap { u, v }
     }
 
+    // opcount-budget: ap.verify
     fn verify(
         &self,
         params: &SystemParams,

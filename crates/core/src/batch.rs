@@ -43,6 +43,7 @@ pub struct BatchItem<'a> {
 /// `Ok(())` result implies every entry would individually verify (up to
 /// the randomization error bound) — asserted against one-by-one
 /// verification in tests.
+// opcount-budget: batch.batch_verify
 pub fn batch_verify(
     params: &SystemParams,
     items: &[BatchItem<'_>],

@@ -131,6 +131,7 @@ impl CertificatelessScheme for McCls {
 
     // validated: honest-signer output; every component is a scalar
     // multiple of a subgroup generator or a cofactor-cleared hash point
+    // opcount-budget: mccls.sign
     fn sign(
         &self,
         params: &SystemParams,
@@ -157,6 +158,7 @@ impl CertificatelessScheme for McCls {
         Signature::McCls { v, s, r }
     }
 
+    // opcount-budget: mccls.verify
     fn verify(
         &self,
         params: &SystemParams,

@@ -88,7 +88,6 @@ impl Eq for SystemParams {}
 ///
 /// Deliberately opaque: nothing outside this module reads the scalar,
 /// mirroring the paper's requirement that only the KGC holds `s`.
-#[derive(Clone)]
 pub struct MasterSecret {
     s: Fr,
 }
@@ -99,12 +98,26 @@ impl core::fmt::Debug for MasterSecret {
     }
 }
 
+impl Drop for MasterSecret {
+    fn drop(&mut self) {
+        self.s.zeroize();
+    }
+}
+
 /// The Key Generation Center: runs `Setup` and
 /// `Extract-Partial-Private-Key`.
-#[derive(Debug, Clone)]
 pub struct Kgc {
     params: SystemParams,
     master: MasterSecret,
+}
+
+impl core::fmt::Debug for Kgc {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Kgc")
+            .field("params", &self.params)
+            .field("master", &self.master)
+            .finish()
+    }
 }
 
 impl Kgc {
@@ -150,10 +163,21 @@ impl Kgc {
 }
 
 /// The identity-bound half of a private key, `D_ID = s·Q_ID ∈ G1`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PartialPrivateKey {
     /// The point `D_ID`.
     pub d: G1Projective,
+}
+
+impl core::fmt::Debug for PartialPrivateKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("PartialPrivateKey(<redacted>)")
+    }
+}
+
+impl Drop for PartialPrivateKey {
+    fn drop(&mut self) {
+        self.d.zeroize();
+    }
 }
 
 impl PartialPrivateKey {

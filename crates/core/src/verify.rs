@@ -171,6 +171,7 @@ impl Verifier {
     ///
     /// Rejects keys containing the group identity up front — they would
     /// make every later pairing against them trivially constant.
+    // opcount-budget: verifier.register_peer
     pub fn register_peer(&mut self, id: &[u8], public: UserPublicKey) -> Result<(), VerifyError> {
         if public.has_identity_component() {
             return Err(VerifyError::IdentityPublicKey);
@@ -196,6 +197,7 @@ impl Verifier {
     /// With the peer registered this is the paper's Table 1 hot path:
     /// one pairing (one Miller loop, one final exponentiation), one G1
     /// scalar multiplication and two G2 scalar multiplications.
+    // opcount-budget: verifier.verify
     pub fn verify(&self, id: &[u8], msg: &[u8], sig: &Signature) -> Result<(), VerifyError> {
         let entry = self.peers.get(id).ok_or(VerifyError::UnknownPeer)?;
         let lhs = McCls::verification_pairing(&entry.public, msg, sig)?;

@@ -80,6 +80,7 @@ impl CertificatelessScheme for Yhg {
 
     // validated: honest-signer output; every component is a scalar
     // multiple of a subgroup generator or a cofactor-cleared hash point
+    // opcount-budget: yhg.sign
     fn sign(
         &self,
         params: &SystemParams,
@@ -108,6 +109,7 @@ impl CertificatelessScheme for Yhg {
         Signature::Yhg { u, v }
     }
 
+    // opcount-budget: yhg.verify
     fn verify(
         &self,
         params: &SystemParams,

@@ -97,6 +97,7 @@ impl CertificatelessScheme for Zwxf {
 
     // validated: honest-signer output; every component is a scalar
     // multiple of a subgroup generator or a cofactor-cleared hash point
+    // opcount-budget: zwxf.sign
     fn sign(
         &self,
         params: &SystemParams,
@@ -119,6 +120,7 @@ impl CertificatelessScheme for Zwxf {
         Signature::Zwxf { u, v }
     }
 
+    // opcount-budget: zwxf.verify
     fn verify(
         &self,
         params: &SystemParams,

@@ -1,0 +1,208 @@
+//! Runtime cross-check of the statically certified operation budgets.
+//!
+//! The xtask `opcount` lint proves a *static worst-case* bound for
+//! every entry in `opcount-budgets.toml`; this test proves the
+//! *runtime* counters land on exactly the same numbers, closing the
+//! loop: budget file == static certification == measured execution.
+//! If any of the three drifts, either this test or the gate fails.
+
+// Tests may panic freely; that is how they fail.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+use mccls_core::{
+    all_schemes, batch_verify, ops, BatchItem, CertificatelessScheme, Kgc, Signature, UserKeyPair,
+    Verifier,
+};
+use mccls_rng::rngs::StdRng;
+use mccls_rng::SeedableRng;
+use mccls_xtask::opcount::{parse_budgets, BudgetEntry, Budgets};
+
+fn committed_budgets() -> Budgets {
+    let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let text = std::fs::read_to_string(root.join("opcount-budgets.toml"))
+        .expect("opcount-budgets.toml is committed at the workspace root");
+    parse_budgets(&text).expect("committed budget file parses")
+}
+
+/// Asserts measured counts equal a budget entry evaluated at batch
+/// size `n` (0 for the non-batch entries, where `n` never appears).
+fn assert_matches(entry: &BudgetEntry, counts: &ops::OpCounts, n: u64, what: &str) {
+    let measured = [
+        counts.pairings,
+        counts.miller_loops,
+        counts.final_exps,
+        counts.g1_muls,
+        counts.g2_muls,
+        counts.gt_exps,
+        counts.hashes_to_g1,
+    ];
+    for (slot, name) in mccls_xtask::opcount::COUNTERS.iter().enumerate() {
+        let certified = entry.budget.0[slot]
+            .eval(n)
+            .unwrap_or_else(|| panic!("certified budget `{}` is bounded", entry.key));
+        assert_eq!(
+            measured[slot], certified,
+            "{what}: measured {name} diverges from certified budget `{}`",
+            entry.key
+        );
+    }
+}
+
+struct Signer {
+    id: Vec<u8>,
+    keys: UserKeyPair,
+    sig_input: Vec<u8>,
+}
+
+fn setup(scheme: &dyn CertificatelessScheme, seed: u64) -> (Kgc, Signer) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (params, kgc) = scheme.setup(&mut rng);
+    let keys = scheme.generate_key_pair(&params, &mut rng);
+    (
+        kgc,
+        Signer {
+            id: b"alice@manet".to_vec(),
+            keys,
+            sig_input: b"route reply: 10.0.0.7 via 3 hops".to_vec(),
+        },
+    )
+}
+
+#[test]
+fn every_scheme_measures_exactly_its_certified_budget() {
+    let budgets = committed_budgets();
+    for scheme in all_schemes() {
+        let key = scheme.name().to_lowercase();
+        let (kgc, signer) = setup(scheme.as_ref(), 0xC0DE);
+        let params = kgc.params();
+        let partial = scheme.extract_partial_private_key(&kgc, &signer.id);
+        let mut rng = StdRng::seed_from_u64(7);
+
+        let (sig, sign_counts) = ops::measure(|| {
+            scheme.sign(
+                params,
+                &signer.id,
+                &partial,
+                &signer.keys,
+                &signer.sig_input,
+                &mut rng,
+            )
+        });
+        let sign_entry = budgets
+            .get(&format!("{key}.sign"))
+            .unwrap_or_else(|| panic!("budget `{key}.sign` exists"));
+        assert_matches(sign_entry, &sign_counts, 0, scheme.name());
+
+        let (res, verify_counts) = ops::measure(|| {
+            scheme.verify(
+                params,
+                &signer.id,
+                &signer.keys.public,
+                &signer.sig_input,
+                &sig,
+            )
+        });
+        assert_eq!(res, Ok(()), "{} verification", scheme.name());
+        let verify_entry = budgets
+            .get(&format!("{key}.verify"))
+            .unwrap_or_else(|| panic!("budget `{key}.verify` exists"));
+        assert_matches(verify_entry, &verify_counts, 0, scheme.name());
+    }
+}
+
+#[test]
+fn mccls_meets_its_table1_row() {
+    // The paper's headline claim, asserted directly rather than via
+    // the budget file: signing costs two scalar multiplications and
+    // zero pairings.
+    let budgets = committed_budgets();
+    let sign = budgets.get("mccls.sign").expect("mccls.sign entry");
+    let eval = |slot: usize| sign.budget.0[slot].eval(0).expect("bounded");
+    assert_eq!(eval(0), 0, "sign pairings");
+    assert_eq!(eval(1), 0, "sign Miller loops");
+    assert_eq!(eval(3) + eval(4), 2, "sign scalar multiplications");
+
+    // Warm verification costs one pairing: one Miller loop plus one
+    // final exponentiation, with the peer constant cached.
+    let warm = budgets
+        .get("verifier.verify")
+        .expect("verifier.verify entry");
+    let eval = |slot: usize| warm.budget.0[slot].eval(0).expect("bounded");
+    assert_eq!(eval(0), 1, "warm verify pairings");
+    assert_eq!(eval(1), 1, "warm verify Miller loops");
+    assert_eq!(eval(2), 1, "warm verify final exponentiations");
+}
+
+#[test]
+fn stateful_verifier_paths_measure_their_certified_budgets() {
+    let budgets = committed_budgets();
+    let scheme = mccls_core::McCls::new();
+    let (kgc, signer) = setup(&scheme, 0xBEEF);
+    let params = kgc.params().clone();
+    let partial = scheme.extract_partial_private_key(&kgc, &signer.id);
+    let mut rng = StdRng::seed_from_u64(11);
+    let sig = scheme.sign(
+        &params,
+        &signer.id,
+        &partial,
+        &signer.keys,
+        &signer.sig_input,
+        &mut rng,
+    );
+
+    let mut verifier = Verifier::new(params);
+    let (res, cold_counts) =
+        ops::measure(|| verifier.register_peer(&signer.id, signer.keys.public));
+    assert_eq!(res, Ok(()));
+    let cold = budgets
+        .get("verifier.register_peer")
+        .expect("verifier.register_peer entry");
+    assert_matches(cold, &cold_counts, 0, "cold registration");
+
+    let (res, warm_counts) = ops::measure(|| verifier.verify(&signer.id, &signer.sig_input, &sig));
+    assert_eq!(res, Ok(()));
+    let warm = budgets
+        .get("verifier.verify")
+        .expect("verifier.verify entry");
+    assert_matches(warm, &warm_counts, 0, "warm verification");
+}
+
+#[test]
+fn batch_verification_measures_its_symbolic_budget() {
+    let budgets = committed_budgets();
+    let scheme = mccls_core::McCls::new();
+    let mut rng = StdRng::seed_from_u64(0xFACE);
+    let (params, kgc) = scheme.setup(&mut rng);
+
+    const N: usize = 5;
+    let ids: Vec<Vec<u8>> = (0..N).map(|i| format!("node-{i}").into_bytes()).collect();
+    let msgs: Vec<Vec<u8>> = (0..N).map(|i| format!("packet {i}").into_bytes()).collect();
+    let mut keys = Vec::new();
+    let mut sigs: Vec<Signature> = Vec::new();
+    for i in 0..N {
+        let partial = scheme.extract_partial_private_key(&kgc, &ids[i]);
+        let kp = scheme.generate_key_pair(&params, &mut rng);
+        sigs.push(scheme.sign(&params, &ids[i], &partial, &kp, &msgs[i], &mut rng));
+        keys.push(kp);
+    }
+    let items: Vec<BatchItem<'_>> = (0..N)
+        .map(|i| BatchItem {
+            id: &ids[i],
+            public: &keys[i].public,
+            msg: &msgs[i],
+            sig: &sigs[i],
+        })
+        .collect();
+
+    let (res, counts) = ops::measure(|| batch_verify(&params, &items, &mut rng));
+    assert_eq!(res, Ok(()));
+    let entry = budgets
+        .get("batch.batch_verify")
+        .expect("batch.batch_verify entry");
+    assert_matches(entry, &counts, N as u64, "batch verification");
+    // The symbolic shape itself: n+1 Miller loops, one shared final
+    // exponentiation, and no calls through the pairing frontend.
+    assert_eq!(counts.miller_loops as usize, N + 1);
+    assert_eq!(counts.final_exps, 1);
+    assert_eq!(counts.pairings, 0);
+}

@@ -130,6 +130,16 @@ impl<C: Curve> ProjectivePoint<C> {
         AffinePoint::<C>::generator().to_projective()
     }
 
+    /// Overwrites the coordinates with zeros, for wiping key material
+    /// on drop. `black_box` keeps the dead-store eliminator from
+    /// removing a write the optimizer can prove is never read again.
+    pub fn zeroize(&mut self) {
+        self.x = C::Base::zero();
+        self.y = C::Base::zero();
+        self.z = C::Base::zero();
+        core::hint::black_box(&mut self.z);
+    }
+
     /// True for the identity.
     pub fn is_identity(&self) -> bool {
         self.z.is_zero()

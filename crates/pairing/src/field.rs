@@ -103,6 +103,15 @@ macro_rules! montgomery_field {
                 Self([0u64; $n])
             }
 
+            /// Overwrites the limbs with zeros, for wiping key
+            /// material on drop. `black_box` keeps the dead-store
+            /// eliminator from removing a write the optimizer can
+            /// prove is never read again.
+            pub fn zeroize(&mut self) {
+                self.0 = [0u64; $n];
+                core::hint::black_box(&mut self.0);
+            }
+
             /// The one element (Montgomery form of 1).
             #[inline]
             pub fn one() -> Self {

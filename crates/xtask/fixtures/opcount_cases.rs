@@ -1,0 +1,46 @@
+//! Operation-count fixtures: shapes the opcount certification must
+//! catch, plus clean twins it must leave alone. Never compiled —
+//! parsed by `tests/clean_tree.rs` against `opcount_budgets.toml` in
+//! this directory.
+
+/// DIRTY, interprocedurally: locally pairing-free — both pairings live
+/// one call down, so an overrun finding proves the analysis crossed
+/// call boundaries. Budgeted at 1 pairing, computes to 2.
+// opcount-budget: fixture.session_verify
+pub fn session_verify(state: &Session, msg: &[u8]) -> bool {
+    let lhs = peer_term(state);
+    let rhs = message_term(state, msg);
+    lhs == rhs
+}
+
+fn peer_term(state: &Session) -> Gt {
+    ops::pair(&state.q_id, &state.p_pub)
+}
+
+fn message_term(state: &Session, msg: &[u8]) -> Gt {
+    let h = state.challenge(msg);
+    ops::pair(&h, &state.r)
+}
+
+/// DIRTY: a pairing under a `while` loop has no static repetition
+/// bound. Budgeted at 1 pairing, computes to unbounded.
+// opcount-budget: fixture.drain_queue
+pub fn drain_queue(queue: &mut Queue) -> bool {
+    let mut ok = true;
+    while let Some(item) = queue.pop() {
+        ok &= accept(&item);
+    }
+    ok
+}
+
+fn accept(item: &Item) -> bool {
+    ops::pair(&item.sig, &item.key).is_identity()
+}
+
+/// CLEAN twin: one pairing one hop down, budgeted at exactly 1 —
+/// certification holds and the entry stays silent.
+// opcount-budget: fixture.cached_verify
+pub fn cached_verify(state: &Session, msg: &[u8]) -> bool {
+    let expected = message_term(state, msg);
+    state.cached == expected
+}

@@ -1,0 +1,51 @@
+//! Secret-lifecycle fixtures: derive and drop hazards on key material,
+//! plus clean and suppressed twins. Never compiled — parsed by
+//! `tests/clean_tree.rs`.
+
+/// DIRTY seed: derived `Debug` and `Clone` leak and scatter the master
+/// secret, and there is no zeroizing `Drop` — three findings.
+#[derive(Debug, Clone)]
+pub struct MasterSecret {
+    s: Fr,
+}
+
+/// DIRTY transitively: not key material itself, but its field is, so
+/// the derived `Clone` silently duplicates the master secret.
+#[derive(Clone)]
+pub struct KeyVault {
+    label: String,
+    master: MasterSecret,
+}
+
+/// DIRTY marker: the suppression has no written reason, so the derive
+/// still counts and the bare marker is called out.
+// secret-ok:
+#[derive(Debug)]
+pub struct EscrowRecord {
+    master: MasterSecret,
+}
+
+/// CLEAN seed twin: no forbidden derives, redacted manual `Debug`, and
+/// a zeroizing `Drop` — silent.
+pub struct PartialPrivateKey {
+    d: G1Projective,
+}
+
+impl core::fmt::Debug for PartialPrivateKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("PartialPrivateKey(<redacted>)")
+    }
+}
+
+impl Drop for PartialPrivateKey {
+    fn drop(&mut self) {
+        self.d.zeroize();
+    }
+}
+
+/// CLEAN suppressed twin: the derive is deliberate and justified.
+// secret-ok: snapshot type for the KGC rotation test-vector generator
+#[derive(Clone)]
+pub struct RotationSnapshot {
+    master: MasterSecret,
+}

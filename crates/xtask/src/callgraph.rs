@@ -107,10 +107,106 @@ impl CallGraph {
         }
         rev
     }
+
+    /// Strongly connected components (iterative Tarjan), emitted in
+    /// reverse topological order: every SCC appears before the SCCs
+    /// that call into it, so a bottom-up cost pass can walk the result
+    /// front to back.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        #[derive(Clone, Copy)]
+        struct NodeState {
+            index: usize,
+            lowlink: usize,
+            on_stack: bool,
+            visited: bool,
+        }
+        let n = self.nodes.len();
+        let mut state = vec![
+            NodeState {
+                index: 0,
+                lowlink: 0,
+                on_stack: false,
+                visited: false,
+            };
+            n
+        ];
+        let mut counter = 0usize;
+        let mut stack: Vec<usize> = Vec::new();
+        let mut sccs: Vec<Vec<usize>> = Vec::new();
+        // Explicit DFS frames: (node, next-edge cursor).
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+        for root in 0..n {
+            if state[root].visited {
+                continue;
+            }
+            frames.push((root, 0));
+            state[root].visited = true;
+            state[root].index = counter;
+            state[root].lowlink = counter;
+            state[root].on_stack = true;
+            counter += 1;
+            stack.push(root);
+            while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+                if *cursor < self.edges[v].len() {
+                    let w = self.edges[v][*cursor].callee;
+                    *cursor += 1;
+                    if !state[w].visited {
+                        state[w].visited = true;
+                        state[w].index = counter;
+                        state[w].lowlink = counter;
+                        state[w].on_stack = true;
+                        counter += 1;
+                        stack.push(w);
+                        frames.push((w, 0));
+                    } else if state[w].on_stack {
+                        state[v].lowlink = state[v].lowlink.min(state[w].index);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        state[parent].lowlink = state[parent].lowlink.min(state[v].lowlink);
+                    }
+                    if state[v].lowlink == state[v].index {
+                        let mut component = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            state[w].on_stack = false;
+                            component.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        sccs.push(component);
+                    }
+                }
+            }
+        }
+        sccs
+    }
+
+    /// True per node when it sits on a call cycle: in a non-trivial SCC
+    /// or carrying a self-edge (direct recursion).
+    pub fn cyclic_nodes(&self) -> Vec<bool> {
+        let mut cyclic = vec![false; self.nodes.len()];
+        for component in self.sccs() {
+            if component.len() > 1 {
+                for ni in component {
+                    cyclic[ni] = true;
+                }
+            }
+        }
+        for (ni, out) in self.edges.iter().enumerate() {
+            if out.iter().any(|e| e.callee == ni) {
+                cyclic[ni] = true;
+            }
+        }
+        cyclic
+    }
 }
 
 /// Applies the qualifier filter: keep candidates whose owner type or
-/// file stem matches, unless that filters everything out.
+/// file stem matches, unless that filters everything out. Method calls
+/// whose receiver is literally `self` are narrowed to the caller's own
+/// impl block the same way.
 fn narrow_candidates(
     files: &[ParsedFile],
     nodes: &[NodeId],
@@ -119,6 +215,21 @@ fn narrow_candidates(
     cands: &[usize],
 ) -> Vec<usize> {
     let Some(q) = &call.qualifier else {
+        if call.is_method && call.receiver.as_deref() == Some("self") {
+            if let Some(owner) = &caller.owner {
+                let narrowed: Vec<usize> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&idx| {
+                        let (fi, gi) = nodes[idx];
+                        files[fi].fns[gi].owner.as_deref() == Some(owner.as_str())
+                    })
+                    .collect();
+                if !narrowed.is_empty() {
+                    return narrowed;
+                }
+            }
+        }
         return cands.to_vec();
     };
     let qualifier = if q == "Self" {
@@ -235,6 +346,41 @@ mod tests {
         )]);
         assert_eq!(g.nodes.len(), 1);
         assert!(g.named("dead").is_empty());
+    }
+
+    #[test]
+    fn self_receiver_narrows_to_the_callers_impl() {
+        let (files, g) = graph_of(&[(
+            "a.rs",
+            "impl A { fn run(&self) { self.go(); } fn go(&self) {} }\n\
+             impl B { fn go(&self) {} }\n",
+        )]);
+        let run = g.named("run")[0];
+        assert_eq!(g.edges[run].len(), 1, "self call resolves in-impl");
+        let callee = g.edges[run][0].callee;
+        assert_eq!(g.item(&files, callee).owner.as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn sccs_find_cycles_and_emit_callees_first() {
+        let (_files, g) = graph_of(&[(
+            "a.rs",
+            "fn top() { ping(); }\nfn ping() { pong(); }\nfn pong() { ping(); leaf(); }\n\
+             fn leaf() {}\nfn rec() { rec(); }\n",
+        )]);
+        let cyclic = g.cyclic_nodes();
+        let at = |name: &str| g.named(name)[0];
+        assert!(!cyclic[at("top")]);
+        assert!(cyclic[at("ping")] && cyclic[at("pong")], "mutual recursion");
+        assert!(!cyclic[at("leaf")]);
+        assert!(cyclic[at("rec")], "self-edge counts as a cycle");
+        // Reverse-topological emission: leaf's SCC before the
+        // ping/pong SCC, which in turn precedes top's.
+        let sccs = g.sccs();
+        let pos = |ni: usize| sccs.iter().position(|c| c.contains(&ni)).unwrap();
+        assert!(pos(at("leaf")) < pos(at("ping")));
+        assert_eq!(pos(at("ping")), pos(at("pong")));
+        assert!(pos(at("ping")) < pos(at("top")));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! `mccls-xtask` — the workspace's static-analysis gate.
 //!
-//! `cargo run -p mccls-xtask -- check` runs eight lints over the tree
+//! `cargo run -p mccls-xtask -- check` runs ten lints over the tree
 //! and exits non-zero if any finding survives its suppression filter
 //! (and, when a committed `xtask-baseline.json` exists, the
 //! baseline diff — see [`baseline`]):
@@ -34,6 +34,19 @@
 //!   arithmetic; route carries through `wrapping_*`/`overflowing_*`/
 //!   `carrying_*` or the `adc`/`sbb`/`mac` helpers. Suppress with
 //!   `// overflow-ok: <reason>`.
+//! * **opcount** — static certification of the Table 1 operation
+//!   budgets ([`opcount`]): an interprocedural worst-case count of
+//!   pairings, Miller loops, final exponentiations, scalar
+//!   multiplications, `Gt` exponentiations, and hash-to-curve calls
+//!   for every entry point budgeted in `opcount-budgets.toml`.
+//!   Certification is exact — overruns, slack, unbounded paths
+//!   (cycles, `while`/`loop`, unresolved pairing-product factors), and
+//!   dead or unmarked budget entries all fail the gate.
+//! * **secret** — the secret-lifecycle lint ([`secret_lint`]): no
+//!   derived `Debug`/`Clone`/`Copy`/serialization on `MasterSecret`,
+//!   `PartialPrivateKey`, or any struct holding them, and the seed
+//!   types must zeroize in `Drop`. Suppress a deliberate exception
+//!   with `// secret-ok: <reason>`.
 //! * **hygiene** — every crate keeps `#![forbid(unsafe_code)]` at its
 //!   root and opts into the shared `[workspace.lints]` table.
 //! * **deps** — every `Cargo.toml` dependency resolves in-repo (path or
@@ -53,11 +66,13 @@ pub mod ct_lint;
 pub mod deps_lint;
 pub mod hygiene_lint;
 pub mod lexer;
+pub mod opcount;
 pub mod overflow;
 pub mod panic_lint;
 pub mod parser;
 pub mod reach;
 pub mod report;
+pub mod secret_lint;
 pub mod taint;
 pub mod validate;
 
@@ -207,7 +222,7 @@ pub fn parse_scope(root: &Path, scope: &[&str]) -> Vec<parser::ParsedFile> {
     parser::parse_files(&sources)
 }
 
-/// Runs all eight lints over the workspace rooted at `root`.
+/// Runs all ten lints over the workspace rooted at `root`.
 pub fn check_workspace(root: &Path) -> Vec<Finding> {
     let mut findings = Vec::new();
 
@@ -235,6 +250,28 @@ pub fn check_workspace(root: &Path) -> Vec<Finding> {
     let parsed = parse_scope(root, GRAPH_SCOPE);
     findings.extend(taint::analyze(&parsed));
     findings.extend(reach::analyze(&parsed));
+    match std::fs::read_to_string(root.join(opcount::BUDGET_FILE)) {
+        Ok(text) => match opcount::parse_budgets(&text) {
+            Ok(budgets) => findings.extend(opcount::analyze(&parsed, &budgets)),
+            Err(err) => findings.push(Finding {
+                file: opcount::BUDGET_FILE.to_owned(),
+                line: 1,
+                lint: "opcount",
+                message: format!("cannot parse budget file: {err}"),
+            }),
+        },
+        Err(_) => findings.push(Finding {
+            file: opcount::BUDGET_FILE.to_owned(),
+            line: 1,
+            lint: "opcount",
+            message: format!(
+                "`{}` is missing at the workspace root: the Table 1 budgets must be \
+                 committed and certified",
+                opcount::BUDGET_FILE
+            ),
+        }),
+    }
+    findings.extend(secret_lint::analyze(&parsed));
     findings.extend(validate::analyze(&parse_scope(root, VALIDATE_SCOPE)));
     findings.extend(hygiene_lint::scan(root));
     findings.extend(deps_lint::scan(root));

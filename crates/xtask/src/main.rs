@@ -123,7 +123,8 @@ fn run_check(root: &std::path::Path, format: Format, update_baseline: bool) -> E
             println!(
                 "Fix the code, or suppress a reviewed site with \
                  `// lint:allow(panic) <reason>` / `// ct-ok: <reason>` / \
-                 `// validated: <reason>` / `// overflow-ok: <reason>`."
+                 `// validated: <reason>` / `// overflow-ok: <reason>` / \
+                 `// secret-ok: <reason>`."
             );
         }
     }
@@ -145,6 +146,8 @@ fn print_usage() {
          reach     panic sites reachable from the public scheme API, with call chains\n    \
          validate  untrusted-byte decodes must pass curve/subgroup checks before sinks\n    \
          overflow  no bare +/-/*/<< on u64/u128 limb values in the pairing arithmetic\n    \
+         opcount   Table 1 operation budgets certified statically (opcount-budgets.toml)\n    \
+         secret    no Debug/Clone/serialization derives on key material; zeroize on Drop\n    \
          hygiene   #![forbid(unsafe_code)] + [lints] workspace = true everywhere\n    \
          deps      every dependency is an in-repo path (offline-safe builds)\n\n\
          BASELINE:\n    findings are diffed against xtask-baseline.json at the root; only\n    \

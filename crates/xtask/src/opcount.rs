@@ -1,0 +1,1061 @@
+//! Static operation-count certification of the Table 1 budgets.
+//!
+//! The paper's central claim is a table of operation counts: McCLS
+//! signs with two scalar multiplications and zero pairings and
+//! verifies with one pairing once the peer constant is cached. The
+//! runtime counters in `mccls_core::ops` *measure* this; this module
+//! *certifies* it statically, so a refactor cannot add a pairing to a
+//! hot path without failing the gate.
+//!
+//! The analysis is an interprocedural worst-case cost propagation over
+//! the [`crate::callgraph`]:
+//!
+//! * every call site whose callee name is one of the counted `ops`
+//!   frontends (`pair`, `pair_prepared`, `pairing_product_prepared`,
+//!   `miller_loop`, `final_exp`, `mul_g1`/`mul_g2` and their
+//!   `_fixed`/`_ct` variants, `exp_gt`, `hash_to_g1`) or a raw pairing
+//!   engine entry point (`pairing`, `pairing_product`,
+//!   `multi_miller_loop`, `final_exponentiation`) is an **atomic
+//!   cost** — the call graph is not traversed through it, mirroring
+//!   how the runtime counters count the frontend and not its innards;
+//! * any other resolved call contributes the **maximum** cost over its
+//!   candidate callees (name-based dispatch is over-approximate, so
+//!   the worst candidate bounds the truth);
+//! * costs are symbolic `a·n + b` vectors per counter. A call inside a
+//!   `for` loop or iterator-adaptor closure multiplies by `n`
+//!   ([`crate::parser::LoopCtx::PerItem`]); a call inside `while`/
+//!   `loop`, under two nested per-item contexts, or on a call-graph
+//!   cycle is **unbounded** — reported, never silently summed;
+//! * multi-pairing products take their factor count from the argument:
+//!   a slice literal counts its elements, a local `Vec` tracks
+//!   `Vec::new`/`with_capacity`, `push` (scaled by loop context) and
+//!   length-preserving `collect()` copies, anything else is unbounded.
+//!
+//! Budgets live in `opcount-budgets.toml` at the workspace root. Each
+//! entry names a function (plus its `impl` owner), its seven counter
+//! budgets as symbolic strings (`"0"`, `"2"`, `"n"`, `"n+1"`, `"2n"`),
+//! and optionally the Table 1 row it mirrors. Certification is an
+//! **equality**: an overrun fails the gate, and so does slack — the
+//! budget, the static bound, and the measured counts (cross-checked in
+//! `crates/core/tests/opcount_certified.rs`) must agree exactly.
+//! Budget entries that match no function, ambiguous entries, budgeted
+//! functions missing their `// opcount-budget: <key>` marker, and
+//! markers naming unknown keys are all findings.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::callgraph::CallGraph;
+use crate::parser::{Call, FnItem, LoopCtx, ParsedFile};
+use crate::Finding;
+
+/// Marker comment tying a function declaration to its budget entry.
+pub const BUDGET_MARKER: &str = "// opcount-budget:";
+
+/// File label used for findings about the budget file itself.
+pub const BUDGET_FILE: &str = "opcount-budgets.toml";
+
+/// Counter names, in the same order as the fields of
+/// `mccls_core::ops::OpCounts`.
+pub const COUNTERS: [&str; 7] = [
+    "pairings",
+    "miller_loops",
+    "final_exps",
+    "g1_muls",
+    "g2_muls",
+    "gt_exps",
+    "hashes_to_g1",
+];
+
+const PAIRINGS: usize = 0;
+const MILLER_LOOPS: usize = 1;
+const FINAL_EXPS: usize = 2;
+const G1_MULS: usize = 3;
+const G2_MULS: usize = 4;
+const GT_EXPS: usize = 5;
+const HASHES_TO_G1: usize = 6;
+
+/// One symbolic counter value `linear·n + konst`, with an explicit
+/// "no static bound" escape hatch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Val {
+    /// Constant term.
+    pub konst: u64,
+    /// Coefficient of the symbolic batch size `n`.
+    pub linear: u64,
+    /// True when no `a·n + b` bound exists (cycle, `while`/`loop`,
+    /// nested per-item contexts, or an unresolvable factor count).
+    pub unbounded: bool,
+}
+
+impl Val {
+    /// A plain constant.
+    pub fn konst(k: u64) -> Self {
+        Self {
+            konst: k,
+            ..Self::default()
+        }
+    }
+
+    /// The unbounded value.
+    pub fn unbounded() -> Self {
+        Self {
+            unbounded: true,
+            ..Self::default()
+        }
+    }
+
+    /// True when provably zero.
+    pub fn is_zero(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Saturating symbolic sum.
+    pub fn add(&self, other: &Self) -> Self {
+        Self {
+            konst: self.konst.saturating_add(other.konst),
+            linear: self.linear.saturating_add(other.linear),
+            unbounded: self.unbounded || other.unbounded,
+        }
+    }
+
+    /// Component-wise upper bound (sound for max-over-candidates).
+    pub fn max(&self, other: &Self) -> Self {
+        Self {
+            konst: self.konst.max(other.konst),
+            linear: self.linear.max(other.linear),
+            unbounded: self.unbounded || other.unbounded,
+        }
+    }
+
+    /// Multiplies by the loop context of a call site: per-item turns
+    /// constants into `n` terms (and existing `n` terms into `n²`,
+    /// which the grammar cannot express, hence unbounded); an
+    /// unbounded context destroys any nonzero value.
+    pub fn scale(&self, ctx: LoopCtx) -> Self {
+        if self.is_zero() {
+            return *self;
+        }
+        match ctx {
+            LoopCtx::Straight => *self,
+            LoopCtx::PerItem => Self {
+                konst: 0,
+                linear: self.konst,
+                unbounded: self.unbounded || self.linear > 0,
+            },
+            LoopCtx::Unbounded => Self::unbounded(),
+        }
+    }
+
+    /// Concrete value at batch size `n`; `None` when unbounded.
+    pub fn eval(&self, n: u64) -> Option<u64> {
+        if self.unbounded {
+            return None;
+        }
+        Some(self.konst.saturating_add(self.linear.saturating_mul(n)))
+    }
+
+    /// Parses the budget grammar: `0`, `2`, `n`, `2n`, `n+1`, …
+    pub fn parse(text: &str) -> Option<Self> {
+        let mut out = Self::default();
+        for term in text.split('+') {
+            let t = term.trim();
+            if t.is_empty() {
+                return None;
+            }
+            if let Some(coeff) = t.strip_suffix('n') {
+                let c = coeff.trim();
+                let c = if c.is_empty() { 1 } else { c.parse().ok()? };
+                out.linear = out.linear.checked_add(c)?;
+            } else {
+                out.konst = out.konst.checked_add(t.parse().ok()?)?;
+            }
+        }
+        Some(out)
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.unbounded {
+            return f.write_str("unbounded");
+        }
+        match (self.linear, self.konst) {
+            (0, k) => write!(f, "{k}"),
+            (1, 0) => f.write_str("n"),
+            (l, 0) => write!(f, "{l}n"),
+            (1, k) => write!(f, "n+{k}"),
+            (l, k) => write!(f, "{l}n+{k}"),
+        }
+    }
+}
+
+/// A full operation-count vector, indexed like [`COUNTERS`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cost(pub [Val; 7]);
+
+impl Cost {
+    fn add(&self, other: &Self) -> Self {
+        let mut out = *self;
+        for (v, o) in out.0.iter_mut().zip(other.0.iter()) {
+            *v = v.add(o);
+        }
+        out
+    }
+
+    fn max(&self, other: &Self) -> Self {
+        let mut out = *self;
+        for (v, o) in out.0.iter_mut().zip(other.0.iter()) {
+            *v = v.max(o);
+        }
+        out
+    }
+
+    fn scale(&self, ctx: LoopCtx) -> Self {
+        let mut out = *self;
+        for v in out.0.iter_mut() {
+            *v = v.scale(ctx);
+        }
+        out
+    }
+
+    /// Marks every nonzero counter unbounded — the effect of sitting
+    /// on a call cycle.
+    fn saturate_unbounded(&self) -> Self {
+        let mut out = *self;
+        for v in out.0.iter_mut() {
+            if !v.is_zero() {
+                *v = Val::unbounded();
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (name, v) in COUNTERS.iter().zip(self.0.iter()) {
+            if v.is_zero() {
+                continue;
+            }
+            if !first {
+                f.write_str(", ")?;
+            }
+            write!(f, "{name}={v}")?;
+            first = false;
+        }
+        if first {
+            f.write_str("all zero")?;
+        }
+        Ok(())
+    }
+}
+
+fn unit(counter: usize) -> Cost {
+    let mut c = Cost::default();
+    c.0[counter] = Val::konst(1);
+    c
+}
+
+/// Atomic cost of a call site, or `None` when the callee is not a
+/// counted frontend and the call graph must be traversed instead.
+/// `lens` carries the tracked local `Vec` lengths for factor counts.
+fn atomic_cost(call: &Call, lens: &BTreeMap<String, Val>) -> Option<Cost> {
+    match call.callee.as_str() {
+        "pair" | "pair_prepared" | "pairing" => Some(
+            unit(PAIRINGS)
+                .add(&unit(MILLER_LOOPS))
+                .add(&unit(FINAL_EXPS)),
+        ),
+        "final_exp" | "final_exponentiation" => Some(unit(FINAL_EXPS)),
+        "mul_g1" | "mul_g1_fixed" | "mul_g1_ct" => Some(unit(G1_MULS)),
+        "mul_g2" | "mul_g2_fixed" | "mul_g2_ct" => Some(unit(G2_MULS)),
+        "exp_gt" => Some(unit(GT_EXPS)),
+        "hash_to_g1" => Some(unit(HASHES_TO_G1)),
+        "pairing_product_prepared" | "pairing_product" => {
+            let k = factor_count(call, lens);
+            let mut c = Cost::default();
+            c.0[PAIRINGS] = k;
+            c.0[MILLER_LOOPS] = k;
+            c.0[FINAL_EXPS] = Val::konst(1);
+            Some(c)
+        }
+        "miller_loop" | "multi_miller_loop" => {
+            let mut c = Cost::default();
+            // The two-argument form is the raw engine entry
+            // `miller_loop(p, q)`: exactly one loop.
+            c.0[MILLER_LOOPS] = if call.callee == "miller_loop" && call.args.len() >= 2 {
+                Val::konst(1)
+            } else {
+                factor_count(call, lens)
+            };
+            Some(c)
+        }
+        _ => None,
+    }
+}
+
+/// Number of pairing factors a product-style call evaluates: counted
+/// from a slice literal, read from a tracked `Vec` length, otherwise
+/// unbounded.
+fn factor_count(call: &Call, lens: &BTreeMap<String, Val>) -> Val {
+    let Some(arg) = call.args.first() else {
+        return Val::unbounded();
+    };
+    let arg = arg.trim_start_matches('&').trim();
+    let arg = arg.strip_prefix("mut ").map(str::trim).unwrap_or(arg);
+    if let Some(inner) = arg.strip_prefix('[').and_then(|a| a.strip_suffix(']')) {
+        let k = crate::parser::split_top_level(inner)
+            .iter()
+            .filter(|e| !e.trim().is_empty())
+            .count() as u64;
+        return Val::konst(k);
+    }
+    if !arg.is_empty() && arg.chars().all(crate::lexer::is_ident_char) {
+        if let Some(v) = lens.get(arg) {
+            return *v;
+        }
+    }
+    Val::unbounded()
+}
+
+/// A `let` binding event used by the `Vec`-length tracker.
+struct LetBinding {
+    line: usize,
+    name: String,
+    rhs: String,
+}
+
+/// Extracts `let [mut] name [: ty] = rhs;` bindings from a scrubbed
+/// body, in source order.
+fn let_bindings(body: &str, body_line: usize) -> Vec<LetBinding> {
+    let chars: Vec<char> = body.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if !word_at(&chars, i, "let") {
+            i += 1;
+            continue;
+        }
+        let line = body_line + chars[..i].iter().filter(|&&c| c == '\n').count();
+        let mut j = skip_ws(&chars, i + 3);
+        if word_at(&chars, j, "mut") {
+            j = skip_ws(&chars, j + 3);
+        }
+        let name_start = j;
+        while j < chars.len() && crate::lexer::is_ident_char(chars[j]) {
+            j += 1;
+        }
+        if j == name_start {
+            i += 3;
+            continue;
+        }
+        let name: String = chars[name_start..j].iter().collect();
+        // Scan to `=` at depth 0 (skipping the optional type
+        // annotation), then capture the rhs up to the `;`.
+        let mut depth = 0i32;
+        let mut eq = None;
+        while j < chars.len() {
+            match chars[j] {
+                '(' | '[' | '{' | '<' => depth += 1,
+                ')' | ']' | '}' => depth -= 1,
+                '>' if j > 0 && chars[j - 1] != '-' => depth -= 1,
+                '=' if depth == 0 && chars.get(j + 1) != Some(&'=') => {
+                    eq = Some(j);
+                    break;
+                }
+                ';' if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(eq) = eq else {
+            i = j;
+            continue;
+        };
+        let mut k = eq + 1;
+        let mut d = 0i32;
+        while k < chars.len() {
+            match chars[k] {
+                '(' | '[' | '{' => d += 1,
+                ')' | ']' | '}' => d -= 1,
+                ';' if d == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        out.push(LetBinding {
+            line,
+            name,
+            rhs: chars[eq + 1..k.min(chars.len())].iter().collect(),
+        });
+        i = k;
+    }
+    out
+}
+
+fn word_at(chars: &[char], i: usize, word: &str) -> bool {
+    let pat: Vec<char> = word.chars().collect();
+    i + pat.len() <= chars.len()
+        && chars[i..i + pat.len()] == pat[..]
+        && (i == 0 || !crate::lexer::is_ident_char(chars[i - 1]))
+        && chars
+            .get(i + pat.len())
+            .is_none_or(|c| !crate::lexer::is_ident_char(*c))
+}
+
+fn skip_ws(chars: &[char], mut i: usize) -> usize {
+    while i < chars.len() && chars[i].is_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// Ident-boundary containment check.
+fn contains_word(text: &str, word: &str) -> bool {
+    let chars: Vec<char> = text.chars().collect();
+    (0..chars.len()).any(|i| word_at(&chars, i, word))
+}
+
+fn apply_let(lens: &mut BTreeMap<String, Val>, binding: &LetBinding) {
+    let fresh_vec = contains_word(&binding.rhs, "Vec")
+        && (contains_word(&binding.rhs, "new") || contains_word(&binding.rhs, "with_capacity"));
+    if fresh_vec {
+        lens.insert(binding.name.clone(), Val::default());
+        return;
+    }
+    if binding.rhs.contains("collect") {
+        let copied = lens
+            .iter()
+            .find(|(k, _)| contains_word(&binding.rhs, k))
+            .map(|(_, v)| *v);
+        if let Some(v) = copied {
+            lens.insert(binding.name.clone(), v);
+        }
+    }
+}
+
+/// Per-function result of the intraprocedural pass.
+struct LocalCost {
+    /// Direct atomic cost of the body.
+    cost: Cost,
+    /// Call indices classified atomic (not traversed in the graph).
+    atomic: Vec<bool>,
+}
+
+fn local_analysis(f: &FnItem) -> LocalCost {
+    let lets = let_bindings(&f.body, f.body_line);
+    let mut lens: BTreeMap<String, Val> = BTreeMap::new();
+    let mut li = 0;
+    let mut cost = Cost::default();
+    let mut atomic = vec![false; f.calls.len()];
+    for (ci, call) in f.calls.iter().enumerate() {
+        while li < lets.len() && lets[li].line <= call.line {
+            apply_let(&mut lens, &lets[li]);
+            li += 1;
+        }
+        if call.is_method && call.callee == "push" {
+            if let Some(name) = call.receiver.as_deref() {
+                if let Some(v) = lens.get_mut(name) {
+                    *v = v.add(&Val::konst(1).scale(call.ctx));
+                }
+            }
+            continue;
+        }
+        if let Some(c) = atomic_cost(call, &lens) {
+            cost = cost.add(&c.scale(call.ctx));
+            atomic[ci] = true;
+        }
+    }
+    LocalCost { cost, atomic }
+}
+
+/// Worst-case cost of every node, computed bottom-up over the SCC
+/// condensation. Members of a non-trivial SCC (or self-loop) have any
+/// nonzero counter saturated to unbounded: a cost inside a cycle has
+/// no static repetition bound.
+pub fn compute_costs(files: &[ParsedFile], graph: &CallGraph) -> Vec<Cost> {
+    let n = graph.nodes.len();
+    let locals: Vec<LocalCost> = (0..n)
+        .map(|ni| local_analysis(graph.item(files, ni)))
+        .collect();
+    let mut component_of = vec![usize::MAX; n];
+    let sccs = graph.sccs();
+    for (si, component) in sccs.iter().enumerate() {
+        for &ni in component {
+            component_of[ni] = si;
+        }
+    }
+    let mut costs = vec![Cost::default(); n];
+    for (si, component) in sccs.iter().enumerate() {
+        let cyclic = component.len() > 1
+            || graph.edges[component[0]]
+                .iter()
+                .any(|e| e.callee == component[0]);
+        let mut member_costs = Vec::with_capacity(component.len());
+        for &ni in component {
+            let f = graph.item(files, ni);
+            let mut c = locals[ni].cost;
+            let mut by_call: BTreeMap<usize, Cost> = BTreeMap::new();
+            for e in &graph.edges[ni] {
+                if locals[ni].atomic[e.call] || component_of[e.callee] == si {
+                    continue;
+                }
+                let entry = by_call.entry(e.call).or_default();
+                *entry = entry.max(&costs[e.callee]);
+            }
+            for (ci, callee_cost) in by_call {
+                c = c.add(&callee_cost.scale(f.calls[ci].ctx));
+            }
+            member_costs.push(c);
+        }
+        if cyclic {
+            let mut combined = Cost::default();
+            for mc in &member_costs {
+                combined = combined.max(mc);
+            }
+            let combined = combined.saturate_unbounded();
+            for &ni in component {
+                costs[ni] = combined;
+            }
+        } else {
+            for (&ni, mc) in component.iter().zip(member_costs.iter()) {
+                costs[ni] = *mc;
+            }
+        }
+    }
+    costs
+}
+
+/// One entry of `opcount-budgets.toml`.
+#[derive(Debug, Clone)]
+pub struct BudgetEntry {
+    /// Section name, e.g. `mccls.verify`.
+    pub key: String,
+    /// The budgeted function's name.
+    pub fn_name: String,
+    /// Its `impl`/`trait` owner; `None` for free functions.
+    pub owner: Option<String>,
+    /// The certified counter budgets.
+    pub budget: Cost,
+    /// The Table 1 row this mirrors, for documentation and the bench
+    /// table (the paper folds hash and precomputable terms
+    /// differently, so this may differ from the counter budgets).
+    pub table1: Option<String>,
+    /// 1-based line of the section header in the budget file.
+    pub line: usize,
+}
+
+/// The parsed budget file.
+#[derive(Debug, Clone, Default)]
+pub struct Budgets {
+    /// Entries in file order.
+    pub entries: Vec<BudgetEntry>,
+}
+
+impl Budgets {
+    /// Looks up an entry by its section key.
+    pub fn get(&self, key: &str) -> Option<&BudgetEntry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+}
+
+/// Parses the committed budget file: a TOML subset of `[a.b]` section
+/// headers and `key = "value"` string assignments, with `#` comments.
+pub fn parse_budgets(text: &str) -> Result<Budgets, String> {
+    let mut budgets = Budgets::default();
+    let mut current: Option<BudgetEntry> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(key) = rest.strip_suffix(']') else {
+                return Err(format!("line {lineno}: malformed section header `{line}`"));
+            };
+            let key = key.trim();
+            if key.is_empty() {
+                return Err(format!("line {lineno}: empty section name"));
+            }
+            if let Some(done) = current.take() {
+                finish_entry(&mut budgets, done)?;
+            }
+            current = Some(BudgetEntry {
+                key: key.to_owned(),
+                fn_name: String::new(),
+                owner: None,
+                budget: Cost::default(),
+                table1: None,
+                line: lineno,
+            });
+            continue;
+        }
+        let Some(entry) = current.as_mut() else {
+            return Err(format!("line {lineno}: assignment outside any [section]"));
+        };
+        let Some((k, v)) = line.split_once('=') else {
+            return Err(format!("line {lineno}: expected `key = \"value\"`"));
+        };
+        let k = k.trim();
+        let v = v.trim();
+        let Some(v) = v.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+            return Err(format!(
+                "line {lineno}: value for `{k}` must be a quoted string"
+            ));
+        };
+        match k {
+            "fn" => entry.fn_name = v.to_owned(),
+            "impl" => entry.owner = Some(v.to_owned()),
+            "table1" => entry.table1 = Some(v.to_owned()),
+            counter => {
+                let Some(slot) = COUNTERS.iter().position(|c| c == &counter) else {
+                    return Err(format!("line {lineno}: unknown key `{counter}`"));
+                };
+                let Some(val) = Val::parse(v) else {
+                    return Err(format!(
+                        "line {lineno}: `{counter} = \"{v}\"` is not of the form `a·n + b` \
+                         (e.g. \"0\", \"2\", \"n\", \"n+1\", \"2n\")"
+                    ));
+                };
+                entry.budget.0[slot] = val;
+            }
+        }
+    }
+    if let Some(done) = current.take() {
+        finish_entry(&mut budgets, done)?;
+    }
+    Ok(budgets)
+}
+
+fn finish_entry(budgets: &mut Budgets, entry: BudgetEntry) -> Result<(), String> {
+    if entry.fn_name.is_empty() {
+        return Err(format!(
+            "entry `{}` (line {}) is missing its `fn = \"...\"` target",
+            entry.key, entry.line
+        ));
+    }
+    if budgets.get(&entry.key).is_some() {
+        return Err(format!(
+            "duplicate entry `{}` (line {})",
+            entry.key, entry.line
+        ));
+    }
+    budgets.entries.push(entry);
+    Ok(())
+}
+
+/// Human-readable target of a budget entry (`McCls::verify`).
+fn entry_target(entry: &BudgetEntry) -> String {
+    match &entry.owner {
+        Some(o) => format!("{o}::{}", entry.fn_name),
+        None => entry.fn_name.clone(),
+    }
+}
+
+/// The `// opcount-budget: <key>` marker above a declaration, if any:
+/// scans the contiguous run of comment/attribute lines directly above
+/// `decl_line`, plus a trailing comment on the line itself.
+fn marker_key(raw_lines: &[String], decl_line: usize) -> Option<String> {
+    let key_in = |text: &str| {
+        text.find(BUDGET_MARKER).map(|pos| {
+            text[pos + BUDGET_MARKER.len()..]
+                .split_whitespace()
+                .next()
+                .unwrap_or("")
+                .to_owned()
+        })
+    };
+    if let Some(text) = raw_lines.get(decl_line.wrapping_sub(1)) {
+        if let Some(k) = key_in(text) {
+            return Some(k);
+        }
+    }
+    let mut above = decl_line.wrapping_sub(1);
+    while above >= 1 {
+        let Some(text) = raw_lines.get(above - 1) else {
+            break;
+        };
+        let t = text.trim_start();
+        if !t.starts_with("//") && !t.starts_with("#[") {
+            break;
+        }
+        if let Some(k) = key_in(text) {
+            return Some(k);
+        }
+        above -= 1;
+    }
+    None
+}
+
+/// Runs the certification over parsed files against the budgets.
+pub fn analyze(files: &[ParsedFile], budgets: &Budgets) -> Vec<Finding> {
+    let graph = CallGraph::build(files);
+    let costs = compute_costs(files, &graph);
+    let mut findings = Vec::new();
+
+    for entry in &budgets.entries {
+        let matches: Vec<usize> = graph
+            .named(&entry.fn_name)
+            .iter()
+            .copied()
+            .filter(|&ni| graph.item(files, ni).owner.as_deref() == entry.owner.as_deref())
+            .collect();
+        match matches.as_slice() {
+            [] => findings.push(Finding {
+                file: BUDGET_FILE.to_owned(),
+                line: entry.line,
+                lint: "opcount",
+                message: format!(
+                    "dead budget entry `{}`: no non-test function `{}` exists in the analyzed \
+                     crates",
+                    entry.key,
+                    entry_target(entry)
+                ),
+            }),
+            [ni] => findings.extend(check_entry(files, &graph, &costs, entry, *ni, budgets)),
+            many => {
+                let sites: Vec<String> = many
+                    .iter()
+                    .map(|&ni| graph.file(files, ni).path.clone())
+                    .collect();
+                findings.push(Finding {
+                    file: BUDGET_FILE.to_owned(),
+                    line: entry.line,
+                    lint: "opcount",
+                    message: format!(
+                        "ambiguous budget entry `{}`: `{}` matches {} functions ({})",
+                        entry.key,
+                        entry_target(entry),
+                        many.len(),
+                        sites.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+
+    // Reverse direction: every marker must name a live budget key.
+    for file in files {
+        for f in &file.fns {
+            if f.is_test {
+                continue;
+            }
+            if let Some(key) = marker_key(&file.raw_lines, f.decl_line) {
+                if budgets.get(&key).is_none() {
+                    findings.push(Finding {
+                        file: file.path.clone(),
+                        line: f.decl_line,
+                        lint: "opcount",
+                        message: format!(
+                            "`{}` carries marker `{BUDGET_MARKER} {key}` but `{BUDGET_FILE}` \
+                             has no such entry",
+                            f.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    findings
+}
+
+/// Checks one resolved budget entry against the computed cost.
+fn check_entry(
+    files: &[ParsedFile],
+    graph: &CallGraph,
+    costs: &[Cost],
+    entry: &BudgetEntry,
+    ni: usize,
+    budgets: &Budgets,
+) -> Vec<Finding> {
+    let f = graph.item(files, ni);
+    let file = graph.file(files, ni);
+    let mut findings = Vec::new();
+    let target = entry_target(entry);
+
+    match marker_key(&file.raw_lines, f.decl_line) {
+        Some(ref k) if k == &entry.key => {}
+        Some(other) => {
+            // A marker naming a *different* live key is caught by the
+            // reverse pass only when that key is dead; name the
+            // mismatch here so it cannot slip through.
+            if budgets.get(&other).is_some() {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: f.decl_line,
+                    lint: "opcount",
+                    message: format!(
+                        "`{target}` is budgeted as `{}` but its marker says \
+                         `{BUDGET_MARKER} {other}`",
+                        entry.key
+                    ),
+                });
+            }
+        }
+        None => findings.push(Finding {
+            file: file.path.clone(),
+            line: f.decl_line,
+            lint: "opcount",
+            message: format!(
+                "budgeted function `{target}` lacks the `{BUDGET_MARKER} {}` marker above \
+                 its declaration",
+                entry.key
+            ),
+        }),
+    }
+
+    let cost = &costs[ni];
+    for (slot, name) in COUNTERS.iter().enumerate() {
+        let computed = cost.0[slot];
+        let budget = entry.budget.0[slot];
+        if computed == budget {
+            continue;
+        }
+        let message = if computed.unbounded {
+            format!(
+                "`{target}` has a statically unbounded worst-case {name} count (a cycle, \
+                 `while`/`loop`, or unresolvable pairing-product factor lies on some path); \
+                 budget `{}` demands {budget}",
+                entry.key
+            )
+        } else if computed.konst > budget.konst || computed.linear > budget.linear {
+            format!(
+                "`{target}` computes to {computed} {name}, exceeding budget `{}` = {budget}",
+                entry.key
+            )
+        } else {
+            format!(
+                "`{target}` computes to {computed} {name}, below budget `{}` = {budget}; \
+                 tighten the budget so certification stays exact",
+                entry.key
+            )
+        };
+        findings.push(Finding {
+            file: file.path.clone(),
+            line: f.decl_line,
+            lint: "opcount",
+            message,
+        });
+    }
+    findings
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+mod tests {
+    use super::*;
+    use crate::parser::parse_files;
+
+    fn parse(src: &str) -> Vec<ParsedFile> {
+        parse_files(&[("t.rs".to_owned(), src.to_owned())])
+    }
+
+    fn cost_of(files: &[ParsedFile], name: &str) -> Cost {
+        let graph = CallGraph::build(files);
+        let costs = compute_costs(files, &graph);
+        costs[graph.named(name)[0]]
+    }
+
+    #[test]
+    fn val_parse_render_round_trip() {
+        for text in ["0", "2", "n", "2n", "n+1", "3n+2"] {
+            let v = Val::parse(text).unwrap();
+            assert_eq!(v.to_string(), text, "round trip of {text}");
+        }
+        assert_eq!(Val::parse("1+n").unwrap(), Val::parse("n+1").unwrap());
+        assert!(Val::parse("").is_none());
+        assert!(Val::parse("n*n").is_none());
+        assert!(Val::parse("x").is_none());
+    }
+
+    #[test]
+    fn val_scale_follows_loop_context() {
+        let two = Val::konst(2);
+        assert_eq!(two.scale(LoopCtx::Straight), two);
+        let scaled = two.scale(LoopCtx::PerItem);
+        assert_eq!((scaled.konst, scaled.linear), (0, 2));
+        assert!(two.scale(LoopCtx::Unbounded).unbounded);
+        // n per item is n², inexpressible.
+        assert!(Val::parse("n").unwrap().scale(LoopCtx::PerItem).unbounded);
+        // Zero stays zero in any context.
+        assert!(Val::default().scale(LoopCtx::Unbounded).is_zero());
+    }
+
+    #[test]
+    fn atomic_costs_propagate_interprocedurally() {
+        let files = parse(
+            "fn entry(s: &Sig) -> bool { helper(s) }\n\
+             fn helper(s: &Sig) -> bool { ops::pair(&s.a, &s.b); ops::mul_g1(&s.p, &s.k); true }\n",
+        );
+        let c = cost_of(&files, "entry");
+        assert_eq!(c.0[PAIRINGS], Val::konst(1));
+        assert_eq!(c.0[MILLER_LOOPS], Val::konst(1));
+        assert_eq!(c.0[FINAL_EXPS], Val::konst(1));
+        assert_eq!(c.0[G1_MULS], Val::konst(1));
+    }
+
+    #[test]
+    fn for_loops_scale_costs_to_linear() {
+        let files =
+            parse("fn scan(items: &[Sig]) { for it in items { ops::mul_g2(&it.r, &it.h); } }\n");
+        let c = cost_of(&files, "scan");
+        assert_eq!(c.0[G2_MULS], Val::parse("n").unwrap());
+    }
+
+    #[test]
+    fn while_loops_and_cycles_are_unbounded() {
+        let files = parse(
+            "fn spin(s: &Sig) { while s.more() { ops::pair(&s.a, &s.b); } }\n\
+             fn ping(s: &Sig) { ops::exp_gt(&s.t, &s.k); pong(s); }\n\
+             fn pong(s: &Sig) { ping(s); }\n",
+        );
+        assert!(cost_of(&files, "spin").0[PAIRINGS].unbounded);
+        assert!(cost_of(&files, "ping").0[GT_EXPS].unbounded, "cycle");
+        assert!(cost_of(&files, "pong").0[GT_EXPS].unbounded, "cycle");
+    }
+
+    #[test]
+    fn slice_literal_products_count_factors() {
+        let files = parse(
+            "fn check(a: &P, b: &P) -> bool {\n\
+             ops::pairing_product_prepared(&[(&a.x, g(.0)), (&b.x, h()), (&b.y, k())])\n\
+             .is_identity() }\n",
+        );
+        let c = cost_of(&files, "check");
+        assert_eq!(c.0[PAIRINGS], Val::konst(3));
+        assert_eq!(c.0[MILLER_LOOPS], Val::konst(3));
+        assert_eq!(c.0[FINAL_EXPS], Val::konst(1));
+    }
+
+    #[test]
+    fn vec_tracking_yields_symbolic_batch_counts() {
+        let files = parse(
+            "fn batch(items: &[It]) -> bool {\n\
+             let mut pairs = Vec::with_capacity(items.len() + 1);\n\
+             for it in items {\n\
+             pairs.push((ops::mul_g1(&it.s, &it.z).to_affine(), prep(&it.q)));\n\
+             }\n\
+             let mut refs: Vec<(&A, &B)> = pairs.iter().map(|(p, q)| (p, q)).collect();\n\
+             refs.push((&q_neg(), p_pub()));\n\
+             let acc = ops::miller_loop(&refs);\n\
+             ops::final_exp(&acc).is_identity()\n\
+             }\n",
+        );
+        let c = cost_of(&files, "batch");
+        assert_eq!(c.0[MILLER_LOOPS], Val::parse("n+1").unwrap());
+        assert_eq!(c.0[FINAL_EXPS], Val::konst(1));
+        assert_eq!(c.0[G1_MULS], Val::parse("n").unwrap());
+        assert_eq!(c.0[PAIRINGS], Val::konst(0));
+    }
+
+    #[test]
+    fn unknown_product_factors_are_unbounded() {
+        let files = parse("fn check(pairs: &[(A, B)]) -> Gt { ops::miller_loop(pairs) }\n");
+        assert!(cost_of(&files, "check").0[MILLER_LOOPS].unbounded);
+    }
+
+    #[test]
+    fn raw_two_argument_miller_loop_is_one_loop() {
+        let files = parse("fn pair_impl(p: &A, q: &B) -> Gt { miller_loop(p, q) }\n");
+        assert_eq!(cost_of(&files, "pair_impl").0[MILLER_LOOPS], Val::konst(1));
+    }
+
+    #[test]
+    fn max_over_candidates_bounds_dispatch() {
+        let files = parse(
+            "impl A { fn go(&self) { ops::pair(&self.x, &self.y); } }\n\
+             impl B { fn go(&self) {} }\n\
+             fn top(v: &V) { v.go(); }\n",
+        );
+        // `.go()` may dispatch to A::go (1 pairing) or B::go (0): the
+        // worst case bounds it.
+        assert_eq!(cost_of(&files, "top").0[PAIRINGS], Val::konst(1));
+    }
+
+    #[test]
+    fn budget_parser_reads_sections_and_rejects_junk() {
+        let text = "# Table 1 budgets\n\
+                    [mccls.sign]\n\
+                    fn = \"sign\"\n\
+                    impl = \"McCls\"\n\
+                    g1_muls = \"1\"\n\
+                    g2_muls = \"1\"\n\
+                    table1 = \"2s / 0p\"\n\
+                    [batch.batch_verify]\n\
+                    fn = \"batch_verify\"\n\
+                    miller_loops = \"n+1\"\n\
+                    final_exps = \"1\"\n";
+        let budgets = parse_budgets(text).unwrap();
+        assert_eq!(budgets.entries.len(), 2);
+        let sign = budgets.get("mccls.sign").unwrap();
+        assert_eq!(sign.owner.as_deref(), Some("McCls"));
+        assert_eq!(sign.budget.0[G1_MULS], Val::konst(1));
+        assert_eq!(sign.budget.0[PAIRINGS], Val::konst(0));
+        let batch = budgets.get("batch.batch_verify").unwrap();
+        assert_eq!(batch.owner, None);
+        assert_eq!(batch.budget.0[MILLER_LOOPS], Val::parse("n+1").unwrap());
+
+        assert!(parse_budgets("[x]\nfn = \"f\"\nbogus = \"1\"\n").is_err());
+        assert!(
+            parse_budgets("[x]\npairings = \"1\"\n").is_err(),
+            "missing fn"
+        );
+        assert!(parse_budgets("[x]\nfn = \"f\"\npairings = \"n*n\"\n").is_err());
+        assert!(parse_budgets("[x]\nfn = \"f\"\n[x]\nfn = \"f\"\n").is_err());
+        assert!(parse_budgets("fn = \"f\"\n").is_err(), "no section");
+    }
+
+    #[test]
+    fn analyze_reports_overrun_slack_dead_and_markers() {
+        let src = "\
+// opcount-budget: t.hot\n\
+fn hot(s: &Sig) { ops::pair(&s.a, &s.b); ops::pair(&s.c, &s.d); }\n\
+// opcount-budget: t.loose\n\
+fn loose(s: &Sig) { ops::mul_g1(&s.p, &s.k); }\n\
+fn unmarked(s: &Sig) { ops::exp_gt(&s.t, &s.k); }\n\
+// opcount-budget: t.ghost\n\
+fn stray(s: &Sig) {}\n\
+// opcount-budget: t.exact\n\
+fn exact(s: &Sig) { ops::hash_to_g1(&s.m, DST); }\n";
+        let budgets = parse_budgets(
+            "[t.hot]\nfn = \"hot\"\npairings = \"1\"\nmiller_loops = \"2\"\nfinal_exps = \"2\"\n\
+             [t.loose]\nfn = \"loose\"\ng1_muls = \"2\"\n\
+             [t.missing]\nfn = \"unmarked\"\ngt_exps = \"1\"\n\
+             [t.dead]\nfn = \"no_such_fn\"\n\
+             [t.exact]\nfn = \"exact\"\nhashes_to_g1 = \"1\"\n",
+        )
+        .unwrap();
+        let files = parse(src);
+        let findings = analyze(&files, &budgets);
+        let has = |frag: &str| findings.iter().any(|f| f.message.contains(frag));
+        assert!(has("exceeding budget `t.hot`"), "{findings:?}");
+        assert!(has("below budget `t.loose`"), "{findings:?}");
+        assert!(
+            has("lacks the `// opcount-budget: t.missing` marker"),
+            "{findings:?}"
+        );
+        assert!(has("dead budget entry `t.dead`"), "{findings:?}");
+        assert!(has("marker `// opcount-budget: t.ghost`"), "{findings:?}");
+        assert!(
+            !findings.iter().any(|f| f.message.contains("`exact`")),
+            "an exact entry is silent: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn ambiguous_entries_are_reported() {
+        let files = parse("impl A { fn run(&self) {} }\nimpl A { fn run(&self, x: u8) {} }\n");
+        let budgets = parse_budgets("[t.run]\nfn = \"run\"\nimpl = \"A\"\n").unwrap();
+        let findings = analyze(&files, &budgets);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("ambiguous budget entry `t.run`")),
+            "{findings:?}"
+        );
+    }
+}

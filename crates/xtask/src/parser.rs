@@ -84,6 +84,23 @@ pub struct Call {
     pub args: Vec<String>,
     /// 1-based source line of the call.
     pub line: usize,
+    /// How often the enclosing control flow can repeat this call.
+    pub ctx: LoopCtx,
+}
+
+/// Execution multiplicity of a call site, derived from the loop and
+/// iterator-closure structure around it. Used by the operation-count
+/// analysis ([`crate::opcount`]) to scale atomic costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopCtx {
+    /// Straight-line code: at most once per caller invocation.
+    Straight,
+    /// Inside exactly one `for` loop or iterator-adaptor closure: once
+    /// per item of a single collection (symbolic `n`).
+    PerItem,
+    /// Inside a `while`/`loop` or nested per-item contexts: no static
+    /// bound exists.
+    Unbounded,
 }
 
 impl FnItem {
@@ -451,7 +468,7 @@ fn parse_param(text: &str, owner: Option<&str>) -> Option<Param> {
 }
 
 /// Splits on commas at paren/bracket/brace/angle depth 0.
-fn split_top_level(text: &str) -> Vec<String> {
+pub(crate) fn split_top_level(text: &str) -> Vec<String> {
     let chars: Vec<char> = text.chars().collect();
     let mut out = Vec::new();
     let mut depth = 0i32;
@@ -480,10 +497,115 @@ const NON_CALL_WORDS: &[&str] = &[
     "impl", "dyn", "where", "mut", "ref", "break", "continue",
 ];
 
+/// Iterator adaptors whose closure argument runs once per item of the
+/// receiver collection. Anything not listed (e.g. `or_insert_with`,
+/// `get_or_init`, `Option::map`) is treated as straight-line — a
+/// documented under-approximation backstopped by the runtime op-count
+/// cross-check (DESIGN.md §8.4).
+const PER_ITEM_ADAPTORS: &[&str] = &[
+    "map",
+    "for_each",
+    "flat_map",
+    "filter_map",
+    "filter",
+    "fold",
+    "retain",
+    "scan",
+    "inspect",
+];
+
+/// Spans of repeated execution inside a body: `for` bodies run per
+/// item, `while`/`loop` bodies have no static trip count, and the
+/// argument list of a known iterator adaptor runs per item.
+fn repeat_spans(chars: &[char]) -> Vec<(usize, usize, LoopCtx)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        for (kw, ctx) in [
+            ("for", LoopCtx::PerItem),
+            ("while", LoopCtx::Unbounded),
+            ("loop", LoopCtx::Unbounded),
+        ] {
+            if !starts_word_at(chars, i, kw) {
+                continue;
+            }
+            let after = skip_ws(chars, i + kw.len());
+            // `for<'a>` is a higher-ranked bound, not a loop.
+            if kw == "for" && chars.get(after) == Some(&'<') {
+                continue;
+            }
+            if let Some(open) = loop_body_open(chars, i + kw.len()) {
+                if let Some(close) = match_brace(chars, open) {
+                    out.push((open, close, ctx));
+                }
+            }
+            break;
+        }
+        if chars[i] == '.' {
+            let name_start = i + 1;
+            let mut j = name_start;
+            while j < chars.len() && is_ident_char(chars[j]) {
+                j += 1;
+            }
+            if j > name_start {
+                let name: String = chars[name_start..j].iter().collect();
+                let open = skip_ws(chars, j);
+                if PER_ITEM_ADAPTORS.contains(&name.as_str()) && chars.get(open) == Some(&'(') {
+                    if let Some(close) = match_paren(chars, open) {
+                        out.push((open, close, LoopCtx::PerItem));
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The `{` opening a loop body: the first brace at paren/bracket depth
+/// zero after the loop keyword (the header's `Some(x)`/`(a, b)` groups
+/// are skipped by depth tracking).
+fn loop_body_open(chars: &[char], from: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, &c) in chars.iter().enumerate().skip(from) {
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth -= 1,
+            '{' if depth == 0 => return Some(j),
+            ';' | '}' if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Classifies position `i` against the repeat spans: any unbounded
+/// span wins; two or more nested per-item spans multiply into `n²`,
+/// which the symbolic budgets cannot express, so they are unbounded
+/// too.
+fn ctx_at(spans: &[(usize, usize, LoopCtx)], i: usize) -> LoopCtx {
+    let mut per_item = 0usize;
+    for &(open, close, ctx) in spans {
+        if open < i && i < close {
+            match ctx {
+                LoopCtx::Unbounded => return LoopCtx::Unbounded,
+                LoopCtx::PerItem => per_item += 1,
+                LoopCtx::Straight => {}
+            }
+        }
+    }
+    match per_item {
+        0 => LoopCtx::Straight,
+        1 => LoopCtx::PerItem,
+        _ => LoopCtx::Unbounded,
+    }
+}
+
 /// Extracts call expressions from a scrubbed body. `body_line` is the
 /// 1-based file line of the body's first character.
 fn collect_calls(body: &str, body_line: usize) -> Vec<Call> {
     let chars: Vec<char> = body.chars().collect();
+    let spans = repeat_spans(&chars);
     let mut out = Vec::new();
     for i in 0..chars.len() {
         if chars[i] != '(' {
@@ -567,6 +689,7 @@ fn collect_calls(body: &str, body_line: usize) -> Vec<Call> {
             receiver,
             args,
             line: body_line + count_newlines(&chars[..i]),
+            ctx: ctx_at(&spans, i),
         });
     }
     out
@@ -766,6 +889,62 @@ mod tests {
         let src = "fn f<T>(x: T) -> Vec<T> where T: Clone { vec![x] }\n";
         let f = parse_file("x.rs", src);
         assert_eq!(f.fns[0].ret, "Vec<T>");
+    }
+
+    #[test]
+    fn loop_context_classifies_call_sites() {
+        let src = "fn f(v: &[u64]) {\n\
+                   straight();\n\
+                   for x in v { per_item(x); for y in v { nested(y); } }\n\
+                   while more() { unbounded(); }\n\
+                   loop { spin(); }\n\
+                   }\n";
+        let f = parse_file("x.rs", src);
+        let ctx = |name: &str| {
+            f.fns[0]
+                .calls
+                .iter()
+                .find(|c| c.callee == name)
+                .unwrap()
+                .ctx
+        };
+        assert_eq!(ctx("straight"), LoopCtx::Straight);
+        assert_eq!(ctx("per_item"), LoopCtx::PerItem);
+        assert_eq!(ctx("nested"), LoopCtx::Unbounded, "n·n is not expressible");
+        assert_eq!(ctx("unbounded"), LoopCtx::Unbounded);
+        assert_eq!(ctx("spin"), LoopCtx::Unbounded);
+        // The `while` condition itself sits outside the loop body.
+        assert_eq!(ctx("more"), LoopCtx::Straight);
+    }
+
+    #[test]
+    fn iterator_adaptor_closures_run_per_item() {
+        let src = "fn f(v: &[u64]) -> Vec<u64> {\n\
+                   let out = v.iter().map(|x| expensive(x)).collect();\n\
+                   let once = cell.get_or_init(|| build());\n\
+                   out\n\
+                   }\n";
+        let f = parse_file("x.rs", src);
+        let exp = f.fns[0]
+            .calls
+            .iter()
+            .find(|c| c.callee == "expensive")
+            .unwrap();
+        assert_eq!(exp.ctx, LoopCtx::PerItem);
+        let build = f.fns[0].calls.iter().find(|c| c.callee == "build").unwrap();
+        assert_eq!(build.ctx, LoopCtx::Straight, "unknown closures count once");
+    }
+
+    #[test]
+    fn hrtb_for_is_not_a_loop() {
+        let src = "fn f(v: u64) { let g: &dyn for<'a> Fn(&'a u64) = &|_| (); use_it(v); }\n";
+        let f = parse_file("x.rs", src);
+        let c = f.fns[0]
+            .calls
+            .iter()
+            .find(|c| c.callee == "use_it")
+            .unwrap();
+        assert_eq!(c.ctx, LoopCtx::Straight);
     }
 
     #[test]

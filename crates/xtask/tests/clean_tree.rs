@@ -190,6 +190,95 @@ fn overflow_fixture_fires_and_twins_stay_silent() {
 }
 
 #[test]
+fn opcount_fixture_trips_only_the_interprocedural_analysis() {
+    // `session_verify` is locally pairing-free: both pairings live one
+    // call down in `peer_term`/`message_term`, so an overrun finding
+    // proves cost vectors propagated across call edges. The `while`
+    // loop in `drain_queue` must read as unbounded, the ghost budget
+    // entry as dead, and the exactly-budgeted `cached_verify` twin
+    // must stay silent.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let src =
+        std::fs::read_to_string(dir.join("opcount_cases.rs")).expect("opcount fixture exists");
+    let budgets_text = std::fs::read_to_string(dir.join("opcount_budgets.toml"))
+        .expect("opcount fixture budgets exist");
+    let budgets = mccls_xtask::opcount::parse_budgets(&budgets_text).expect("fixture toml parses");
+    let files = mccls_xtask::parser::parse_files(&[("opcount_cases.rs".to_owned(), src)]);
+
+    // Sanity: the overrun entry point performs no counted operation
+    // itself, so anything the analysis charges it is interprocedural.
+    let entry = files[0]
+        .fns
+        .iter()
+        .find(|f| f.name == "session_verify")
+        .expect("fixture entry point parses");
+    assert!(
+        entry.calls.iter().all(|c| !c.callee.contains("pair")),
+        "fixture entry must be locally pairing-free or the test proves nothing"
+    );
+
+    let findings = mccls_xtask::opcount::analyze(&files, &budgets);
+    assert!(
+        findings.iter().any(|f| f
+            .message
+            .contains("`session_verify` computes to 2 pairings")
+            && f.message
+                .contains("exceeding budget `fixture.session_verify`")),
+        "expected the interprocedural overrun to fire, got: {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("`drain_queue`")
+                && f.message.contains("statically unbounded")),
+        "expected the while-loop pairing to read as unbounded, got: {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("dead budget entry `fixture.ghost`")),
+        "expected the ghost entry to be reported dead, got: {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .all(|f| !f.message.contains("cached_verify")),
+        "the exactly-budgeted twin must stay silent: {findings:?}"
+    );
+}
+
+#[test]
+fn secret_fixture_fires_and_twins_stay_silent() {
+    // Derived Debug/Clone on the master secret, the transitive
+    // secret-field container, the missing zeroizing Drop, and the bare
+    // marker must all fire; the zeroizing seed twin and the justified
+    // suppression must stay silent.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let src = std::fs::read_to_string(dir.join("secret_cases.rs")).expect("secret fixture exists");
+    let files = mccls_xtask::parser::parse_files(&[("secret_cases.rs".to_owned(), src)]);
+    let findings = mccls_xtask::secret_lint::analyze(&files);
+    for frag in [
+        "`MasterSecret` is key material but derives `Debug`",
+        "`MasterSecret` is key material but derives `Clone`",
+        "no zeroizing `Drop` impl",
+        "`KeyVault` holds a secret-typed field but derives `Clone`",
+        "no justification",
+    ] {
+        assert!(
+            findings.iter().any(|f| f.message.contains(frag)),
+            "expected a finding containing {frag:?}, got: {findings:?}"
+        );
+    }
+    assert!(
+        findings
+            .iter()
+            .all(|f| !f.message.contains("PartialPrivateKey")
+                && !f.message.contains("RotationSnapshot")),
+        "clean/suppressed twins must not be flagged: {findings:?}"
+    );
+}
+
+#[test]
 fn committed_baseline_matches_the_tree() {
     // CI diffs `xtask check` against the committed baseline; a baseline
     // that drifts from the tree would let new findings ride in under
