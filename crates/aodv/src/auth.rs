@@ -18,6 +18,15 @@
 //! the virtual-time price of a sign/verify, either the defaults measured
 //! from this workspace's release-mode benches or values calibrated on
 //! the host at run time.
+//!
+//! The simulator is single-threaded per run, so [`RealAuthProvider`]
+//! wraps the single-threaded [`Verifier`]. A multi-threaded service
+//! (many packet streams verified concurrently against one shared peer
+//! directory) should hold a `mccls_core::ShardedVerifier` instead: the
+//! same warm one-pairing budget, behind sharded `RwLock`s whose lock
+//! discipline — acyclic acquisition order, no pairing work under a
+//! guard — is statically certified by the xtask `concurrency` lint
+//! (DESIGN.md §9).
 
 use std::collections::BTreeSet;
 

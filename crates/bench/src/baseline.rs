@@ -1,5 +1,6 @@
-//! Reading, writing, and regression-checking the committed pairing
-//! baseline (`BENCH_pairing.json` at the repository root).
+//! Reading, writing, and regression-checking the committed benchmark
+//! baselines (`BENCH_pairing.json` and `BENCH_throughput.json` at the
+//! repository root).
 //!
 //! The workspace has no serde, so the format is a deliberately small
 //! JSON subset written and parsed by hand: a `results` array of
@@ -16,11 +17,20 @@ pub struct Entry {
     pub median_ns: f64,
 }
 
-/// Renders entries as the committed JSON document.
+/// Renders entries as the committed JSON document with the
+/// pairing-precompute schema tag.
 pub fn render(mode: &str, entries: &[Entry]) -> String {
+    render_with_schema("mccls-bench/pairing_precompute/v1", mode, entries)
+}
+
+/// Renders entries under an explicit schema tag — each committed
+/// baseline file (`BENCH_pairing.json`, `BENCH_throughput.json`)
+/// carries its own so a stray copy can't silently gate the wrong
+/// harness.
+pub fn render_with_schema(schema: &str, mode: &str, entries: &[Entry]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"mccls-bench/pairing_precompute/v1\",\n");
+    out.push_str(&format!("  \"schema\": \"{schema}\",\n"));
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str("  \"results\": [\n");
     for (i, e) in entries.iter().enumerate() {
@@ -128,6 +138,13 @@ mod tests {
         let doc = render("full", &sample());
         assert_eq!(parse(&doc), sample());
         assert!(doc.contains("\"mode\": \"full\""));
+    }
+
+    #[test]
+    fn render_with_schema_tags_the_document() {
+        let doc = render_with_schema("mccls-bench/throughput/v1", "smoke", &sample());
+        assert!(doc.contains("\"schema\": \"mccls-bench/throughput/v1\""));
+        assert_eq!(parse(&doc), sample());
     }
 
     #[test]

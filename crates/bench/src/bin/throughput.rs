@@ -1,0 +1,249 @@
+//! Multi-threaded verification throughput harness for the sharded
+//! registry (`ShardedVerifier`).
+//!
+//! Scoped worker threads share one registry and drive the two lock
+//! paths the xtask `concurrency` lint certifies:
+//!
+//! * **hot** — warm `verify` calls: a read-lock copy-out of the cached
+//!   `(public key, e(Q_ID, P_pub))` pair, then the Miller loop and
+//!   final exponentiation *outside* the guard;
+//! * **churn** — repeated `register_peer` calls: the pairing is paid
+//!   before the write lock, whose critical section is only the map
+//!   insert plus a possible clock eviction.
+//!
+//! Each family runs at 1, 2, and 4 threads and reports nanoseconds per
+//! operation plus derived verifications/sec. The numbers are gated
+//! against the committed `BENCH_throughput.json` with the same >10x
+//! median budget as `BENCH_pairing.json`. Thread-count *scaling* is
+//! deliberately not asserted: CI machines (and this one) may expose a
+//! single core, where scaling is noise — the committed baseline is the
+//! regression signal.
+//!
+//! Usage: `cargo run -p mccls-bench --release --bin throughput
+//! [-- --smoke] [--update-baseline] [--baseline <path>]`.
+
+// A panic in a benchmark binary is a loud, correct failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mccls_bench::baseline::{self, Entry};
+use mccls_core::{ops, CertificatelessScheme, McCls, ShardedVerifier, Signature, UserPublicKey};
+use mccls_rng::rngs::StdRng;
+use mccls_rng::SeedableRng;
+
+/// Median regression budget against the committed baseline.
+const REGRESSION_FACTOR: f64 = 10.0;
+
+/// Schema tag of `BENCH_throughput.json`.
+const SCHEMA: &str = "mccls-bench/throughput/v1";
+
+/// Worker counts exercised per family.
+const THREADS: [usize; 3] = [1, 2, 4];
+
+struct Opts {
+    smoke: bool,
+    update_baseline: bool,
+    baseline_path: PathBuf,
+}
+
+impl Opts {
+    fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut opts = Self {
+            smoke: false,
+            update_baseline: false,
+            baseline_path: PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_throughput.json"),
+        };
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--smoke" => opts.smoke = true,
+                "--update-baseline" => opts.update_baseline = true,
+                "--baseline" => {
+                    if let Some(p) = args.get(i + 1) {
+                        opts.baseline_path = PathBuf::from(p);
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+}
+
+struct Peer {
+    id: Vec<u8>,
+    public: UserPublicKey,
+    msg: Vec<u8>,
+    sig: Signature,
+}
+
+struct World {
+    registry: ShardedVerifier,
+    peers: Vec<Peer>,
+}
+
+fn build_world(peers: usize) -> World {
+    let mut rng = StdRng::seed_from_u64(0x7412_0CAB);
+    let scheme = McCls::new();
+    let (params, kgc) = scheme.setup(&mut rng);
+    let registry = ShardedVerifier::new(params.clone());
+    let peers = (0..peers)
+        .map(|i| {
+            let id = format!("tp-node-{i}").into_bytes();
+            let partial = kgc.extract_partial_private_key(&id);
+            let keys = scheme.generate_key_pair(&params, &mut rng);
+            let msg = format!("routing payload {i}").into_bytes();
+            let sig = scheme.sign(&params, &id, &partial, &keys, &msg, &mut rng);
+            registry
+                .register_peer(&id, keys.public)
+                .expect("benchmark keys are honest");
+            Peer {
+                id,
+                public: keys.public,
+                msg,
+                sig,
+            }
+        })
+        .collect();
+    World { registry, peers }
+}
+
+/// The certified-budget contract, re-asserted at runtime on the main
+/// thread before any timing: the sharded warm path must cost exactly
+/// what `[registry.verify]` in `opcount-budgets.toml` promises.
+fn assert_op_counts(world: &World) {
+    let p = &world.peers[0];
+    let (res, counts) = ops::measure(|| world.registry.verify(&p.id, &p.msg, &p.sig));
+    assert_eq!(res, Ok(()), "warm sharded verify must accept");
+    assert_eq!(counts.pairings, 1, "sharded verify must cost one pairing");
+    assert_eq!(counts.miller_loops, 1, "one Miller loop");
+    assert_eq!(counts.final_exps, 1, "one final exponentiation");
+    println!(
+        "op-counts: sharded warm verify = {} Miller loop(s) + {} final exp(s)  [OK]",
+        counts.miller_loops, counts.final_exps
+    );
+}
+
+/// Runs `total_ops` operations split across `threads` scoped workers
+/// and returns wall-clock nanoseconds per operation, taking the median
+/// of `samples` runs.
+fn measure(samples: usize, threads: usize, total_ops: usize, op: &(dyn Fn(usize) + Sync)) -> f64 {
+    let mut per_op: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for w in 0..threads {
+                    scope.spawn(move || {
+                        let mut i = w;
+                        while i < total_ops {
+                            op(i);
+                            i += threads;
+                        }
+                    });
+                }
+            });
+            start.elapsed().as_nanos() as f64 / total_ops as f64
+        })
+        .collect();
+    per_op.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    per_op[per_op.len() / 2]
+}
+
+fn main() -> ExitCode {
+    let opts = Opts::from_args();
+    let mode = if opts.smoke { "smoke" } else { "full" };
+    println!("throughput harness ({mode} mode)\n");
+
+    let world = build_world(32);
+    assert_op_counts(&world);
+    println!();
+
+    let samples = if opts.smoke { 3 } else { 7 };
+    let ops_per_run = if opts.smoke { 48 } else { 192 };
+    let registry = &world.registry;
+    let peers = &world.peers;
+
+    let mut current: Vec<Entry> = Vec::new();
+    for t in THREADS {
+        let ns = measure(samples, t, ops_per_run, &|i| {
+            let p = &peers[i % peers.len()];
+            assert_eq!(registry.verify(&p.id, &p.msg, &p.sig), Ok(()));
+        });
+        println!(
+            "throughput/hot_t{t}: {ns:>12.0} ns/verify  ({:>8.0} verifications/sec aggregate)",
+            1e9 / ns
+        );
+        current.push(Entry {
+            id: format!("throughput/hot_t{t}"),
+            median_ns: ns,
+        });
+    }
+    for t in THREADS {
+        let ns = measure(samples, t, ops_per_run, &|i| {
+            let p = &peers[i % peers.len()];
+            registry
+                .register_peer(&p.id, p.public)
+                .expect("benchmark keys are honest");
+        });
+        println!(
+            "throughput/churn_t{t}: {ns:>10.0} ns/register  ({:>8.0} registrations/sec aggregate)",
+            1e9 / ns
+        );
+        current.push(Entry {
+            id: format!("throughput/churn_t{t}"),
+            median_ns: ns,
+        });
+    }
+
+    if opts.update_baseline {
+        let doc = baseline::render_with_schema(SCHEMA, mode, &current);
+        return match std::fs::write(&opts.baseline_path, doc) {
+            Ok(()) => {
+                println!("\nbaseline written to {}", opts.baseline_path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!(
+                    "\nfailed to write baseline {}: {e}",
+                    opts.baseline_path.display()
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match std::fs::read_to_string(&opts.baseline_path) {
+        Ok(doc) => {
+            let committed = baseline::parse(&doc);
+            let bad = baseline::regressions(&current, &committed, REGRESSION_FACTOR);
+            if bad.is_empty() {
+                println!(
+                    "\nno regression > {REGRESSION_FACTOR}x against {}",
+                    opts.baseline_path.display()
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("\nregressions against {}:", opts.baseline_path.display());
+                for line in &bad {
+                    eprintln!("  {line}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+        Err(_) => {
+            println!(
+                "\nno committed baseline at {} — run with --update-baseline to create one",
+                opts.baseline_path.display()
+            );
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -53,6 +53,7 @@ pub mod ibs;
 mod mccls;
 pub mod ops;
 pub mod params;
+pub mod registry;
 mod scheme;
 pub mod security;
 pub mod threshold;
@@ -66,6 +67,7 @@ pub use mccls::{McCls, VerifierCache};
 pub use params::{
     h2_scalar, Kgc, MasterSecret, PartialPrivateKey, SystemParams, UserKeyPair, UserPublicKey,
 };
+pub use registry::ShardedVerifier;
 pub use scheme::{CertificatelessScheme, ClaimedOps, Signature};
 pub use threshold::{
     combine_shares, threshold_setup, KgcShareServer, PartialKeyShare, ThresholdSetup,

@@ -10,15 +10,21 @@
 //! so the hot path is exactly the one pairing the paper's Table 1
 //! promises.
 
-use std::collections::HashMap;
-
 use mccls_rng::RngCore;
 
 use crate::batch::{batch_verify, BatchItem};
 use crate::mccls::McCls;
 use crate::ops;
 use crate::params::{SystemParams, UserPublicKey};
+use crate::registry::{CachedPeer, ClockMap};
 use crate::scheme::Signature;
+
+/// Default bound on the single-threaded verifier's peer cache. A
+/// mobile node talks to a neighbourhood, not the whole network, so
+/// 64&nbsp;Ki cached peers is generous; services that really track more
+/// should use [`ShardedVerifier`](crate::ShardedVerifier) or raise the
+/// bound with [`Verifier::with_peer_capacity`].
+pub const DEFAULT_PEER_CAPACITY: usize = 65_536;
 
 /// Why a signature was rejected.
 ///
@@ -137,27 +143,31 @@ impl std::error::Error for VerifyError {}
 #[derive(Debug, Clone)]
 pub struct Verifier {
     params: SystemParams,
-    peers: HashMap<Vec<u8>, PeerEntry>,
-}
-
-#[derive(Debug, Clone)]
-struct PeerEntry {
-    public: UserPublicKey,
-    /// The cached right-hand side `e(Q_ID, P_pub)`.
-    rhs: mccls_pairing::Gt,
+    peers: ClockMap,
 }
 
 impl Verifier {
     /// Creates a verifier for the given system parameters, preparing
-    /// `P_pub`'s Miller-loop lines up front.
+    /// `P_pub`'s Miller-loop lines up front. The peer cache is bounded
+    /// to [`DEFAULT_PEER_CAPACITY`] entries with clock eviction (the
+    /// same policy as [`ShardedVerifier`](crate::ShardedVerifier)), so
+    /// a churning network cannot grow it without limit.
     pub fn new(params: SystemParams) -> Self {
+        Self::with_peer_capacity(params, DEFAULT_PEER_CAPACITY)
+    }
+
+    /// Creates a verifier whose peer cache holds at most `capacity`
+    /// entries (clamped to at least one); the least recently verified
+    /// peer is evicted first and can be re-registered at the usual
+    /// one-pairing cost.
+    pub fn with_peer_capacity(params: SystemParams, capacity: usize) -> Self {
         // Force the one-off preparation now rather than on the first
         // packet: verifiers are built at node start-up, not on the
         // routing hot path.
         let _ = params.prepared_p_pub();
         Self {
             params,
-            peers: HashMap::new(),
+            peers: ClockMap::bounded(capacity),
         }
     }
 
@@ -178,18 +188,24 @@ impl Verifier {
         }
         let q_id = self.params.hash_identity(id);
         let rhs = ops::pair_prepared(&q_id.to_affine(), self.params.prepared_p_pub());
-        self.peers.insert(id.to_vec(), PeerEntry { public, rhs });
+        self.peers.admit(id, CachedPeer::new(public, rhs));
         Ok(())
     }
 
     /// Whether a public key is registered for `id`.
     pub fn knows_peer(&self, id: &[u8]) -> bool {
-        self.peers.contains_key(id)
+        self.peers.has_peer(id)
+    }
+
+    /// The cache bound: at most this many peers stay registered; the
+    /// least recently verified is evicted to admit new ones.
+    pub fn peer_capacity(&self) -> usize {
+        self.peers.bound()
     }
 
     /// Number of registered peers.
     pub fn peer_count(&self) -> usize {
-        self.peers.len()
+        self.peers.resident()
     }
 
     /// Verifies a McCLS signature from a registered peer.
@@ -199,7 +215,7 @@ impl Verifier {
     /// scalar multiplication and two G2 scalar multiplications.
     // opcount-budget: verifier.verify
     pub fn verify(&self, id: &[u8], msg: &[u8], sig: &Signature) -> Result<(), VerifyError> {
-        let entry = self.peers.get(id).ok_or(VerifyError::UnknownPeer)?;
+        let entry = self.peers.peek(id).ok_or(VerifyError::UnknownPeer)?;
         let lhs = McCls::verification_pairing(&entry.public, msg, sig)?;
         if lhs == entry.rhs {
             Ok(())
@@ -224,7 +240,7 @@ impl Verifier {
         msg: &[u8],
         sig: &Signature,
     ) -> Result<(), VerifyError> {
-        match self.peers.get(id) {
+        match self.peers.peek(id) {
             Some(entry) if entry.public == *public => {}
             _ => self.register_peer(id, *public)?,
         }
@@ -358,6 +374,23 @@ mod tests {
             verifier.verify_encoded(b"alice", b"m", b"not a signature"),
             Err(VerifyError::BadSignatureEncoding)
         );
+    }
+
+    #[test]
+    fn peer_cache_is_bounded_with_clock_eviction() {
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(91);
+        let scheme = McCls::new();
+        let (params, _kgc) = scheme.setup(&mut rng);
+        let keys = scheme.generate_key_pair(&params, &mut rng);
+        let mut verifier = Verifier::with_peer_capacity(params, 3);
+        assert_eq!(verifier.peer_capacity(), 3);
+        for i in 0..10u32 {
+            verifier
+                .register_peer(format!("peer-{i}").as_bytes(), keys.public)
+                .unwrap();
+            assert!(verifier.peer_count() <= 3, "cache must stay bounded");
+        }
+        assert_eq!(verifier.peer_count(), 3);
     }
 
     #[test]

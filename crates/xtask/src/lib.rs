@@ -1,6 +1,6 @@
 //! `mccls-xtask` — the workspace's static-analysis gate.
 //!
-//! `cargo run -p mccls-xtask -- check` runs ten lints over the tree
+//! `cargo run -p mccls-xtask -- check` runs eleven lints over the tree
 //! and exits non-zero if any finding survives its suppression filter
 //! (and, when a committed `xtask-baseline.json` exists, the
 //! baseline diff — see [`baseline`]):
@@ -42,6 +42,16 @@
 //!   Certification is exact — overruns, slack, unbounded paths
 //!   (cycles, `while`/`loop`, unresolved pairing-product factors), and
 //!   dead or unmarked budget entries all fail the gate.
+//! * **concurrency** — the lock-discipline pass ([`concurrency`]):
+//!   lock-acquisition order inferred from guard creation sites must be
+//!   acyclic (static deadlock detection across registry shards), no
+//!   guard may be live across a call whose certified cost includes a
+//!   pairing, Miller loop, final exponentiation, or scalar
+//!   multiplication (guards bracket map access only), hand-written
+//!   `unsafe impl Send/Sync`, `static mut`, and interior-mutability
+//!   cells reachable from the registry state are rejected, and guards
+//!   bound to `_`, returned, or stored in structs are guard-extension
+//!   hazards. Suppress a reviewed site with `// lock-ok: <reason>`.
 //! * **secret** — the secret-lifecycle lint ([`secret_lint`]): no
 //!   derived `Debug`/`Clone`/`Copy`/serialization on `MasterSecret`,
 //!   `PartialPrivateKey`, or any struct holding them, and the seed
@@ -62,6 +72,7 @@
 
 pub mod baseline;
 pub mod callgraph;
+pub mod concurrency;
 pub mod ct_lint;
 pub mod deps_lint;
 pub mod hygiene_lint;
@@ -222,7 +233,7 @@ pub fn parse_scope(root: &Path, scope: &[&str]) -> Vec<parser::ParsedFile> {
     parser::parse_files(&sources)
 }
 
-/// Runs all ten lints over the workspace rooted at `root`.
+/// Runs all eleven lints over the workspace rooted at `root`.
 pub fn check_workspace(root: &Path) -> Vec<Finding> {
     let mut findings = Vec::new();
 
@@ -271,6 +282,7 @@ pub fn check_workspace(root: &Path) -> Vec<Finding> {
             ),
         }),
     }
+    findings.extend(concurrency::analyze(&parsed));
     findings.extend(secret_lint::analyze(&parsed));
     findings.extend(validate::analyze(&parse_scope(root, VALIDATE_SCOPE)));
     findings.extend(hygiene_lint::scan(root));

@@ -261,7 +261,9 @@ fn unit(counter: usize) -> Cost {
 /// Atomic cost of a call site, or `None` when the callee is not a
 /// counted frontend and the call graph must be traversed instead.
 /// `lens` carries the tracked local `Vec` lengths for factor counts.
-fn atomic_cost(call: &Call, lens: &BTreeMap<String, Val>) -> Option<Cost> {
+/// Crate-visible so the `concurrency` lint can classify calls made
+/// under a lock guard with the same cost model.
+pub(crate) fn atomic_cost(call: &Call, lens: &BTreeMap<String, Val>) -> Option<Cost> {
     match call.callee.as_str() {
         "pair" | "pair_prepared" | "pairing" => Some(
             unit(PAIRINGS)

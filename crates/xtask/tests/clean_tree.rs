@@ -318,3 +318,64 @@ fn prepared_pairing_fixture_fails_both_gates() {
         "expected the secret-digit/blinder branches to fire"
     );
 }
+
+#[test]
+fn concurrency_fixture_fires_all_four_analyses_and_twins_stay_silent() {
+    // One fixture registry seeds every class of concurrency hazard the
+    // lint certifies against: lock-order cycles (same-class nesting on
+    // a shard array plus an interprocedural opposite-order pair), a
+    // pairing paid under a write guard, Send/Sync boundary breaks, and
+    // guard-extension hazards. Each dirty case has a clean or justified
+    // twin that must not be flagged.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let src = std::fs::read_to_string(dir.join("concurrency_cases.rs"))
+        .expect("concurrency fixture exists");
+    let files = mccls_xtask::parser::parse_files(&[("concurrency_cases.rs".to_owned(), src)]);
+    let findings = mccls_xtask::concurrency::analyze_with_roots(&files, &["FixtureRegistry"]);
+
+    let expect = |fragment: &str| {
+        assert!(
+            findings.iter().any(|f| f.message.contains(fragment)),
+            "expected a finding containing `{fragment}`, got: {findings:?}"
+        );
+    };
+    // (a) deadlock detection: the same-class shard nesting and the
+    // journal/banks opposite-order pair both close cycles.
+    expect("lock-order cycle");
+    expect("shards[]");
+    // (b) hold-across-expensive-op: the pairing under the `pairs` guard.
+    expect("held across");
+    // (c) Send/Sync boundary audit.
+    expect("unsafe impl Sync");
+    expect("static mut");
+    expect("interior-mutability");
+    // (d) guard-extension hazards.
+    expect("bound to `_`");
+    expect("returns a");
+    expect("stores a");
+    // A bare `// lock-ok:` is itself a violation and does not waive
+    // the gate_a/gate_b cycle it decorates.
+    expect("gives no reason");
+
+    // Twins: the precompute-first path, the named guard, the justified
+    // epoch ordering, the atomic counter, and the unreachable RefCell
+    // scratch pad are all clean.
+    for quiet in [
+        "admit_fast",
+        "drain_freelist",
+        "epoch_a",
+        "epoch_b",
+        "AtomicU64",
+        "ScratchPad",
+    ] {
+        assert!(
+            findings.iter().all(|f| !f.message.contains(quiet)),
+            "clean twin `{quiet}` was flagged: {findings:?}"
+        );
+    }
+    assert_eq!(
+        findings.len(),
+        11,
+        "exact finding set drifted: {findings:?}"
+    );
+}
