@@ -19,20 +19,22 @@
 //! from this workspace's release-mode benches or values calibrated on
 //! the host at run time.
 //!
-//! The simulator is single-threaded per run, so [`RealAuthProvider`]
-//! wraps the single-threaded [`Verifier`]. A multi-threaded service
-//! (many packet streams verified concurrently against one shared peer
-//! directory) should hold a `mccls_core::ShardedVerifier` instead: the
-//! same warm one-pairing budget, behind sharded `RwLock`s whose lock
-//! discipline — acyclic acquisition order, no pairing work under a
-//! guard — is statically certified by the xtask `concurrency` lint
-//! (DESIGN.md §9).
+//! [`RealAuthProvider`] is generic over any
+//! [`mccls_core::VerifierBackend`]. The simulator is single-threaded
+//! per run, so the default backend is the single-threaded [`Verifier`];
+//! a multi-threaded service (many packet streams verified concurrently
+//! against one shared peer directory) builds the same provider over a
+//! `mccls_core::ShardedVerifier` via
+//! [`RealAuthProvider::with_backend`]: the same warm one-pairing
+//! budget, behind sharded `RwLock`s whose lock discipline — acyclic
+//! acquisition order, no pairing work under a guard — is statically
+//! certified by the xtask `concurrency` lint (DESIGN.md §9).
 
 use std::collections::BTreeSet;
 
 use mccls_core::{
     CertificatelessScheme, McCls, PartialPrivateKey, Signature, SystemParams, UserKeyPair,
-    UserPublicKey, Verifier,
+    UserPublicKey, Verifier, VerifierBackend,
 };
 use mccls_pairing::{Fr, G1Projective};
 use mccls_rng::rngs::StdRng;
@@ -204,25 +206,42 @@ struct NodeKeys {
     keys: UserKeyPair,
 }
 
-/// The ground-truth provider: real McCLS signatures over real BLS12-381.
-pub struct RealAuthProvider {
+/// The ground-truth provider: real McCLS signatures over real BLS12-381,
+/// generic over the verify-side handle (single-threaded [`Verifier`] by
+/// default, `mccls_core::ShardedVerifier` for concurrent services).
+pub struct RealAuthProvider<B: VerifierBackend = Verifier> {
     scheme: McCls,
     node_keys: Vec<NodeKeys>,
     /// Public key directory (what nodes would learn from piggybacked
     /// keys).
     directory: Vec<UserPublicKey>,
-    /// The stateful verify-side handle: prepared `P_pub` lines plus the
+    /// The stateful verify-side backend: prepared `P_pub` lines plus the
     /// per-peer `e(Q_ID, P_pub)` cache, registered lazily on first
-    /// contact via [`Verifier::verify_with_key`].
-    verifier: Verifier,
+    /// contact via [`VerifierBackend::authenticate_with_key`].
+    verifier: B,
     rng: StdRng,
 }
 
-impl RealAuthProvider {
+impl RealAuthProvider<Verifier> {
     /// Sets up a KGC, enrolls `num_nodes` nodes, and fabricates
     /// credentials for the nodes in `attackers` (outsiders who never
-    /// contact the KGC).
+    /// contact the KGC), verifying through the single-threaded
+    /// [`Verifier`].
     pub fn new(num_nodes: usize, attackers: &BTreeSet<NodeId>, seed: u64) -> Self {
+        Self::with_backend(num_nodes, attackers, seed, Verifier::new)
+    }
+}
+
+impl<B: VerifierBackend> RealAuthProvider<B> {
+    /// Like [`RealAuthProvider::new`], but verifying through the backend
+    /// `make_backend` builds from the freshly set-up system parameters
+    /// (e.g. `mccls_core::ShardedVerifier::new`).
+    pub fn with_backend(
+        num_nodes: usize,
+        attackers: &BTreeSet<NodeId>,
+        seed: u64,
+        make_backend: impl FnOnce(SystemParams) -> B,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let scheme = McCls::new();
         let (params, kgc) = scheme.setup(&mut rng);
@@ -246,22 +265,22 @@ impl RealAuthProvider {
             scheme,
             node_keys,
             directory,
-            verifier: Verifier::new(params),
+            verifier: make_backend(params),
             rng,
         }
     }
 
     /// The public parameters (exposed for tests).
     pub fn params(&self) -> &SystemParams {
-        self.verifier.params()
+        self.verifier.backend_params()
     }
 }
 
-impl AuthProvider for RealAuthProvider {
+impl<B: VerifierBackend + Send> AuthProvider for RealAuthProvider<B> {
     fn sign(&mut self, node: NodeId, payload: &[u8]) -> Auth {
         let nk = &self.node_keys[node.index()];
         let sig = self.scheme.sign(
-            self.verifier.params(),
+            self.verifier.backend_params(),
             &node.identity_bytes(),
             &nk.partial,
             &nk.keys,
@@ -286,7 +305,7 @@ impl AuthProvider for RealAuthProvider {
         // intrusion-detection hook that wants to tell tampering apart
         // from unknown peers.
         self.verifier
-            .verify_with_key(&auth.signer.identity_bytes(), public, payload, sig)
+            .authenticate_with_key(&auth.signer.identity_bytes(), public, payload, sig)
             .is_ok()
     }
 }
@@ -346,6 +365,24 @@ mod tests {
         let mut auth = p.sign(NodeId(3), b"payload");
         auth.signer = NodeId(1);
         assert!(!p.verify(b"payload", &auth));
+    }
+
+    #[test]
+    fn real_provider_is_backend_generic() {
+        // The same provider, over the sharded thread-safe backend: the
+        // accept/reject behaviour must be identical to the
+        // single-threaded default.
+        let mut p = RealAuthProvider::with_backend(
+            4,
+            &attackers(&[3]),
+            12,
+            mccls_core::ShardedVerifier::new,
+        );
+        let honest = p.sign(NodeId(1), b"RREQ|fields");
+        assert!(p.verify(b"RREQ|fields", &honest));
+        assert!(!p.verify(b"RREQ|tampered", &honest));
+        let forged = p.sign(NodeId(3), b"RREP|forged");
+        assert!(!p.verify(b"RREP|forged", &forged));
     }
 
     #[test]

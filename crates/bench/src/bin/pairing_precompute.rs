@@ -148,7 +148,7 @@ fn assert_op_counts(world: &mut World) {
         })
         .collect();
     let (res, counts) = ops::measure(|| batch_verify(&world.params, &batch, &mut world.rng));
-    assert!(res.is_ok(), "batch verify must accept: {res:?}");
+    assert!(res.all_valid(), "batch verify must accept: {res:?}");
     assert!(
         counts.miller_loops <= batch.len() as u64 + 1,
         "batch of {} must cost at most n+1 Miller loops, got {}",

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod ap;
+mod backend;
 pub mod batch;
 pub mod ibs;
 mod mccls;
@@ -62,7 +63,11 @@ mod yhg;
 mod zwxf;
 
 pub use ap::Ap;
-pub use batch::{batch_verify, BatchItem, OfflineSigner};
+pub use backend::VerifierBackend;
+pub use batch::{
+    batch_verify, BatchAccumulator, BatchItem, BatchOutcome, BatchStats, FlushPolicy,
+    OfflineSigner, Verdict,
+};
 pub use mccls::{McCls, VerifierCache};
 pub use params::{
     h2_scalar, Kgc, MasterSecret, PartialPrivateKey, SystemParams, UserKeyPair, UserPublicKey,

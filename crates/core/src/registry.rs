@@ -32,7 +32,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{PoisonError, RwLock};
 
 use mccls_pairing::Gt;
+use mccls_rng::RngCore;
 
+use crate::backend::VerifierBackend;
+use crate::batch::{BatchItem, BatchOutcome};
 use crate::mccls::McCls;
 use crate::ops;
 use crate::params::{SystemParams, UserPublicKey};
@@ -73,6 +76,41 @@ impl CachedPeer {
             rhs,
             referenced: AtomicBool::new(true),
         }
+    }
+}
+
+/// Builds the cache entry for a peer: the identity-key rejection and
+/// the one-off pairing `e(Q_ID, P_pub)`. Shared by the single-threaded
+/// [`Verifier`](crate::Verifier) and the [`ShardedVerifier`] so their
+/// registration paths cannot drift; always called *outside* any lock.
+pub(crate) fn prepare_peer_entry(
+    params: &SystemParams,
+    id: &[u8],
+    public: UserPublicKey,
+) -> Result<CachedPeer, VerifyError> {
+    if public.has_identity_component() {
+        return Err(VerifyError::IdentityPublicKey);
+    }
+    let q_id = params.hash_identity(id);
+    let rhs = ops::pair_prepared(&q_id.to_affine(), params.prepared_p_pub());
+    Ok(CachedPeer::new(public, rhs))
+}
+
+/// The shared warm-verify tail: recompute the equation's left side for
+/// `(public, msg, sig)` and compare it against the cached right side
+/// `e(Q_ID, P_pub)`. Both verifier handles end here, so the certified
+/// one-pairing budget is provably the same arithmetic in each.
+pub(crate) fn settle_cached_verification(
+    public: &UserPublicKey,
+    rhs: &Gt,
+    msg: &[u8],
+    sig: &Signature,
+) -> Result<(), VerifyError> {
+    let lhs = McCls::verification_pairing(public, msg, sig)?;
+    if lhs == *rhs {
+        Ok(())
+    } else {
+        Err(VerifyError::PairingMismatch)
     }
 }
 
@@ -185,6 +223,21 @@ impl ClockMap {
                 return key;
             }
         }
+    }
+
+    /// Removes a peer outright (revocation / targeted invalidation);
+    /// returns whether it was resident. The ring shrinks with the
+    /// entry, and the hand is clamped back into range so the next sweep
+    /// starts from a valid slot.
+    pub(crate) fn expel(&mut self, id: &[u8]) -> bool {
+        if self.entries.remove(id).is_none() {
+            return false;
+        }
+        self.ring.retain(|key| key.as_slice() != id);
+        if self.hand >= self.ring.len() {
+            self.hand = 0;
+        }
+        true
     }
 
     fn advance(&mut self) {
@@ -327,18 +380,14 @@ impl ShardedVerifier {
     /// make every later pairing against them trivially constant.
     // opcount-budget: registry.register_peer
     pub fn register_peer(&self, id: &[u8], public: UserPublicKey) -> Result<(), VerifyError> {
-        if public.has_identity_component() {
-            return Err(VerifyError::IdentityPublicKey);
-        }
-        let q_id = self.params.hash_identity(id);
-        let rhs = ops::pair_prepared(&q_id.to_affine(), self.params.prepared_p_pub());
+        let peer = prepare_peer_entry(&self.params, id, public)?;
         // Poisoning is recovered, not propagated (see module docs): the
         // critical section below is pure map bookkeeping.
         let mut shard = self
             .shard(id)
             .write()
             .unwrap_or_else(PoisonError::into_inner);
-        shard.admit(id, CachedPeer::new(public, rhs));
+        shard.admit(id, peer);
         Ok(())
     }
 
@@ -361,12 +410,7 @@ impl ShardedVerifier {
         let Some((public, rhs)) = cached else {
             return Err(VerifyError::UnknownPeer);
         };
-        let lhs = McCls::verification_pairing(&public, msg, sig)?;
-        if lhs == rhs {
-            Ok(())
-        } else {
-            Err(VerifyError::PairingMismatch)
-        }
+        settle_cached_verification(&public, &rhs, msg, sig)
     }
 
     /// Parses `bytes` as a wire-format signature and verifies it.
@@ -406,6 +450,62 @@ impl ShardedVerifier {
     /// that don't need the rejection reason.
     pub fn is_valid(&self, id: &[u8], msg: &[u8], sig: &Signature) -> bool {
         self.verify(id, msg, sig).is_ok()
+    }
+
+    /// Batch-verifies signatures with per-index fault isolation,
+    /// reusing this registry's warm per-peer `Gt` cache. Each warm
+    /// lookup copies its entry out under a short shard read guard; all
+    /// pairing work (and any bisection of a dirty batch) runs with no
+    /// lock held.
+    pub fn verify_batch(&self, items: &[BatchItem<'_>], rng: &mut dyn RngCore) -> BatchOutcome {
+        self.authenticate_batch(items, rng)
+    }
+}
+
+impl VerifierBackend for ShardedVerifier {
+    fn backend_params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    fn enroll_peer(&mut self, id: &[u8], public: UserPublicKey) -> Result<(), VerifyError> {
+        self.register_peer(id, public)
+    }
+
+    fn expel_peer(&mut self, id: &[u8]) -> bool {
+        let mut shard = self
+            .shard(id)
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        shard.expel(id)
+    }
+
+    fn peer_registered(&self, id: &[u8]) -> bool {
+        self.knows_peer(id)
+    }
+
+    fn authenticate(&self, id: &[u8], msg: &[u8], sig: &Signature) -> Result<(), VerifyError> {
+        self.verify(id, msg, sig)
+    }
+
+    fn authenticate_with_key(
+        &mut self,
+        id: &[u8],
+        public: &UserPublicKey,
+        msg: &[u8],
+        sig: &Signature,
+    ) -> Result<(), VerifyError> {
+        self.verify_with_key(id, public, msg, sig)
+    }
+
+    // validated: copies out a cache entry admitted by register_peer,
+    // which rejected identity components and derived the Gt from a
+    // trusted pairing; the id bytes are only used as a map key.
+    fn warm_entry(&self, id: &[u8]) -> Option<(UserPublicKey, Gt)> {
+        let shard = self
+            .shard(id)
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        shard.peek(id).map(|peer| (peer.public, peer.rhs))
     }
 }
 
@@ -528,6 +628,51 @@ mod tests {
         registry.register_peer(b"new", keys.public).unwrap();
         assert_eq!(registry.peer_count(), 2);
         assert!(registry.knows_peer(b"new"));
+    }
+
+    #[test]
+    fn expelled_peer_must_reregister() {
+        let (registry, params, partial, keys, mut rng) = world();
+        let scheme = McCls::new();
+        let sig = scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng);
+        let mut registry = registry;
+        assert!(registry.expel_peer(b"alice"));
+        assert!(!registry.knows_peer(b"alice"));
+        assert!(!registry.expel_peer(b"alice"), "second expel is a no-op");
+        assert_eq!(
+            registry.verify(b"alice", b"m", &sig),
+            Err(VerifyError::UnknownPeer)
+        );
+        // Eviction state stays sound after an expel: churn keeps working.
+        for i in 0..8u32 {
+            registry
+                .register_peer(format!("p{i}").as_bytes(), keys.public)
+                .unwrap();
+        }
+        registry.register_peer(b"alice", keys.public).unwrap();
+        assert_eq!(registry.verify(b"alice", b"m", &sig), Ok(()));
+    }
+
+    #[test]
+    fn sharded_batch_reuses_warm_entries() {
+        let (registry, params, partial, keys, mut rng) = world();
+        let scheme = McCls::new();
+        let sig = scheme.sign(&params, b"alice", &partial, &keys, b"m", &mut rng);
+        let items = [BatchItem {
+            id: b"alice",
+            public: &keys.public,
+            msg: b"m",
+            sig: &sig,
+        }];
+        let (outcome, counts) = ops::measure(|| registry.verify_batch(&items, &mut rng));
+        assert!(outcome.all_valid());
+        // Warm path: no identity hash, one factor Miller loop plus the
+        // closing loop, one shared final exp, one Gt exponentiation
+        // against the cached e(Q_ID, P_pub).
+        assert_eq!(counts.hashes_to_g1, 0, "warm entry skips the identity hash");
+        assert_eq!(counts.miller_loops, 2);
+        assert_eq!(counts.final_exps, 1);
+        assert_eq!(counts.gt_exps, 1);
     }
 
     #[test]

@@ -10,13 +10,13 @@
 //! so the hot path is exactly the one pairing the paper's Table 1
 //! promises.
 
+use mccls_pairing::Gt;
 use mccls_rng::RngCore;
 
-use crate::batch::{batch_verify, BatchItem};
-use crate::mccls::McCls;
-use crate::ops;
+use crate::backend::VerifierBackend;
+use crate::batch::{BatchItem, BatchOutcome};
 use crate::params::{SystemParams, UserPublicKey};
-use crate::registry::{CachedPeer, ClockMap};
+use crate::registry::{prepare_peer_entry, settle_cached_verification, ClockMap};
 use crate::scheme::Signature;
 
 /// Default bound on the single-threaded verifier's peer cache. A
@@ -183,12 +183,8 @@ impl Verifier {
     /// make every later pairing against them trivially constant.
     // opcount-budget: verifier.register_peer
     pub fn register_peer(&mut self, id: &[u8], public: UserPublicKey) -> Result<(), VerifyError> {
-        if public.has_identity_component() {
-            return Err(VerifyError::IdentityPublicKey);
-        }
-        let q_id = self.params.hash_identity(id);
-        let rhs = ops::pair_prepared(&q_id.to_affine(), self.params.prepared_p_pub());
-        self.peers.admit(id, CachedPeer::new(public, rhs));
+        let peer = prepare_peer_entry(&self.params, id, public)?;
+        self.peers.admit(id, peer);
         Ok(())
     }
 
@@ -216,12 +212,7 @@ impl Verifier {
     // opcount-budget: verifier.verify
     pub fn verify(&self, id: &[u8], msg: &[u8], sig: &Signature) -> Result<(), VerifyError> {
         let entry = self.peers.peek(id).ok_or(VerifyError::UnknownPeer)?;
-        let lhs = McCls::verification_pairing(&entry.public, msg, sig)?;
-        if lhs == entry.rhs {
-            Ok(())
-        } else {
-            Err(VerifyError::PairingMismatch)
-        }
+        settle_cached_verification(&entry.public, &entry.rhs, msg, sig)
     }
 
     /// Parses `bytes` as a wire-format signature and verifies it.
@@ -253,16 +244,53 @@ impl Verifier {
         self.verify(id, msg, sig).is_ok()
     }
 
-    /// Batch-verifies signatures from (possibly unregistered) peers with
-    /// `n + 1` Miller loops and one shared final exponentiation,
-    /// delegating to [`batch_verify`](crate::batch::batch_verify) with
-    /// this verifier's prepared parameters.
-    pub fn verify_batch(
-        &self,
-        items: &[BatchItem<'_>],
-        rng: &mut dyn RngCore,
+    /// Batch-verifies signatures with per-index fault isolation
+    /// ([`BatchOutcome`]), reusing this verifier's warm per-peer `Gt`
+    /// cache: registered peers whose presented key matches cost one `Gt`
+    /// exponentiation instead of an identity hash plus a fold term, and
+    /// the whole batch settles in one shared final exponentiation (plus
+    /// `O(b·log n)` bisection checks when `b` entries are bad).
+    pub fn verify_batch(&self, items: &[BatchItem<'_>], rng: &mut dyn RngCore) -> BatchOutcome {
+        self.authenticate_batch(items, rng)
+    }
+}
+
+impl VerifierBackend for Verifier {
+    fn backend_params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    fn enroll_peer(&mut self, id: &[u8], public: UserPublicKey) -> Result<(), VerifyError> {
+        self.register_peer(id, public)
+    }
+
+    fn expel_peer(&mut self, id: &[u8]) -> bool {
+        self.peers.expel(id)
+    }
+
+    fn peer_registered(&self, id: &[u8]) -> bool {
+        self.knows_peer(id)
+    }
+
+    fn authenticate(&self, id: &[u8], msg: &[u8], sig: &Signature) -> Result<(), VerifyError> {
+        self.verify(id, msg, sig)
+    }
+
+    fn authenticate_with_key(
+        &mut self,
+        id: &[u8],
+        public: &UserPublicKey,
+        msg: &[u8],
+        sig: &Signature,
     ) -> Result<(), VerifyError> {
-        batch_verify(&self.params, items, rng)
+        self.verify_with_key(id, public, msg, sig)
+    }
+
+    // validated: copies out a cache entry admitted by register_peer,
+    // which rejected identity components and derived the Gt from a
+    // trusted pairing; the id bytes are only used as a map key.
+    fn warm_entry(&self, id: &[u8]) -> Option<(UserPublicKey, Gt)> {
+        self.peers.peek(id).map(|peer| (peer.public, peer.rhs))
     }
 }
 
@@ -270,6 +298,8 @@ impl Verifier {
 #[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
+    use crate::mccls::McCls;
+    use crate::ops;
     use crate::scheme::CertificatelessScheme;
     use mccls_rng::SeedableRng;
 
@@ -391,6 +421,54 @@ mod tests {
             assert!(verifier.peer_count() <= 3, "cache must stay bounded");
         }
         assert_eq!(verifier.peer_count(), 3);
+    }
+
+    #[test]
+    fn verify_batch_reuses_warm_entries_and_isolates() {
+        let (mut verifier, params, partial, keys, mut rng) = setup();
+        let scheme = McCls::new();
+        let sig_a = scheme.sign(&params, b"alice", &partial, &keys, b"a", &mut rng);
+        let sig_b = scheme.sign(&params, b"alice", &partial, &keys, b"b", &mut rng);
+        let items = [
+            BatchItem {
+                id: b"alice",
+                public: &keys.public,
+                msg: b"a",
+                sig: &sig_a,
+            },
+            BatchItem {
+                id: b"alice",
+                public: &keys.public,
+                msg: b"tampered",
+                sig: &sig_b,
+            },
+        ];
+        let (outcome, counts) = ops::measure(|| verifier.verify_batch(&items, &mut rng));
+        assert!(!outcome.all_valid());
+        assert_eq!(outcome.invalid_indices(), vec![1]);
+        assert_eq!(
+            outcome.verdicts().first(),
+            Some(&crate::batch::Verdict::Ok),
+            "warm batching must not punish the honest entry"
+        );
+        // Both entries are warm (alice is registered): zero identity
+        // hashes, one Gt exponentiation each.
+        assert_eq!(counts.hashes_to_g1, 0);
+        assert_eq!(counts.gt_exps, 2);
+        // A mismatched in-band key falls back to the cold path instead
+        // of trusting the stale cache entry.
+        let scheme2_keys = scheme.generate_key_pair(&params, &mut rng);
+        let cold_items = [BatchItem {
+            id: b"alice",
+            public: &scheme2_keys.public,
+            msg: b"a",
+            sig: &sig_a,
+        }];
+        let (cold, cold_counts) = ops::measure(|| verifier.verify_batch(&cold_items, &mut rng));
+        assert!(!cold.all_valid(), "stale-key signature must not pass warm");
+        assert_eq!(cold_counts.hashes_to_g1, 1, "cold fallback hashes the id");
+        let _ = verifier.expel_peer(b"alice");
+        assert!(!verifier.knows_peer(b"alice"));
     }
 
     #[test]

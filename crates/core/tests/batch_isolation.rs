@@ -1,0 +1,234 @@
+//! The fault-isolation contract of batch verification: bad indices are
+//! pinned exactly (matching the one-by-one oracle), the bisection
+//! fallback stays within its `O(b·log n)` cost envelope, and an
+//! exhausted isolation budget degrades to `Unchecked` — never to a
+//! false `Ok`.
+
+// Tests may panic freely; that is how they fail.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+use mccls_core::{
+    batch_verify, ops, BatchAccumulator, BatchItem, CertificatelessScheme, FlushPolicy, McCls,
+    Signature, SystemParams, UserKeyPair, Verdict,
+};
+use mccls_rng::rngs::StdRng;
+use mccls_rng::SeedableRng;
+
+/// A signed batch plus everything needed to tamper with it.
+struct World {
+    params: SystemParams,
+    ids: Vec<Vec<u8>>,
+    keys: Vec<UserKeyPair>,
+    msgs: Vec<Vec<u8>>,
+    sigs: Vec<Signature>,
+}
+
+fn build_world(n: usize, seed: u64) -> World {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scheme = McCls::new();
+    let (params, kgc) = scheme.setup(&mut rng);
+    let mut world = World {
+        params,
+        ids: Vec::with_capacity(n),
+        keys: Vec::with_capacity(n),
+        msgs: Vec::with_capacity(n),
+        sigs: Vec::with_capacity(n),
+    };
+    for i in 0..n {
+        let id = format!("peer-{i:03}").into_bytes();
+        let partial = scheme.extract_partial_private_key(&kgc, &id);
+        let kp = scheme.generate_key_pair(&world.params, &mut rng);
+        let msg = format!("telemetry frame {i}").into_bytes();
+        let sig = scheme.sign(&world.params, &id, &partial, &kp, &msg, &mut rng);
+        world.ids.push(id);
+        world.keys.push(kp);
+        world.msgs.push(msg);
+        world.sigs.push(sig);
+    }
+    world
+}
+
+impl World {
+    /// Tampers the messages at `bad` so those signatures no longer
+    /// verify while every other entry stays honest.
+    fn poison(&mut self, bad: &[usize]) {
+        for &i in bad {
+            self.msgs[i] = format!("forged frame {i}").into_bytes();
+        }
+    }
+
+    fn items(&self) -> Vec<BatchItem<'_>> {
+        (0..self.ids.len())
+            .map(|i| BatchItem {
+                id: &self.ids[i],
+                public: &self.keys[i].public,
+                msg: &self.msgs[i],
+                sig: &self.sigs[i],
+            })
+            .collect()
+    }
+
+    /// The ground truth: each entry verified individually.
+    fn oracle(&self) -> Vec<bool> {
+        let scheme = McCls::new();
+        (0..self.ids.len())
+            .map(|i| {
+                scheme
+                    .verify(
+                        &self.params,
+                        &self.ids[i],
+                        &self.keys[i].public,
+                        &self.msgs[i],
+                        &self.sigs[i],
+                    )
+                    .is_ok()
+            })
+            .collect()
+    }
+}
+
+/// Asserts the batch outcome agrees index-for-index with the oracle and
+/// contains no `Unchecked` verdicts.
+fn assert_matches_oracle(world: &World, bad: &[usize], what: &str) {
+    let mut rng = StdRng::seed_from_u64(0xBAD ^ bad.len() as u64);
+    let outcome = batch_verify(&world.params, &world.items(), &mut rng);
+    let oracle = world.oracle();
+    for (i, verdict) in outcome.verdicts().iter().enumerate() {
+        match verdict {
+            Verdict::Ok => assert!(oracle[i], "{what}: index {i} accepted but oracle rejects"),
+            Verdict::Invalid(_) => {
+                assert!(!oracle[i], "{what}: index {i} rejected but oracle accepts")
+            }
+            Verdict::Unchecked => panic!("{what}: index {i} unchecked with an unlimited budget"),
+        }
+    }
+    let mut expected: Vec<usize> = bad.to_vec();
+    expected.sort_unstable();
+    assert_eq!(outcome.invalid_indices(), expected, "{what}");
+}
+
+#[test]
+fn single_bad_index_is_pinned_at_every_boundary_position() {
+    let n = 8;
+    for bad in [0, 1, n / 2, n - 1] {
+        let mut world = build_world(n, 0x15_0A + bad as u64);
+        world.poison(&[bad]);
+        assert_matches_oracle(&world, &[bad], &format!("bad index {bad} of {n}"));
+    }
+}
+
+#[test]
+fn random_bad_sets_match_the_one_by_one_oracle() {
+    let n = 32;
+    let mut pick_rng = StdRng::seed_from_u64(0xD1CE);
+    for b in [1usize, 3, 10] {
+        let mut bad: Vec<usize> = Vec::new();
+        while bad.len() < b {
+            let i = (pick_rng.next_u64() % n as u64) as usize;
+            if !bad.contains(&i) {
+                bad.push(i);
+            }
+        }
+        let mut world = build_world(n, 0xF00D + b as u64);
+        world.poison(&bad);
+        assert_matches_oracle(&world, &bad, &format!("{b} random bad of {n}"));
+    }
+}
+
+#[test]
+fn clean_batch_needs_no_isolation() {
+    let world = build_world(8, 0xC1EA);
+    let mut rng = StdRng::seed_from_u64(3);
+    let outcome = batch_verify(&world.params, &world.items(), &mut rng);
+    assert!(outcome.all_valid());
+    assert_eq!(outcome.stats().isolation_checks, 0);
+    assert_eq!(outcome.stats().bisection_depth, 0);
+}
+
+#[test]
+fn one_bad_in_64_isolates_within_two_log_n_plus_one_extra_miller_loops() {
+    // The acceptance bound: a 64-entry batch with one poisoned
+    // signature must pin it in at most `2·log2(64) + 1 = 13` extra
+    // Miller loops over the clean-path `n + 1`. (The implementation
+    // derives each right-sibling defect algebraically, so it actually
+    // spends `log2(64) = 6`, but the certified envelope is 13.)
+    let n = 64;
+    let mut world = build_world(n, 0x6464);
+    world.poison(&[37]);
+    let items = world.items();
+    let mut rng = StdRng::seed_from_u64(9);
+    let (outcome, counts) = ops::measure(|| batch_verify(&world.params, &items, &mut rng));
+
+    assert_eq!(outcome.invalid_indices(), vec![37]);
+    assert!(outcome.unchecked_indices().is_empty());
+
+    let base = n as u64 + 1;
+    let extra_ml = counts.miller_loops - base;
+    let bound = 2 * 6 + 1; // 2·log2(64) + 1
+    assert!(
+        extra_ml <= bound,
+        "isolating 1 of {n} cost {extra_ml} extra Miller loops, bound {bound}"
+    );
+    let extra_fe = counts.final_exps - 1;
+    assert!(
+        extra_fe <= bound,
+        "isolating 1 of {n} cost {extra_fe} extra final exps, bound {bound}"
+    );
+    assert!(u64::from(outcome.stats().isolation_checks) <= bound);
+    // Depth is 1-based at the root, so a singleton leaf in a 64-entry
+    // tree sits at log2(64) + 1 = 7.
+    assert!(outcome.stats().bisection_depth <= 7);
+}
+
+#[test]
+fn stats_agree_with_measured_operation_counters() {
+    let mut world = build_world(16, 0x57A7);
+    world.poison(&[2, 9, 10]);
+    let items = world.items();
+    let mut rng = StdRng::seed_from_u64(4);
+    let (outcome, counts) = ops::measure(|| batch_verify(&world.params, &items, &mut rng));
+    assert_eq!(outcome.invalid_indices(), vec![2, 9, 10]);
+    let stats = outcome.stats();
+    assert_eq!(stats.items, 16);
+    assert_eq!(stats.miller_loops, counts.miller_loops);
+    assert_eq!(stats.final_exps, counts.final_exps);
+}
+
+#[test]
+fn exhausted_isolation_budget_degrades_to_unchecked_never_to_ok() {
+    // Two bad entries in opposite halves with budget for a single
+    // sub-check: the engine cannot attribute everything, and whatever
+    // it could not prove must surface as `Unchecked` — a bad entry
+    // must never be reported `Ok`.
+    let mut world = build_world(8, 0x0FF);
+    world.poison(&[1, 6]);
+    let policy = FlushPolicy {
+        max_isolation_checks: Some(1),
+        ..FlushPolicy::default()
+    };
+    let mut acc = BatchAccumulator::new(world.params.clone(), policy);
+    let mut rng = StdRng::seed_from_u64(5);
+    let items = world.items();
+    for item in &items {
+        assert!(acc.absorb(item, &mut rng).is_none());
+    }
+    let outcome = acc.flush();
+
+    assert!(!outcome.all_valid());
+    assert!(outcome.as_result().is_err());
+    assert!(
+        !outcome.unchecked_indices().is_empty(),
+        "a budget of 1 cannot attribute two bad halves: {outcome:?}"
+    );
+    assert!(u64::from(outcome.stats().isolation_checks) <= 1);
+    let oracle = world.oracle();
+    for (i, verdict) in outcome.verdicts().iter().enumerate() {
+        if !oracle[i] {
+            assert_ne!(
+                *verdict,
+                Verdict::Ok,
+                "bad index {i} must not be reported Ok"
+            );
+        }
+    }
+}

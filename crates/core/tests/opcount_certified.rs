@@ -247,14 +247,28 @@ fn batch_verification_measures_its_symbolic_budget() {
         .collect();
 
     let (res, counts) = ops::measure(|| batch_verify(&params, &items, &mut rng));
-    assert_eq!(res, Ok(()));
+    assert!(res.all_valid());
     let entry = budgets
-        .get("batch.batch_verify")
-        .expect("batch.batch_verify entry");
+        .get("batch.verify_outcome")
+        .expect("batch.verify_outcome entry");
     assert_matches(entry, &counts, N as u64, "batch verification");
     // The symbolic shape itself: n+1 Miller loops, one shared final
     // exponentiation, and no calls through the pairing frontend.
     assert_eq!(counts.miller_loops as usize, N + 1);
     assert_eq!(counts.final_exps, 1);
     assert_eq!(counts.pairings, 0);
+
+    // The streaming flush shape: per-entry Miller loops are paid at
+    // absorb time, so settling the window is one closing Miller loop
+    // plus the shared final exponentiation regardless of size.
+    let mut acc = mccls_core::BatchAccumulator::new(params, mccls_core::FlushPolicy::default());
+    for item in &items {
+        assert!(acc.absorb(item, &mut rng).is_none());
+    }
+    let (outcome, flush_counts) = ops::measure(|| acc.flush());
+    assert!(outcome.all_valid());
+    let flush_entry = budgets
+        .get("batch.accumulator_flush")
+        .expect("batch.accumulator_flush entry");
+    assert_matches(flush_entry, &flush_counts, 0, "streaming flush");
 }

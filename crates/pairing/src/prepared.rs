@@ -57,7 +57,7 @@ use crate::pairing_impl::{final_exponentiation, Gt, BLS_X};
 /// One (ξ-scaled) Miller-loop line `ℓ(P) = ξ·y_P + b·v·w + λ·(-x_P)·v²·w`
 /// through the working point, reduced to the two coefficients that do
 /// not depend on the G1 argument.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct LineCoeff {
     /// The slope `λ` of the tangent/chord.
     lambda: Fp2,
@@ -67,7 +67,7 @@ struct LineCoeff {
 
 /// One iteration of the Miller loop: the doubling line, plus the
 /// addition line on iterations where the BLS parameter has a set bit.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct Step {
     double: LineCoeff,
     add: Option<LineCoeff>,
@@ -94,13 +94,24 @@ struct Step {
 ///     pairing(&p, &q),
 /// );
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct G2Prepared {
     steps: Vec<Step>,
     infinity: bool,
+    /// The point the steps were derived from, kept for serialization:
+    /// the wire form ships one compressed point and re-derives the
+    /// ~4.4 KiB of line coefficients on decode.
+    source: G2Affine,
 }
 
+/// Leading version byte of the [`G2Prepared`] wire form.
+const G2_PREPARED_VERSION: u8 = 0x01;
+
 impl G2Prepared {
+    /// Byte length of [`G2Prepared::to_bytes`]: one version byte plus
+    /// the 96-byte compressed source point.
+    pub const SERIALIZED_LEN: usize = 97;
+
     /// Precomputes the line coefficients of `q`.
     #[allow(clippy::expect_used)] // mid-loop inversions cannot fail on r-order points
     pub fn from_affine(q: &G2Affine) -> Self {
@@ -108,6 +119,7 @@ impl G2Prepared {
             return Self {
                 steps: Vec::new(),
                 infinity: true,
+                source: G2Affine::identity(),
             };
         }
         let mut steps = Vec::with_capacity(63);
@@ -151,6 +163,7 @@ impl G2Prepared {
         Self {
             steps,
             infinity: false,
+            source: *q,
         }
     }
 
@@ -162,6 +175,42 @@ impl G2Prepared {
     /// True when this prepares the identity (its pairings are trivial).
     pub fn is_identity(&self) -> bool {
         self.infinity
+    }
+
+    /// Serializes as `version || compressed(source)`.
+    ///
+    /// The line coefficients are a pure function of the source point,
+    /// so the wire form ships 97 bytes instead of the ~4.4 KiB of
+    /// `Fp2` step data and [`G2Prepared::from_bytes`] re-derives them.
+    pub fn to_bytes(&self) -> [u8; Self::SERIALIZED_LEN] {
+        let mut out = [0u8; Self::SERIALIZED_LEN];
+        out[0] = G2_PREPARED_VERSION;
+        for (dst, src) in out.iter_mut().skip(1).zip(self.source.to_compressed()) {
+            *dst = src;
+        }
+        out
+    }
+
+    /// Parses the wire form produced by [`G2Prepared::to_bytes`].
+    ///
+    /// Rejects wrong lengths, unknown version bytes, and everything
+    /// [`G2Affine::from_compressed`] rejects: bad flag combinations,
+    /// non-canonical field encodings, off-curve points, and points
+    /// outside the r-order subgroup. The steps are recomputed from the
+    /// validated point — no line coefficient is ever trusted from the
+    /// wire, so a decoded value is interchangeable with a locally
+    /// prepared one.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::SERIALIZED_LEN {
+            return None;
+        }
+        let (&version, point) = bytes.split_first()?;
+        if version != G2_PREPARED_VERSION {
+            return None;
+        }
+        let compressed: [u8; 96] = point.try_into().ok()?;
+        let source = G2Affine::from_compressed(&compressed)?;
+        Some(Self::from_affine(&source))
     }
 }
 
@@ -586,6 +635,97 @@ mod tests {
             assert_eq!(acc, k);
             assert!(digits.iter().all(|d| (-8..=8).contains(d)));
         }
+    }
+
+    #[test]
+    fn prepared_round_trips_through_bytes() {
+        let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(96);
+        for _ in 0..4 {
+            let q = (G2Projective::generator() * Fr::random(&mut rng)).to_affine();
+            let prep = G2Prepared::from_affine(&q);
+            let bytes = prep.to_bytes();
+            assert_eq!(bytes.len(), G2Prepared::SERIALIZED_LEN);
+            let back = G2Prepared::from_bytes(&bytes).expect("round trip");
+            // Equality covers the re-derived line coefficients, and the
+            // decoded value pairs exactly like a locally prepared one.
+            assert_eq!(back, prep);
+            let p = G1Affine::generator();
+            assert_eq!(
+                multi_miller_loop(&[(&p, &back)]).final_exponentiation(),
+                pairing(&p, &q)
+            );
+        }
+        let id = G2Prepared::from_affine(&G2Affine::identity());
+        let back = G2Prepared::from_bytes(&id.to_bytes()).expect("identity round trip");
+        assert!(back.is_identity());
+        assert_eq!(back, id);
+    }
+
+    #[test]
+    fn prepared_decoding_rejects_malformed_inputs() {
+        let good = G2Prepared::from_affine(&G2Affine::generator()).to_bytes();
+        assert!(G2Prepared::from_bytes(&good).is_some(), "control");
+
+        // Wrong lengths: empty, truncated, extended.
+        assert!(G2Prepared::from_bytes(&[]).is_none());
+        assert!(G2Prepared::from_bytes(&good[..good.len() - 1]).is_none());
+        let mut long = good.to_vec();
+        long.push(0);
+        assert!(G2Prepared::from_bytes(&long).is_none());
+
+        // Unknown version byte.
+        let mut bad_version = good;
+        bad_version[0] = 0x02;
+        assert!(G2Prepared::from_bytes(&bad_version).is_none());
+
+        // Bad flags: clearing the compression bit invalidates the point.
+        let mut bad_flags = good;
+        bad_flags[1] &= 0b0111_1111;
+        assert!(G2Prepared::from_bytes(&bad_flags).is_none());
+
+        // Non-zero x with the infinity bit set is non-canonical.
+        let mut bad_identity = good;
+        bad_identity[1] |= 0b0100_0000;
+        assert!(G2Prepared::from_bytes(&bad_identity).is_none());
+
+        // Non-canonical field element: x ≥ p (all-ones payload).
+        let mut non_canonical = good;
+        for b in non_canonical.iter_mut().skip(1) {
+            *b = 0xFF;
+        }
+        non_canonical[1] = 0b1011_1111; // compressed + sign, max remaining bits
+        assert!(G2Prepared::from_bytes(&non_canonical).is_none());
+
+        // Off-curve / wrong-subgroup points. Sweep low-byte values: each
+        // candidate x either has no square root (off-curve, must be
+        // rejected by both decoders) or yields a curve point that is
+        // almost surely outside the r-order subgroup (G2's cofactor is
+        // ~2^382): `from_compressed_unchecked` accepts it, the checked
+        // decoder — and therefore `G2Prepared::from_bytes` — must not.
+        let mut hit_wrong_subgroup = false;
+        for low in 0u8..=255 {
+            let mut candidate = [0u8; 96];
+            candidate[0] = 0b1000_0000;
+            candidate[95] = low;
+            let mut wire = [0u8; G2Prepared::SERIALIZED_LEN];
+            wire[0] = 0x01;
+            wire[1..].copy_from_slice(&candidate);
+            match G2Affine::from_compressed_unchecked(&candidate) {
+                Some(point) => {
+                    assert!(!point.is_torsion_free(), "x={low}: cofactor is ~2^382");
+                    assert!(
+                        G2Prepared::from_bytes(&wire).is_none(),
+                        "x={low}: wrong-subgroup point must be rejected"
+                    );
+                    hit_wrong_subgroup = true;
+                }
+                None => assert!(
+                    G2Prepared::from_bytes(&wire).is_none(),
+                    "x={low}: off-curve point must be rejected"
+                ),
+            }
+        }
+        assert!(hit_wrong_subgroup, "sweep found at least one curve point");
     }
 
     #[test]

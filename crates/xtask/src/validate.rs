@@ -61,6 +61,7 @@ pub const GROUP_TYPE_WORDS: &[&str] = &[
     "ProjectivePoint",
     "Signature",
     "Gt",
+    "G2Prepared",
 ];
 
 /// Checked-constructor calls that establish curve/subgroup membership.
@@ -585,6 +586,42 @@ mod tests {
              fn hash_point(msg: &[u8]) -> G1Projective {\n    clear_cofactor(map(msg))\n}\n\
              fn verify(msg: &[u8]) -> bool {\n    \
              let h = hash_point(msg);\n    pair(&h, &gen2()) == rhs()\n}\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn raw_prepared_decoder_is_a_source() {
+        // A G2Prepared built straight from wire bytes — line
+        // coefficients trusted from the network — is an unchecked
+        // decoder, and feeding it to the Miller loop is a sink hit.
+        let findings = run(&[(
+            "a.rs",
+            "fn prepared_raw(bytes: &[u8]) -> G2Prepared {\n    \
+             G2Prepared::raw_steps(bytes)\n}\n\
+             fn verify(msg: &[u8], wire: &[u8]) -> bool {\n    \
+             let prep = prepared_raw(wire);\n    \
+             multi_miller_loop(&[(&point(msg), &prep)]).final_exponentiation().is_identity()\n}\n",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("sink `multi_miller_loop`"));
+    }
+
+    #[test]
+    fn prepared_from_bytes_via_checked_point_decoder_is_checked() {
+        // The real wire format: decode the source point through the
+        // checked constructor, then re-derive the lines. The delegation
+        // makes `from_bytes` itself a checked decoder.
+        let findings = run(&[(
+            "a.rs",
+            "fn from_compressed(bytes: &[u8; 96]) -> G2Affine {\n    \
+             let p = build(bytes);\n    assert_ok(p.is_torsion_free());\n    p\n}\n\
+             fn from_bytes(bytes: &[u8]) -> G2Prepared {\n    \
+             let source = from_compressed(fixed(bytes));\n    \
+             G2Prepared::from_affine(&source)\n}\n\
+             fn verify(msg: &[u8], wire: &[u8]) -> bool {\n    \
+             let prep = from_bytes(wire);\n    \
+             multi_miller_loop(&[(&point(msg), &prep)]).final_exponentiation().is_identity()\n}\n",
         )]);
         assert!(findings.is_empty(), "{findings:?}");
     }

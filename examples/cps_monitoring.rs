@@ -75,18 +75,24 @@ fn main() {
         })
         .collect();
     let t = Instant::now();
-    assert!(batch_verify(&params, &batch, &mut rng).is_ok());
+    assert!(batch_verify(&params, &batch, &mut rng).all_valid());
     let batched = t.elapsed();
     println!(
         "sink verified {} reports: {one_by_one:?} one-by-one (cached) vs {batched:?} batched",
         sensors.len()
     );
 
-    // A tampered reading poisons the batch.
+    // A tampered reading no longer poisons the batch: the bisection
+    // fallback pins the exact index while the rest stay accepted.
     let mut poisoned = batch.clone();
     poisoned[4].msg = b"t=17:03:04 temp=9999C";
-    assert!(batch_verify(&params, &poisoned, &mut rng).is_err());
-    println!("tampered reading detected by the batch check.");
+    let outcome = batch_verify(&params, &poisoned, &mut rng);
+    assert!(!outcome.all_valid());
+    assert_eq!(outcome.invalid_indices(), vec![4]);
+    println!(
+        "tampered reading isolated at index 4 in {} bisection checks.",
+        outcome.stats().isolation_checks
+    );
 
     // Deadline path: offline tokens make the online signature free.
     let (id, partial, keys) = &sensors[0];

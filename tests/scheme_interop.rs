@@ -158,7 +158,7 @@ fn batch_api_spans_many_signers() {
             sig,
         })
         .collect();
-    assert!(batch_verify(&params, &batch, &mut rng).is_ok());
+    assert!(batch_verify(&params, &batch, &mut rng).all_valid());
 }
 
 #[test]
