@@ -30,8 +30,8 @@ use mccls_bench::harness::Criterion;
 use mccls_core::batch::{batch_verify, BatchItem};
 use mccls_core::{ops, CertificatelessScheme, McCls, Verifier};
 use mccls_pairing::{
-    g1_generator_table, g2_generator_table, multi_miller_loop, pairing, Fr, G1Projective,
-    G2Prepared, G2Projective,
+    g1_generator_table, g2_generator_table, multi_miller_loop, pairing, Fp12, Fp2, Fp6, Fr,
+    G1Projective, G2Prepared, G2Projective,
 };
 use mccls_rng::rngs::StdRng;
 use mccls_rng::SeedableRng;
@@ -183,6 +183,34 @@ fn run_benches(c: &mut Criterion, smoke: bool, world: &mut World) {
     g.bench_function("after_prepared", |b| {
         b.iter(|| multi_miller_loop(&[(&p, &q_prep)]).final_exponentiation())
     });
+    g.finish();
+
+    // Tower-multiplication micro-rows: eager (per-product Montgomery
+    // reduction) vs. the lazy-reduction chains certified by the `range`
+    // lint. Both paths are kept in-tree, so the before/after pair stays
+    // an honest like-for-like comparison.
+    let x2 = Fp2::random(&mut rng);
+    let y2 = Fp2::random(&mut rng);
+    let mut g = c.benchmark_group("fp2_mul");
+    g.sample_size(samples);
+    g.bench_function("before_eager", |b| b.iter(|| x2.mul_eager(&y2)));
+    g.bench_function("after_lazy", |b| b.iter(|| x2 * y2));
+    g.finish();
+
+    let x6 = Fp6::random(&mut rng);
+    let y6 = Fp6::random(&mut rng);
+    let mut g = c.benchmark_group("fp6_mul");
+    g.sample_size(samples);
+    g.bench_function("before_eager", |b| b.iter(|| x6.mul_eager6(&y6)));
+    g.bench_function("after_lazy", |b| b.iter(|| x6 * y6));
+    g.finish();
+
+    let x12 = Fp12::random(&mut rng);
+    let y12 = Fp12::random(&mut rng);
+    let mut g = c.benchmark_group("fp12_mul");
+    g.sample_size(samples);
+    g.bench_function("before_eager", |b| b.iter(|| x12.mul_eager12(&y12)));
+    g.bench_function("after_lazy", |b| b.iter(|| x12 * y12));
     g.finish();
 
     let k = Fr::random_nonzero(&mut rng);

@@ -72,7 +72,7 @@ pub use mccls::{McCls, VerifierCache};
 pub use params::{
     h2_scalar, Kgc, MasterSecret, PartialPrivateKey, SystemParams, UserKeyPair, UserPublicKey,
 };
-pub use registry::ShardedVerifier;
+pub use registry::{ShardedVerifier, SnapshotError};
 pub use scheme::{CertificatelessScheme, ClaimedOps, Signature};
 pub use threshold::{
     combine_shares, threshold_setup, KgcShareServer, PartialKeyShare, ThresholdSetup,

@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{PoisonError, RwLock};
 
-use mccls_pairing::Gt;
+use mccls_pairing::{G1Affine, G2Affine, Gt};
 use mccls_rng::RngCore;
 
 use crate::backend::VerifierBackend;
@@ -243,6 +243,64 @@ impl ClockMap {
     fn advance(&mut self) {
         self.hand = (self.hand + 1) % self.ring.len().max(1);
     }
+}
+
+impl ClockMap {
+    /// Copies out every resident `(identity, public key)` pair —
+    /// bookkeeping only, so it is safe under a shard read guard. The
+    /// cached `Gt` values are deliberately *not* exposed: snapshots
+    /// carry keys, never pairing results (see
+    /// [`ShardedVerifier::export_warm`]).
+    pub(crate) fn resident_peers(&self) -> Vec<(Vec<u8>, UserPublicKey)> {
+        self.entries
+            .iter()
+            .map(|(id, peer)| (id.clone(), peer.public))
+            .collect()
+    }
+}
+
+/// Version byte of the warm-cache snapshot wire format.
+pub const WARM_SNAPSHOT_VERSION: u8 = 1;
+
+/// Why a warm-cache snapshot was rejected by
+/// [`ShardedVerifier::import_warm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The bytes do not parse as a warm-cache snapshot (wrong version,
+    /// truncated record, trailing garbage, or a non-canonical point
+    /// encoding).
+    Encoding,
+    /// The snapshot was exported under different system parameters: its
+    /// `P_pub` binding does not match this registry's, so every cached
+    /// constant it implies would be wrong.
+    ForeignParams,
+    /// A decoded peer record was rejected by registration (an identity
+    /// public-key component, for example).
+    BadPeer(VerifyError),
+}
+
+impl core::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SnapshotError::Encoding => write!(f, "snapshot bytes do not parse"),
+            SnapshotError::ForeignParams => {
+                write!(f, "snapshot was exported under different system parameters")
+            }
+            SnapshotError::BadPeer(e) => write!(f, "snapshot peer rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Splits `n` bytes off the front of `bytes`, advancing it.
+fn carve<'a>(bytes: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if bytes.len() < n {
+        return None;
+    }
+    let (head, tail) = bytes.split_at(n);
+    *bytes = tail;
+    Some(head)
 }
 
 /// FNV-1a over the peer identity: stable, dependency-free shard
@@ -459,6 +517,116 @@ impl ShardedVerifier {
     /// lock held.
     pub fn verify_batch(&self, items: &[BatchItem<'_>], rng: &mut dyn RngCore) -> BatchOutcome {
         self.authenticate_batch(items, rng)
+    }
+
+    /// Serializes the registered peer set as a warm-cache snapshot that
+    /// a restarting service can feed to [`ShardedVerifier::import_warm`]
+    /// instead of re-collecting every key over the network.
+    ///
+    /// Layout: `version || prepared(P_pub) || count || records`, where
+    /// the 97-byte [`G2Prepared`](mccls_pairing::G2Prepared) wire form
+    /// of `P_pub` binds the snapshot to the system parameters it was
+    /// exported under, and each record is
+    /// `id_len(u32 BE) || id || flags(u8) || compressed points`.
+    ///
+    /// Only identities and public keys are exported — never the cached
+    /// `e(Q_ID, P_pub)` constants, which the importer recomputes from
+    /// its own trusted parameters. Records are sorted by identity, so
+    /// equal peer sets serialize identically. Each shard is drained
+    /// under its own short read guard; encoding runs with no lock held.
+    pub fn export_warm(&self) -> Vec<u8> {
+        let mut peers: Vec<(Vec<u8>, UserPublicKey)> = Vec::new();
+        for shard in &self.shards {
+            let copied = shard
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .resident_peers();
+            peers.extend(copied);
+        }
+        peers.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = vec![WARM_SNAPSHOT_VERSION];
+        out.extend_from_slice(&self.params.prepared_p_pub().to_bytes());
+        out.extend_from_slice(&(peers.len() as u32).to_be_bytes());
+        for (id, public) in &peers {
+            out.extend_from_slice(&(id.len() as u32).to_be_bytes());
+            out.extend_from_slice(id);
+            out.push(u8::from(public.secondary.is_some()));
+            out.extend_from_slice(&public.to_bytes());
+        }
+        out
+    }
+
+    /// Imports a warm-cache snapshot produced by
+    /// [`ShardedVerifier::export_warm`], returning how many peers were
+    /// registered.
+    ///
+    /// Nothing expensive is trusted from the wire: the `P_pub` binding
+    /// must match this registry's own parameters (a snapshot from a
+    /// different KGC is rejected outright as [`SnapshotError::ForeignParams`]),
+    /// every point must pass the full compressed-decoding gauntlet
+    /// (canonical encoding, on-curve, r-order subgroup), and the cached
+    /// `e(Q_ID, P_pub)` constants are recomputed locally through the
+    /// same [`ShardedVerifier::register_peer`] path as a live
+    /// registration — a snapshot can therefore never plant a wrong
+    /// pairing constant, only spend this registry's own time.
+    ///
+    /// Peers registered before the first malformed record stay
+    /// registered; the error reports why the import stopped.
+    pub fn import_warm(&self, snapshot: &[u8]) -> Result<usize, SnapshotError> {
+        let mut rest = snapshot;
+        let version = carve(&mut rest, 1).ok_or(SnapshotError::Encoding)?;
+        if version != [WARM_SNAPSHOT_VERSION] {
+            return Err(SnapshotError::Encoding);
+        }
+        let binding = carve(&mut rest, mccls_pairing::G2Prepared::SERIALIZED_LEN)
+            .ok_or(SnapshotError::Encoding)?;
+        if binding != self.params.prepared_p_pub().to_bytes() {
+            return Err(SnapshotError::ForeignParams);
+        }
+        let count_bytes = carve(&mut rest, 4).ok_or(SnapshotError::Encoding)?;
+        let count_arr: [u8; 4] = count_bytes
+            .try_into()
+            .map_err(|_| SnapshotError::Encoding)?;
+        let count = u32::from_be_bytes(count_arr) as usize;
+        let mut imported = 0usize;
+        for _ in 0..count {
+            let len_bytes = carve(&mut rest, 4).ok_or(SnapshotError::Encoding)?;
+            let len_arr: [u8; 4] = len_bytes.try_into().map_err(|_| SnapshotError::Encoding)?;
+            let id = carve(&mut rest, u32::from_be_bytes(len_arr) as usize)
+                .ok_or(SnapshotError::Encoding)?
+                .to_vec();
+            let flags = carve(&mut rest, 1).ok_or(SnapshotError::Encoding)?;
+            let primary_bytes: [u8; 96] = carve(&mut rest, 96)
+                .ok_or(SnapshotError::Encoding)?
+                .try_into()
+                .map_err(|_| SnapshotError::Encoding)?;
+            let primary = G2Affine::from_compressed(&primary_bytes)
+                .ok_or(SnapshotError::Encoding)?
+                .to_projective();
+            let secondary = match flags {
+                [0] => None,
+                [1] => {
+                    let secondary_bytes: [u8; 48] = carve(&mut rest, 48)
+                        .ok_or(SnapshotError::Encoding)?
+                        .try_into()
+                        .map_err(|_| SnapshotError::Encoding)?;
+                    Some(
+                        G1Affine::from_compressed(&secondary_bytes)
+                            .ok_or(SnapshotError::Encoding)?
+                            .to_projective(),
+                    )
+                }
+                _ => return Err(SnapshotError::Encoding),
+            };
+            let public = UserPublicKey { primary, secondary };
+            self.register_peer(&id, public)
+                .map_err(SnapshotError::BadPeer)?;
+            imported += 1;
+        }
+        if !rest.is_empty() {
+            return Err(SnapshotError::Encoding);
+        }
+        Ok(imported)
     }
 }
 

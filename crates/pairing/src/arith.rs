@@ -58,6 +58,42 @@ pub const fn geq<const N: usize>(a: &[u64; N], b: &[u64; N]) -> bool {
     true
 }
 
+/// Bit length of a little-endian limb value (0 for zero).
+///
+/// Drives the compile-time headroom computation: a modulus of bit
+/// length `B` stored in `N` limbs leaves `64·N - B` headroom bits, and
+/// both the conditional carry check in `montgomery_field!::add` and the
+/// magnitude caps of the range lint are derived from that number.
+pub const fn limb_bit_len<const N: usize>(a: &[u64; N]) -> usize {
+    let mut i = N;
+    while i > 0 {
+        i -= 1;
+        if a[i] != 0 {
+            // overflow-ok: bit-position bookkeeping on usize counts;
+            // leading_zeros of a nonzero limb is at most 63, so the
+            // subtraction cannot underflow and the sum is at most 64·N
+            return i * 64 + (64 - a[i].leading_zeros() as usize);
+        }
+    }
+    0
+}
+
+/// `a + b` with the final carry dropped; callers must guarantee the sum
+/// fits `N` limbs (used for compile-time constants like `2p`, where the
+/// modulus headroom makes that a static fact).
+pub const fn add_limbs<const N: usize>(a: &[u64; N], b: &[u64; N]) -> [u64; N] {
+    let mut out = [0u64; N];
+    let mut carry = 0u64;
+    let mut i = 0;
+    while i < N {
+        let (v, c) = adc(a[i], b[i], carry);
+        out[i] = v;
+        carry = c;
+        i += 1;
+    }
+    out
+}
+
 /// `a - b` assuming `a >= b` (wrapping otherwise).
 pub const fn sub_limbs<const N: usize>(a: &[u64; N], b: &[u64; N]) -> [u64; N] {
     let mut out = [0u64; N];

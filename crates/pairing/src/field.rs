@@ -96,6 +96,18 @@ macro_rules! montgomery_field {
             pub const BYTES: usize = 8 * $n;
             /// Number of 64-bit limbs.
             pub const LIMBS: usize = $n;
+            /// Headroom bits: `64·n` minus the modulus bit length.
+            ///
+            /// The range lint derives its magnitude caps from this
+            /// value (`N·p < 2^(64n)` iff `N < 2^HEADROOM_BITS`), and
+            /// [`Self::add`] drops its defensive carry check whenever
+            /// at least two bits are free.
+            pub const HEADROOM_BITS: usize =
+                64 * $n - $crate::arith::limb_bit_len::<$n>(&Self::MODULUS);
+            /// Whether two headroom bits exist, making carry-out of a
+            /// single limb addition impossible even for once-unreduced
+            /// (`< 2p`) operands.
+            const CARRY_FREE_ADD: bool = Self::HEADROOM_BITS >= 2;
 
             /// The zero element.
             #[inline]
@@ -210,9 +222,15 @@ macro_rules! montgomery_field {
                     out[i] = v;
                     carry = c;
                 }
-                // carry can only be set if p is close to 2^(64n); our
-                // moduli leave headroom, but reduce defensively.
-                if carry != 0 || $crate::arith::geq(&out, &Self::MODULUS) {
+                // With two or more headroom bits the sum of two
+                // operands below `2p` cannot carry out of the top limb,
+                // so the check is compile-time dead and folds away
+                // (Fp: 3 bits). A single headroom bit only covers
+                // canonical operands, so a thin modulus (Fr: 1 bit)
+                // keeps the defensive carry test.
+                if (!Self::CARRY_FREE_ADD && carry != 0)
+                    || $crate::arith::geq(&out, &Self::MODULUS)
+                {
                     out = $crate::arith::sub_limbs(&out, &Self::MODULUS);
                 }
                 Self(out)

@@ -1,6 +1,6 @@
 //! `mccls-xtask` — the workspace's static-analysis gate.
 //!
-//! `cargo run -p mccls-xtask -- check` runs eleven lints over the tree
+//! `cargo run -p mccls-xtask -- check` runs twelve lints over the tree
 //! and exits non-zero if any finding survives its suppression filter
 //! (and, when a committed `xtask-baseline.json` exists, the
 //! baseline diff — see [`baseline`]):
@@ -34,6 +34,15 @@
 //!   arithmetic; route carries through `wrapping_*`/`overflowing_*`/
 //!   `carrying_*` or the `adc`/`sbb`/`mac` helpers. Suppress with
 //!   `// overflow-ok: <reason>`.
+//! * **range** — the magnitude-range certification lint ([`range`]):
+//!   every function touching the lazy-reduction primitives
+//!   (`add_unreduced`, `mul_unreduced`, `wide_sub_offset`, …) must
+//!   declare a `// range: <class>` contract, and the declared classes
+//!   are propagated through each body and checked against the limb
+//!   headroom the `montgomery_field!` moduli actually leave. Overflowing
+//!   chains, undersized `k·p²` offsets, unreduced values escaping into
+//!   eager code, and stale or missing contracts all fail the gate.
+//!   Suppress with `// range-ok: <reason>`.
 //! * **opcount** — static certification of the Table 1 operation
 //!   budgets ([`opcount`]): an interprocedural worst-case count of
 //!   pairings, Miller loops, final exponentiations, scalar
@@ -81,6 +90,7 @@ pub mod opcount;
 pub mod overflow;
 pub mod panic_lint;
 pub mod parser;
+pub mod range;
 pub mod reach;
 pub mod report;
 pub mod secret_lint;
@@ -233,7 +243,7 @@ pub fn parse_scope(root: &Path, scope: &[&str]) -> Vec<parser::ParsedFile> {
     parser::parse_files(&sources)
 }
 
-/// Runs all eleven lints over the workspace rooted at `root`.
+/// Runs all twelve lints over the workspace rooted at `root`.
 pub fn check_workspace(root: &Path) -> Vec<Finding> {
     let mut findings = Vec::new();
 
@@ -260,6 +270,7 @@ pub fn check_workspace(root: &Path) -> Vec<Finding> {
     }
     let parsed = parse_scope(root, GRAPH_SCOPE);
     findings.extend(taint::analyze(&parsed));
+    findings.extend(range::analyze(&parsed));
     findings.extend(reach::analyze(&parsed));
     match std::fs::read_to_string(root.join(opcount::BUDGET_FILE)) {
         Ok(text) => match opcount::parse_budgets(&text) {

@@ -124,7 +124,8 @@ fn run_check(root: &std::path::Path, format: Format, update_baseline: bool) -> E
                 "Fix the code, or suppress a reviewed site with \
                  `// lint:allow(panic) <reason>` / `// ct-ok: <reason>` / \
                  `// validated: <reason>` / `// overflow-ok: <reason>` / \
-                 `// secret-ok: <reason>` / `// lock-ok: <reason>`."
+                 `// range-ok: <reason>` / `// secret-ok: <reason>` / \
+                 `// lock-ok: <reason>`."
             );
         }
     }
@@ -146,6 +147,7 @@ fn print_usage() {
          reach     panic sites reachable from the public scheme API, with call chains\n    \
          validate  untrusted-byte decodes must pass curve/subgroup checks before sinks\n    \
          overflow  no bare +/-/*/<< on u64/u128 limb values in the pairing arithmetic\n    \
+         range     magnitude classes on lazy-reduction chains certified against limb headroom\n    \
          opcount   Table 1 operation budgets certified statically (opcount-budgets.toml)\n    \
          concurrency  lock-order acyclicity, no pairing work under guards, Send/Sync audit\n    \
          secret    no Debug/Clone/serialization derives on key material; zeroize on Drop\n    \

@@ -190,6 +190,46 @@ fn overflow_fixture_fires_and_twins_stay_silent() {
 }
 
 #[test]
+fn range_fixture_fires_and_twins_stay_silent() {
+    // The overflowing chain, the missing and stale contracts, the
+    // undersized `k·p²` offset, and the bare marker must fire; the
+    // clean annotated twin and the justified suppression must stay
+    // silent. The caps come from the fixture's own `montgomery_field!`
+    // invocation, so the test also covers the headroom derivation.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let src = std::fs::read_to_string(dir.join("range_cases.rs")).expect("range fixture exists");
+    let files = mccls_xtask::parser::parse_files(&[("range_cases.rs".to_owned(), src)]);
+    let findings = mccls_xtask::range::analyze(&files);
+    for frag in [
+        "exceeding `Fx`'s narrow cap of 8p",
+        "declares no `// range:` contract",
+        "stale contract on `drifted`",
+        "the offset must cover the subtrahend's class",
+        "gives no reason",
+    ] {
+        assert!(
+            findings.iter().any(|f| f.message.contains(frag)),
+            "expected a finding containing {frag:?}, got: {findings:?}"
+        );
+    }
+    // The clean twin `lazy_mul` (lines 56-61) and the justified
+    // `audited` (lines 63-67) must stay silent.
+    for f in &findings {
+        assert!(
+            !(56..=67).contains(&f.line),
+            "a clean twin was flagged at line {}: {f:?}",
+            f.line
+        );
+    }
+    assert!(
+        findings
+            .iter()
+            .all(|f| !f.message.contains("lazy_mul") && !f.message.contains("audited")),
+        "clean twins must not be flagged: {findings:?}"
+    );
+}
+
+#[test]
 fn opcount_fixture_trips_only_the_interprocedural_analysis() {
     // `session_verify` is locally pairing-free: both pairings live one
     // call down in `peer_term`/`message_term`, so an overrun finding
