@@ -40,7 +40,7 @@ fn certified_budgets() -> Result<Budgets, String> {
 /// Renders a budget entry in Table 1 shorthand and checks the measured
 /// counts equal the certified ones; an `Err` carries the divergence.
 fn certified_shorthand(entry: &BudgetEntry, counts: &ops::OpCounts) -> Result<String, String> {
-    let mut certified = [0u64; 7];
+    let mut certified = [0u64; 8];
     for (slot, out) in certified.iter_mut().enumerate() {
         *out = entry.budget.0[slot].eval(0).ok_or_else(|| {
             format!(
@@ -57,6 +57,7 @@ fn certified_shorthand(entry: &BudgetEntry, counts: &ops::OpCounts) -> Result<St
         counts.g2_muls,
         counts.gt_exps,
         counts.hashes_to_g1,
+        counts.fp_inversions,
     ];
     if measured != certified {
         return Err(format!(
@@ -74,6 +75,7 @@ fn certified_shorthand(entry: &BudgetEntry, counts: &ops::OpCounts) -> Result<St
         g2_muls: certified[4],
         gt_exps: certified[5],
         hashes_to_g1: certified[6],
+        fp_inversions: certified[7],
     };
     Ok(as_counts.shorthand())
 }

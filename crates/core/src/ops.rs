@@ -29,6 +29,7 @@ thread_local! {
     static G2_MULS: Cell<u64> = const { Cell::new(0) };
     static GT_EXPS: Cell<u64> = const { Cell::new(0) };
     static HASHES_TO_G1: Cell<u64> = const { Cell::new(0) };
+    static FP_INVERSIONS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// A snapshot of the operation counters.
@@ -52,6 +53,10 @@ pub struct OpCounts {
     /// Hash-to-G1 evaluations (map-to-point; some papers fold these into
     /// their `s` column, we report them separately).
     pub hashes_to_g1: u64,
+    /// Base-field inversions paid through the counted frontends. Batch
+    /// normalization uses Montgomery's trick, so a whole fixed-base
+    /// table build ([`g1_table`]/[`g2_table`]) counts exactly one.
+    pub fp_inversions: u64,
 }
 
 impl OpCounts {
@@ -95,6 +100,7 @@ pub fn reset() {
     G2_MULS.with(|c| c.set(0));
     GT_EXPS.with(|c| c.set(0));
     HASHES_TO_G1.with(|c| c.set(0));
+    FP_INVERSIONS.with(|c| c.set(0));
 }
 
 /// Reads the current counters on this thread.
@@ -107,6 +113,7 @@ pub fn snapshot() -> OpCounts {
         g2_muls: G2_MULS.with(Cell::get),
         gt_exps: GT_EXPS.with(Cell::get),
         hashes_to_g1: HASHES_TO_G1.with(Cell::get),
+        fp_inversions: FP_INVERSIONS.with(Cell::get),
     }
 }
 
@@ -221,6 +228,25 @@ pub fn exp_gt(g: &Gt, k: &Fr) -> Gt {
     g.pow(k)
 }
 
+/// Counted fixed-base G1 window-table construction.
+///
+/// All `65 × 8` window entries are normalized with one shared field
+/// inversion (Montgomery's trick, [`mccls_pairing::Field::batch_invert`]
+/// via `batch_to_affine`), so the whole build counts a single
+/// `fp_inversions` — that bound is what the opcount gate certifies.
+// opcount-budget: tables.g1_table
+pub fn g1_table(base: &G1Projective) -> G1Table {
+    FP_INVERSIONS.with(|c| c.set(c.get() + 1));
+    G1Table::new(base)
+}
+
+/// Counted fixed-base G2 window-table construction (see [`g1_table`]).
+// opcount-budget: tables.g2_table
+pub fn g2_table(base: &G2Projective) -> G2Table {
+    FP_INVERSIONS.with(|c| c.set(c.get() + 1));
+    G2Table::new(base)
+}
+
 /// Counted hash-to-G1 (map-to-point).
 // validated: counting wrapper over the pairing crate's hash_to_g1,
 // whose cofactor-cleared output is subgroup-valid by construction
@@ -255,9 +281,28 @@ mod tests {
                 g1_muls: 1,
                 g2_muls: 1,
                 gt_exps: 1,
-                hashes_to_g1: 1
+                hashes_to_g1: 1,
+                fp_inversions: 0
             }
         );
+    }
+
+    #[test]
+    fn table_construction_counts_one_batched_inversion() {
+        let k = Fr::from_u64(0xF00D);
+        let ((t1, t2), counts) = measure(|| {
+            (
+                g1_table(&G1Projective::generator()),
+                g2_table(&G2Projective::generator()),
+            )
+        });
+        assert_eq!(
+            counts.fp_inversions, 2,
+            "one shared inversion per table, not one per window entry"
+        );
+        assert_eq!(counts.g1_muls, 0, "construction is not a scalar mul");
+        assert_eq!(t1.mul(&k), G1Projective::generator().mul_scalar(&k));
+        assert_eq!(t2.mul(&k), G2Projective::generator().mul_scalar(&k));
     }
 
     #[test]

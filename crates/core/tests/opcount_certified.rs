@@ -35,6 +35,7 @@ fn assert_matches(entry: &BudgetEntry, counts: &ops::OpCounts, n: u64, what: &st
         counts.g2_muls,
         counts.gt_exps,
         counts.hashes_to_g1,
+        counts.fp_inversions,
     ];
     for (slot, name) in mccls_xtask::opcount::COUNTERS.iter().enumerate() {
         let certified = entry.budget.0[slot]
@@ -217,6 +218,28 @@ fn sharded_registry_paths_measure_their_certified_budgets() {
             );
         }
     }
+}
+
+#[test]
+fn table_builders_measure_their_certified_inversion_budget() {
+    // The counted table builders promise one shared base-field
+    // inversion per build (Montgomery's trick), whatever the window
+    // count. The static gate certifies the same "1" over the call
+    // graph; here the runtime counter lands on it too.
+    let budgets = committed_budgets();
+    use mccls_pairing::{G1Projective, G2Projective};
+
+    let (_, g1_counts) = ops::measure(|| ops::g1_table(&G1Projective::generator()));
+    let g1 = budgets
+        .get("tables.g1_table")
+        .expect("tables.g1_table entry");
+    assert_matches(g1, &g1_counts, 0, "G1 table build");
+
+    let (_, g2_counts) = ops::measure(|| ops::g2_table(&G2Projective::generator()));
+    let g2 = budgets
+        .get("tables.g2_table")
+        .expect("tables.g2_table entry");
+    assert_matches(g2, &g2_counts, 0, "G2 table build");
 }
 
 #[test]

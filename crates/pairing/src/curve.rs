@@ -352,37 +352,26 @@ impl<C: Curve> ProjectivePoint<C> {
     }
 
     /// Normalizes a batch of points with a single inversion
-    /// (Montgomery's trick).
+    /// ([`Field::batch_invert`], Montgomery's trick).
     pub fn batch_to_affine(points: &[Self]) -> Vec<AffinePoint<C>> {
-        // Prefix products of the non-zero Zs.
-        let mut prefix = Vec::with_capacity(points.len());
-        let mut acc = C::Base::one();
-        for p in points {
-            prefix.push(acc);
-            if !p.z.is_zero() {
-                acc = acc.mul(&p.z);
-            }
-        }
-        let mut inv = match acc.invert() {
-            Some(i) => i,
-            None => C::Base::one(), // all points are the identity
-        };
-        let mut out = vec![AffinePoint::identity(); points.len()];
-        for (i, p) in points.iter().enumerate().rev() {
-            if p.z.is_zero() {
-                continue;
-            }
-            let zinv = inv.mul(&prefix[i]);
-            inv = inv.mul(&p.z);
-            let zinv2 = zinv.square();
-            let zinv3 = zinv2.mul(&zinv);
-            out[i] = AffinePoint {
-                x: p.x.mul(&zinv2),
-                y: p.y.mul(&zinv3),
-                infinity: false,
-            };
-        }
-        out
+        let mut zinvs: Vec<C::Base> = points.iter().map(|p| p.z).collect();
+        C::Base::batch_invert(&mut zinvs);
+        points
+            .iter()
+            .zip(&zinvs)
+            .map(|(p, zinv)| {
+                if p.z.is_zero() {
+                    return AffinePoint::identity();
+                }
+                let zinv2 = zinv.square();
+                let zinv3 = zinv2.mul(zinv);
+                AffinePoint {
+                    x: p.x.mul(&zinv2),
+                    y: p.y.mul(&zinv3),
+                    infinity: false,
+                }
+            })
+            .collect()
     }
 
     /// True when multiplying by the subgroup order gives the identity.

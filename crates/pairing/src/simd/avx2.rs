@@ -1,0 +1,214 @@
+//! AVX2 packed product kernel: radix-2^28 vertical schoolbook over
+//! four 64-bit lanes (three live products, fourth lane structurally
+//! zero).
+//!
+//! Each 384-bit operand becomes fourteen 28-bit digits; `vpmuludq`
+//! multiplies one digit pair per lane and `vpaddq` accumulates the 27
+//! column sums. A column receives at most fourteen products below
+//! `2^56`, so lane accumulators stay below `14·2^56 < 2^60` and never
+//! wrap — the products are *exact* 768-bit integers, which is what
+//! makes packed-vs-scalar agreement bit-for-bit structural rather than
+//! probabilistic. Montgomery reduction is **not** lane-parallel here:
+//! re-radixing REDC would change the Montgomery factor `R = 2^384`, so
+//! the deferred-carry REDC stays scalar (see `FieldBackend::
+//! montgomery_reduce`), and this kernel only replaces the schoolbook
+//! multiply.
+//!
+//! No raw pointers anywhere: vectors are built with `setr` and read
+//! back with `extract`, so the backend lint's always-deny classes
+//! (pointer arithmetic, `transmute`, inline asm) have nothing to bite.
+
+use core::arch::x86_64::{
+    _mm256_add_epi64, _mm256_and_si256, _mm256_extract_epi64, _mm256_mul_epu32, _mm256_set1_epi64x,
+    _mm256_setr_epi64x, _mm256_srli_epi64,
+};
+
+use crate::field::FieldBackend;
+
+/// Digits per 384-bit operand at radix 2^28.
+const DIGITS: usize = 14;
+/// Product columns: digit index sums run 0..=26.
+const COLS: usize = 2 * DIGITS - 1;
+/// Low 28 bits of a lane.
+const MASK28: u64 = 0x0FFF_FFFF;
+
+/// Marker type for the AVX2 kernels.
+pub(crate) struct Avx2Backend;
+
+impl FieldBackend<6> for Avx2Backend {
+    const NAME: &'static str = "avx2";
+
+    // range: <8p -> <64pp
+    fn mul_wide_x3(a: &[[u64; 6]; 3], b: &[[u64; 6]; 3]) -> [([u64; 6], [u64; 6]); 3] {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // unsafe-ok: the target_feature callee is only reached after
+            // is_x86_feature_detected!("avx2") returned true on this path
+            unsafe { mul_wide_x3(a, b) }
+        } else {
+            super::scalar::mul_wide_x3(a, b)
+        }
+    }
+}
+
+/// Splits six little-endian 64-bit limbs into fourteen 28-bit digits.
+fn to_digits(limbs: &[u64; 6]) -> [u64; DIGITS] {
+    let mut d = [0u64; DIGITS];
+    for (i, digit) in d.iter_mut().enumerate() {
+        let bit = 28 * i; // overflow-ok: digit index i <= 13, product <= 364
+        let limb = bit / 64;
+        let off = (bit % 64) as u32;
+        // lint:allow(panic) limb = 28·i/64 <= 5 for i <= 13
+        let mut v = limbs[limb] >> off;
+        // overflow-ok: limb <= 5, the increment cannot wrap
+        if off > 36 && limb + 1 < 6 {
+            // overflow-ok: off in 37..64, so the shift count 64 - off
+            // is in 1..28 and the shifted-in bits land above bit 27
+            // lint:allow(panic) limb + 1 < 6 checked on this branch
+            v |= limbs[limb + 1].wrapping_shl(64 - off);
+        }
+        *digit = v & MASK28;
+    }
+    d
+}
+
+/// Repacks a normalized digit array (27 columns + final carry, each
+/// below 2^28) into `(low, high)` 6-limb halves of the 768-bit value.
+fn from_digits(d: &[u64; COLS + 1]) -> ([u64; 6], [u64; 6]) {
+    let mut limbs = [0u64; 12];
+    for (i, &digit) in d.iter().enumerate() {
+        debug_assert!(digit <= MASK28, "unnormalized packed digit");
+        let bit = 28 * i; // overflow-ok: column index i <= 27, product <= 756
+        let limb = bit / 64;
+        let off = (bit % 64) as u32;
+        // Digit windows are disjoint, so OR never collides.
+        // overflow-ok: off < 64 and digit < 2^28; wrapping_shl keeps
+        // exactly the in-limb bits, the spill goes to the next limb
+        // lint:allow(panic) limb = 28·i/64 <= 11 for i <= 27
+        limbs[limb] |= digit.wrapping_shl(off);
+        // overflow-ok: limb <= 11, the increment cannot wrap
+        if off > 36 && limb + 1 < 12 {
+            // lint:allow(panic) limb + 1 < 12 checked on this branch
+            // overflow-ok: limb + 1 < 12 checked on this branch
+            limbs[limb + 1] |= digit >> (64 - off);
+        }
+    }
+    let mut lo = [0u64; 6];
+    let mut hi = [0u64; 6];
+    lo.copy_from_slice(&limbs[..6]); // lint:allow(panic) lengths match
+    hi.copy_from_slice(&limbs[6..]); // lint:allow(panic) lengths match
+    (lo, hi)
+}
+
+/// Three exact 768-bit products in one packed pass. Scalar twin:
+/// `scalar::mul_wide_x3` (identical signature, trait-default body).
+// range: <8p -> <64pp
+#[target_feature(enable = "avx2")]
+pub(crate) fn mul_wide_x3(a: &[[u64; 6]; 3], b: &[[u64; 6]; 3]) -> [([u64; 6], [u64; 6]); 3] {
+    let ad = [to_digits(&a[0]), to_digits(&a[1]), to_digits(&a[2])];
+    let bd = [to_digits(&b[0]), to_digits(&b[1]), to_digits(&b[2])];
+
+    let zero = _mm256_set1_epi64x(0);
+    let mut av = [zero; DIGITS];
+    let mut bv = [zero; DIGITS];
+    for i in 0..DIGITS {
+        // lint:allow(panic) i < DIGITS by the loop bound
+        av[i] = _mm256_setr_epi64x(ad[0][i] as i64, ad[1][i] as i64, ad[2][i] as i64, 0);
+        // lint:allow(panic) i < DIGITS by the loop bound
+        bv[i] = _mm256_setr_epi64x(bd[0][i] as i64, bd[1][i] as i64, bd[2][i] as i64, 0);
+    }
+
+    // Column accumulation: lane sums stay below 14·2^56 < 2^60.
+    let mut cols = [zero; COLS];
+    for i in 0..DIGITS {
+        for j in 0..DIGITS {
+            let prod = _mm256_mul_epu32(av[i], bv[j]);
+            // lint:allow(panic) i + j <= 26 < COLS by the loop bounds
+            cols[i + j] = _mm256_add_epi64(cols[i + j], prod);
+        }
+    }
+
+    // Per-lane carry normalization back to 28-bit digits. The running
+    // carry is below 2^32, so column + carry stays below 2^60.
+    let maskv = _mm256_set1_epi64x(MASK28 as i64);
+    let mut dig = [zero; COLS + 1];
+    let mut carry = zero;
+    for c in 0..COLS {
+        let t = _mm256_add_epi64(cols[c], carry);
+        dig[c] = _mm256_and_si256(t, maskv); // lint:allow(panic) c < COLS
+        carry = _mm256_srli_epi64::<28>(t);
+    }
+    dig[COLS] = carry;
+
+    let mut d0 = [0u64; COLS + 1];
+    let mut d1 = [0u64; COLS + 1];
+    let mut d2 = [0u64; COLS + 1];
+    for c in 0..=COLS {
+        // lint:allow(panic) c <= COLS and the arrays hold COLS + 1
+        let v = dig[c];
+        d0[c] = _mm256_extract_epi64::<0>(v) as u64; // lint:allow(panic) c <= COLS
+        d1[c] = _mm256_extract_epi64::<1>(v) as u64; // lint:allow(panic) c <= COLS
+        d2[c] = _mm256_extract_epi64::<2>(v) as u64; // lint:allow(panic) c <= COLS
+                                                     // The fourth lane carries no product; a nonzero value would
+                                                     // mean a lane wrapped and corrupted its neighbours.
+        debug_assert!(
+            _mm256_extract_epi64::<3>(v) == 0,
+            "spare AVX2 lane became nonzero"
+        );
+    }
+
+    [from_digits(&d0), from_digits(&d1), from_digits(&d2)]
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digit_codec_round_trips() {
+        let limbs = [
+            0x0123_4567_89ab_cdef,
+            0xfedc_ba98_7654_3210,
+            u64::MAX,
+            0,
+            1,
+            0x1a01_11ea_397f_e69a,
+        ];
+        let d = to_digits(&limbs);
+        assert!(d.iter().all(|&x| x <= MASK28));
+        // Reassemble through the packer with zero high digits.
+        let mut full = [0u64; COLS + 1];
+        full[..DIGITS].copy_from_slice(&d);
+        let (lo, hi) = from_digits(&full);
+        assert_eq!(lo, limbs);
+        assert_eq!(hi, [0u64; 6]);
+    }
+
+    #[test]
+    fn packed_product_matches_scalar_reference() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return; // nothing to compare on this host
+        }
+        let mut s = 0xdead_beefu64;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s
+        };
+        for _ in 0..64 {
+            let mut a = [[0u64; 6]; 3];
+            let mut b = [[0u64; 6]; 3];
+            for lane in 0..3 {
+                for limb in 0..6 {
+                    a[lane][limb] = next();
+                    b[lane][limb] = next();
+                }
+            }
+            // unsafe-ok: guarded by the is_x86_feature_detected check above
+            let packed = unsafe { mul_wide_x3(&a, &b) };
+            let scalar = super::super::scalar::mul_wide_x3(&a, &b);
+            assert_eq!(packed, scalar);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! The unsafe island: architecture-specific packed limb kernels behind
+//! a runtime-dispatched, scalar-typed facade.
+//!
+//! This module subtree is the **only** place in the workspace where
+//! `unsafe` is legal — the crate root demotes `forbid(unsafe_code)` to
+//! `deny`, this file re-allows it, and the xtask `backend` lint
+//! certifies the island: every `unsafe` block carries a reasoned
+//! `// unsafe-ok:` marker, every intrinsic appears on the committed
+//! `simd-intrinsics.toml` whitelist, every arch-gated kernel has a
+//! scalar twin with an identical signature, and no packed vector type
+//! escapes through the public surface (callers only ever see
+//! little-endian `u64` limbs via [`crate::field::FieldBackend`]).
+//!
+//! Dispatch is decided at runtime and the packed kernels are
+//! **opt-in**: `is_x86_feature_detected!` gates whether the AVX2
+//! kernel *may* run, but it only runs when `MCCLS_BACKEND=accel` (or
+//! `avx2`/`neon`/`packed`) is set for the process or
+//! [`backend::force_accel`] pins it for the thread;
+//! [`backend::force_scalar`] pins the portable path and wins over
+//! both, and `MCCLS_BACKEND=scalar` is an operator kill-switch that
+//! vetoes even per-thread requests. Opt-in rather than default
+//! because the honest measurement
+//! went the wrong way: on mulx-class x86-64 the radix-2^28 vpmuludq
+//! schoolbook (~196 32×32 multiplies for three products, plus digit
+//! conversion) loses to the scalar 64-bit path (~108 mulx) by ~2.2x
+//! (`fp2_mul_backend` rows in `BENCH_pairing.json`). The island is
+//! kept, certified, and bit-for-bit tested as the substrate for
+//! kernels that can actually win (AVX-512 IFMA's 52-bit madd, wider
+//! batching), and as the permanent home of the `backend` lint's
+//! contract.
+#![allow(unsafe_code)]
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx2;
+#[cfg(target_arch = "aarch64")]
+pub(crate) mod neon;
+pub(crate) mod scalar;
+
+/// Three independent 6-limb full products, `(low, high)` halves each —
+/// the dispatch point the lazy `Fp2` Karatsuba multiply funnels
+/// through. Every backend computes the exact 768-bit integer products,
+/// so the selected kernel is bit-for-bit irrelevant to callers.
+// range: <8p -> <64pp
+#[inline]
+pub(crate) fn mul_wide_x3(a: &[[u64; 6]; 3], b: &[[u64; 6]; 3]) -> [([u64; 6], [u64; 6]); 3] {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if backend::avx2_active() {
+            // unsafe-ok: the callee's only precondition is AVX2 support,
+            // and avx2_active() returns true only after
+            // is_x86_feature_detected!("avx2") confirmed the host has it
+            return unsafe { avx2::mul_wide_x3(a, b) };
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if backend::neon_active() {
+            // unsafe-ok: the callee's only precondition is NEON support,
+            // which is_aarch64_feature_detected!("neon") confirmed
+            return unsafe { neon::mul_wide_x3(a, b) };
+        }
+    }
+    scalar::mul_wide_x3(a, b)
+}
+
+/// Backend selection controls: inspect which kernel dispatch picks and
+/// pin the scalar path for tests and benches.
+///
+/// This is the island's entire public surface — names and booleans
+/// only, no vector types.
+pub mod backend {
+    use core::cell::Cell;
+
+    std::thread_local! {
+        /// Per-thread scalar pin, so equivalence tests can compare both
+        /// paths in one process without races against parallel tests.
+        static FORCE_SCALAR: Cell<bool> = const { Cell::new(false) };
+        /// Per-thread packed opt-in, the symmetric hook: equivalence
+        /// tests and benches exercise the packed kernel through it
+        /// without touching process-global state.
+        static FORCE_ACCEL: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Process-wide policy from `MCCLS_BACKEND`, read once. The packed
+    /// kernels measured *slower* than scalar mulx on this project's
+    /// x86-64 reference hosts (see the module docs), so they run only
+    /// on request: `accel`, `packed`, or an arch name opt in; `scalar`
+    /// is the operator's kill-switch and vetoes even the per-thread
+    /// [`force_accel`] hook; anything else — including unset — leaves
+    /// the default scalar policy overridable per thread.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum EnvPolicy {
+        OptIn,
+        KillSwitch,
+        Unset,
+    }
+
+    fn env_policy() -> EnvPolicy {
+        static POLICY: std::sync::OnceLock<EnvPolicy> = std::sync::OnceLock::new();
+        *POLICY.get_or_init(|| match std::env::var("MCCLS_BACKEND").as_deref() {
+            Ok("accel" | "packed" | "avx2" | "neon") => EnvPolicy::OptIn,
+            Ok("scalar") => EnvPolicy::KillSwitch,
+            _ => EnvPolicy::Unset,
+        })
+    }
+
+    /// Pins (or unpins) the portable scalar kernel for the calling
+    /// thread. Wins over [`force_accel`] and the environment opt-in.
+    /// Test and bench hook, and the operational kill-switch.
+    pub fn force_scalar(on: bool) {
+        FORCE_SCALAR.with(|c| c.set(on));
+    }
+
+    /// Requests (or stops requesting) the packed kernel for the
+    /// calling thread. Hardware detection still applies — on a host
+    /// without the feature the scalar kernel runs regardless — and
+    /// the `MCCLS_BACKEND=scalar` kill-switch vetoes the request, so
+    /// the call is safe everywhere. Test and bench hook.
+    pub fn force_accel(on: bool) {
+        FORCE_ACCEL.with(|c| c.set(on));
+    }
+
+    /// True when the packed kernel is requested on this thread (and
+    /// not overridden by a scalar pin or the process kill-switch);
+    /// detection still gates it.
+    fn accel_requested() -> bool {
+        if FORCE_SCALAR.with(|c| c.get()) {
+            return false;
+        }
+        match env_policy() {
+            EnvPolicy::KillSwitch => false,
+            EnvPolicy::OptIn => true,
+            EnvPolicy::Unset => FORCE_ACCEL.with(|c| c.get()),
+        }
+    }
+
+    /// True when this thread will use the scalar kernel by policy —
+    /// pinned via [`force_scalar`], or simply not opted in to the
+    /// packed path.
+    pub fn scalar_forced() -> bool {
+        !accel_requested()
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    pub(super) fn avx2_active() -> bool {
+        static DETECTED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        !scalar_forced() && *DETECTED.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    pub(super) fn neon_active() -> bool {
+        static DETECTED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        !scalar_forced()
+            && *DETECTED.get_or_init(|| std::arch::is_aarch64_feature_detected!("neon"))
+    }
+
+    /// The kernel dispatch would select right now, on this thread:
+    /// `"avx2"`, `"neon"`, or `"scalar"`.
+    pub fn active() -> &'static str {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if avx2_active() {
+                return <super::avx2::Avx2Backend as crate::field::FieldBackend<6>>::NAME;
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            if neon_active() {
+                return <super::neon::NeonBackend as crate::field::FieldBackend<6>>::NAME;
+            }
+        }
+        <super::scalar::ScalarBackend as crate::field::FieldBackend<6>>::NAME
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+mod tests {
+    use super::*;
+    use crate::field::{BackendParams, FieldBackend};
+    use crate::Fp;
+
+    fn sample(seed: u64) -> [u64; 6] {
+        // Splitmix-style limb filler: deterministic, full 64-bit range.
+        let mut s = seed;
+        let mut out = [0u64; 6];
+        for limb in out.iter_mut() {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            *limb = z ^ (z >> 31);
+        }
+        out
+    }
+
+    #[test]
+    fn dispatch_matches_scalar_bit_for_bit() {
+        // force_accel requests the packed kernel; on hosts without the
+        // feature detection still routes to scalar, so the comparison
+        // is meaningful where it can be and trivially true elsewhere.
+        backend::force_accel(true);
+        for seed in 0..32u64 {
+            let a = [sample(seed), sample(seed + 100), sample(seed + 200)];
+            let b = [sample(seed + 300), sample(seed + 400), sample(seed + 500)];
+            let via_dispatch = mul_wide_x3(&a, &b);
+            let via_scalar = scalar::mul_wide_x3(&a, &b);
+            assert_eq!(via_dispatch, via_scalar, "seed {seed}");
+        }
+        backend::force_accel(false);
+    }
+
+    #[test]
+    fn force_scalar_pins_and_unpins_this_thread() {
+        backend::force_scalar(true);
+        assert!(backend::scalar_forced());
+        assert_eq!(backend::active(), "scalar");
+        backend::force_scalar(false);
+        // The packed path is opt-in: with no pin, no force_accel, and
+        // no env opt-in, policy still selects the scalar kernel.
+        assert!(backend::scalar_forced() || std::env::var("MCCLS_BACKEND").is_ok());
+    }
+
+    #[test]
+    fn force_accel_opts_this_thread_in_and_scalar_pin_wins() {
+        // The MCCLS_BACKEND=scalar kill-switch deliberately vetoes the
+        // per-thread request; the opt-in claim only holds without it.
+        let killed = std::env::var("MCCLS_BACKEND").as_deref() == Ok("scalar");
+        backend::force_accel(true);
+        assert!(killed || !backend::scalar_forced());
+        // On a host with the feature the packed kernel is selected;
+        // elsewhere detection falls back to scalar. Either way the
+        // name is a real kernel.
+        assert!(matches!(backend::active(), "avx2" | "neon" | "scalar"));
+        backend::force_scalar(true);
+        assert!(backend::scalar_forced(), "scalar pin must win over accel");
+        assert_eq!(backend::active(), "scalar");
+        backend::force_scalar(false);
+        backend::force_accel(false);
+        assert!(backend::scalar_forced() || std::env::var("MCCLS_BACKEND").is_ok());
+    }
+
+    #[test]
+    fn backend_params_mirror_the_field_constants() {
+        assert_eq!(<Fp as BackendParams<6>>::MODULUS, Fp::MODULUS);
+        // p · (-p⁻¹) ≡ -1 (mod 2^64) pins the exported INV.
+        assert_eq!(
+            <Fp as BackendParams<6>>::INV.wrapping_mul(Fp::MODULUS[0]),
+            u64::MAX
+        );
+    }
+
+    #[test]
+    fn default_kernels_agree_with_each_other() {
+        for seed in 0..16u64 {
+            let a = [sample(seed), sample(seed + 1), sample(seed + 2)];
+            let b = [sample(seed + 3), sample(seed + 4), sample(seed + 5)];
+            let batched = <scalar::ScalarBackend as FieldBackend<6>>::mul_wide_x3(&a, &b);
+            for lane in 0..3 {
+                let single =
+                    <scalar::ScalarBackend as FieldBackend<6>>::mul_wide(&a[lane], &b[lane]);
+                assert_eq!(batched[lane], single, "seed {seed} lane {lane}");
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Best-effort NEON packed product kernel: the same radix-2^28
+//! vertical schoolbook as the AVX2 kernel, over two 64-bit lanes
+//! (`vmull_u32` widening multiplies, `vmlal_u32` accumulation).
+//!
+//! Three products run as two 2-lane passes (the second pass duplicates
+//! its operand into both lanes and discards one). The digit codec and
+//! the overflow argument are shared with `avx2.rs`: at most fourteen
+//! products below `2^56` per column keeps lane accumulators under
+//! `2^60`, the integer products are exact, and REDC stays scalar. This
+//! path is compile-gated to aarch64 and cannot be exercised by the
+//! x86 CI; `backend_equivalence.rs` covers it on aarch64 hosts.
+//!
+//! No raw pointers: vectors come from `vcreate_u32` / `vdupq_n_u64`
+//! and leave through `vgetq_lane_u64`.
+
+use core::arch::aarch64::{
+    uint64x2_t, vaddq_u64, vandq_u64, vcreate_u32, vdupq_n_u64, vgetq_lane_u64, vmlal_u32,
+    vshrq_n_u64,
+};
+
+use crate::field::FieldBackend;
+
+/// Digits per 384-bit operand at radix 2^28.
+const DIGITS: usize = 14;
+/// Product columns: digit index sums run 0..=26.
+const COLS: usize = 2 * DIGITS - 1;
+/// Low 28 bits of a lane.
+const MASK28: u64 = 0x0FFF_FFFF;
+
+/// Marker type for the NEON kernels.
+pub(crate) struct NeonBackend;
+
+impl FieldBackend<6> for NeonBackend {
+    const NAME: &'static str = "neon";
+
+    // range: <8p -> <64pp
+    fn mul_wide_x3(a: &[[u64; 6]; 3], b: &[[u64; 6]; 3]) -> [([u64; 6], [u64; 6]); 3] {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            // unsafe-ok: the target_feature callee is only reached after
+            // is_aarch64_feature_detected!("neon") returned true here
+            unsafe { mul_wide_x3(a, b) }
+        } else {
+            super::scalar::mul_wide_x3(a, b)
+        }
+    }
+}
+
+/// Splits six little-endian 64-bit limbs into fourteen 28-bit digits.
+fn to_digits(limbs: &[u64; 6]) -> [u64; DIGITS] {
+    let mut d = [0u64; DIGITS];
+    for (i, digit) in d.iter_mut().enumerate() {
+        let bit = 28 * i; // overflow-ok: digit index i <= 13, product <= 364
+        let limb = bit / 64;
+        let off = (bit % 64) as u32;
+        // lint:allow(panic) limb = 28·i/64 <= 5 for i <= 13
+        let mut v = limbs[limb] >> off;
+        // overflow-ok: limb <= 5, the increment cannot wrap
+        if off > 36 && limb + 1 < 6 {
+            // overflow-ok: off in 37..64, so the shift count 64 - off
+            // is in 1..28 and the shifted-in bits land above bit 27
+            // lint:allow(panic) limb + 1 < 6 checked on this branch
+            v |= limbs[limb + 1].wrapping_shl(64 - off);
+        }
+        *digit = v & MASK28;
+    }
+    d
+}
+
+/// Repacks a normalized digit array (27 columns + final carry) into
+/// `(low, high)` 6-limb halves of the 768-bit value.
+fn from_digits(d: &[u64; COLS + 1]) -> ([u64; 6], [u64; 6]) {
+    let mut limbs = [0u64; 12];
+    for (i, &digit) in d.iter().enumerate() {
+        debug_assert!(digit <= MASK28, "unnormalized packed digit");
+        let bit = 28 * i; // overflow-ok: column index i <= 27, product <= 756
+        let limb = bit / 64;
+        let off = (bit % 64) as u32;
+        // overflow-ok: disjoint 28-bit windows; wrapping_shl keeps the
+        // in-limb bits and the spill goes to the next limb
+        // lint:allow(panic) limb = 28·i/64 <= 11 for i <= 27
+        limbs[limb] |= digit.wrapping_shl(off);
+        // overflow-ok: limb <= 11, the increment cannot wrap
+        if off > 36 && limb + 1 < 12 {
+            // lint:allow(panic) limb + 1 < 12 checked on this branch
+            // overflow-ok: limb + 1 < 12 checked on this branch
+            limbs[limb + 1] |= digit >> (64 - off);
+        }
+    }
+    let mut lo = [0u64; 6];
+    let mut hi = [0u64; 6];
+    lo.copy_from_slice(&limbs[..6]); // lint:allow(panic) lengths match
+    hi.copy_from_slice(&limbs[6..]); // lint:allow(panic) lengths match
+    (lo, hi)
+}
+
+/// Two exact 768-bit products in one 2-lane packed pass.
+#[target_feature(enable = "neon")]
+fn mul_wide_x2(a: &[[u64; 6]; 2], b: &[[u64; 6]; 2]) -> [([u64; 6], [u64; 6]); 2] {
+    let ad = [to_digits(&a[0]), to_digits(&a[1])];
+    let bd = [to_digits(&b[0]), to_digits(&b[1])];
+
+    // Lane-pack each digit pair: lane 0 = product 0, lane 1 = product 1
+    // (vcreate_u32 maps the low u32 to lane 0, the high u32 to lane 1).
+    let mut av = [vcreate_u32(0); DIGITS];
+    let mut bv = [vcreate_u32(0); DIGITS];
+    for i in 0..DIGITS {
+        // overflow-ok: digits are below 2^28, so the high lane shift
+        // cannot collide with the low lane
+        // lint:allow(panic) i < DIGITS by the loop bound
+        av[i] = vcreate_u32(ad[0][i] | ad[1][i].wrapping_shl(32));
+        // lint:allow(panic) i < DIGITS by the loop bound
+        bv[i] = vcreate_u32(bd[0][i] | bd[1][i].wrapping_shl(32));
+    }
+
+    // Column accumulation: lane sums stay below 14·2^56 < 2^60.
+    let mut cols = [vdupq_n_u64(0); COLS];
+    for i in 0..DIGITS {
+        for j in 0..DIGITS {
+            // lint:allow(panic) i + j <= 26 < COLS by the loop bounds
+            cols[i + j] = vmlal_u32(cols[i + j], av[i], bv[j]);
+        }
+    }
+
+    // Per-lane carry normalization back to 28-bit digits.
+    let maskv = vdupq_n_u64(MASK28);
+    let mut d0 = [0u64; COLS + 1];
+    let mut d1 = [0u64; COLS + 1];
+    let mut carry: uint64x2_t = vdupq_n_u64(0);
+    for c in 0..COLS {
+        // lint:allow(panic) c < COLS by the loop bound
+        let t = vaddq_u64(cols[c], carry);
+        let dig = vandq_u64(t, maskv);
+        carry = vshrq_n_u64::<28>(t);
+        d0[c] = vgetq_lane_u64::<0>(dig); // lint:allow(panic) c < COLS
+        d1[c] = vgetq_lane_u64::<1>(dig); // lint:allow(panic) c < COLS
+    }
+    d0[COLS] = vgetq_lane_u64::<0>(carry);
+    d1[COLS] = vgetq_lane_u64::<1>(carry);
+
+    [from_digits(&d0), from_digits(&d1)]
+}
+
+/// Three exact 768-bit products as two 2-lane passes. Scalar twin:
+/// `scalar::mul_wide_x3` (identical signature, trait-default body).
+// range: <8p -> <64pp
+#[target_feature(enable = "neon")]
+pub(crate) fn mul_wide_x3(a: &[[u64; 6]; 3], b: &[[u64; 6]; 3]) -> [([u64; 6], [u64; 6]); 3] {
+    let first = mul_wide_x2(&[a[0], a[1]], &[b[0], b[1]]);
+    let second = mul_wide_x2(&[a[2], a[2]], &[b[2], b[2]]);
+    [first[0], first[1], second[0]]
+}

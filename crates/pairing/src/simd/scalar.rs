@@ -1,0 +1,27 @@
+//! The portable scalar backend: the reference every accelerated kernel
+//! must match bit for bit.
+//!
+//! Everything here is safe code; the [`crate::field::FieldBackend`]
+//! provided methods already implement the schoolbook product, the
+//! unreduced add/sub shapes, and the deferred-carry REDC, so this
+//! backend is nothing but a name — which is exactly the point: the
+//! scalar twin of each arch kernel below is the trait default.
+
+use crate::field::FieldBackend;
+
+/// Marker type for the portable limb kernels (trait defaults).
+pub(crate) struct ScalarBackend;
+
+impl<const N: usize> FieldBackend<N> for ScalarBackend {
+    const NAME: &'static str = "scalar";
+}
+
+/// Scalar twin of the arch kernels: three independent 6-limb full
+/// products as `(low, high)` halves. Identical signature to
+/// `avx2::mul_wide_x3` / `neon::mul_wide_x3` — the backend lint's
+/// dispatch-parity analysis checks that correspondence by name.
+// range: <8p -> <64pp
+#[inline]
+pub(crate) fn mul_wide_x3(a: &[[u64; 6]; 3], b: &[[u64; 6]; 3]) -> [([u64; 6], [u64; 6]); 3] {
+    <ScalarBackend as FieldBackend<6>>::mul_wide_x3(a, b)
+}

@@ -1,0 +1,148 @@
+//! Bit-for-bit equivalence of the runtime-dispatched packed backend
+//! against the portable scalar kernel, across the dispatch seam
+//! itself.
+//!
+//! `lazy_equivalence.rs` pins lazy-vs-eager; this suite pins
+//! packed-vs-scalar: every result the packed path produces (requested
+//! via [`mccls_pairing::backend::force_accel`] — `AVX2`/`NEON` where
+//! the host has it, scalar fallback otherwise) must equal the result
+//! with the scalar backend pinned via
+//! [`mccls_pairing::backend::force_scalar`]. The sweeps run the same
+//! edge representatives as the lazy suite — zero, one, `p-1`,
+//! saturated/striped limbs — plus *unreduced* operands grown with
+//! `add_unreduced` up to the narrow magnitude cap, so the packed
+//! digit pipeline sees the full 384-bit operand range. The suite runs
+//! under `cargo test` in debug, so the kernels' per-lane
+//! `debug_assert!`s (spare-lane zero, digit normalization, carry
+//! headroom) are armed throughout.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use mccls_pairing::{backend, Fp, Fp12, Fp2, Fp6};
+use mccls_rng::rngs::StdRng;
+use mccls_rng::SeedableRng;
+
+/// Runs `f` twice — with the packed kernel requested
+/// (`force_accel`; detection still falls back to scalar on hosts
+/// without the feature), then with the scalar kernel pinned — and
+/// asserts the outputs agree bit for bit.
+fn both_paths<T: PartialEq + core::fmt::Debug>(label: &str, mut f: impl FnMut() -> T) {
+    backend::force_accel(true);
+    let dispatched = f();
+    backend::force_accel(false);
+    backend::force_scalar(true);
+    let scalar = f();
+    backend::force_scalar(false);
+    assert_eq!(dispatched, scalar, "{label}: packed/scalar divergence");
+}
+
+/// Edge `Fp` representatives: 0, 1, `p-1`, saturated and striped.
+fn edge_fps() -> Vec<Fp> {
+    let mut p_minus_1 = Fp::MODULUS;
+    p_minus_1[0] -= 1; // p is odd: no borrow
+    let mut out = vec![Fp::zero(), Fp::one(), Fp::from_raw(p_minus_1)];
+    for word in [u64::MAX, 1u64 << 63, 0xaaaa_aaaa_aaaa_aaaa] {
+        out.push(Fp::from_raw([word; 6]));
+    }
+    out
+}
+
+/// Grows an operand to magnitude class `k` (`< k·p` unreduced) by
+/// repeated unreduced self-addition — the saturated-magnitude inputs
+/// the packed kernel must survive (class 4 is what `mul_unreduced2`
+/// actually feeds it; class 7 probes the full narrow cap).
+fn saturate(base: &Fp, class: u64) -> Fp {
+    let mut acc = *base;
+    for _ in 1..class {
+        acc = acc.add_unreduced(base);
+    }
+    acc
+}
+
+#[test]
+fn x3_products_agree_on_edges_and_saturated_magnitudes() {
+    let edges = edge_fps();
+    for a in &edges {
+        for b in &edges {
+            for class in [1u64, 2, 4, 7] {
+                let sa = saturate(a, class);
+                let sb = saturate(b, class);
+                both_paths("x3 edge", || {
+                    Fp::mul_unreduced_x3(&[*a, *b, sa], &[*b, *a, sb])
+                        .map(|w| w.montgomery_reduce())
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn x3_products_agree_on_seeded_sweep() {
+    let mut rng = StdRng::seed_from_u64(0xBAC1);
+    for _ in 0..200 {
+        let lanes_a = [
+            Fp::random(&mut rng),
+            Fp::random(&mut rng),
+            Fp::random(&mut rng),
+        ];
+        let lanes_b = [
+            Fp::random(&mut rng),
+            Fp::random(&mut rng),
+            Fp::random(&mut rng),
+        ];
+        both_paths("x3 sweep", || {
+            Fp::mul_unreduced_x3(&lanes_a, &lanes_b).map(|w| w.montgomery_reduce())
+        });
+        // Each lane also agrees with the single-product primitive.
+        let lanes = Fp::mul_unreduced_x3(&lanes_a, &lanes_b);
+        for k in 0..3 {
+            assert_eq!(
+                lanes[k].montgomery_reduce(),
+                lanes_a[k].mul_unreduced(&lanes_b[k]).montgomery_reduce()
+            );
+        }
+    }
+}
+
+#[test]
+fn tower_multiplication_agrees_across_backends() {
+    let mut rng = StdRng::seed_from_u64(0xBAC2);
+    for _ in 0..50 {
+        let a2 = Fp2::random(&mut rng);
+        let b2 = Fp2::random(&mut rng);
+        both_paths("fp2 mul", || a2.mul(&b2));
+        // The dispatched lazy path must still match the pinned eager
+        // reference (transitively: packed == scalar == eager).
+        assert_eq!(a2.mul(&b2), a2.mul_eager(&b2));
+
+        let a6 = Fp6::random(&mut rng);
+        let b6 = Fp6::random(&mut rng);
+        both_paths("fp6 mul", || a6.mul(&b6));
+
+        let a12 = Fp12::random(&mut rng);
+        let b12 = Fp12::random(&mut rng);
+        both_paths("fp12 mul", || a12.mul(&b12));
+    }
+}
+
+#[test]
+fn backend_name_reports_the_pin() {
+    let auto = backend::active();
+    assert!(
+        ["avx2", "neon", "scalar"].contains(&auto),
+        "unknown backend {auto}"
+    );
+    backend::force_scalar(true);
+    assert_eq!(backend::active(), "scalar");
+    assert!(backend::scalar_forced());
+    backend::force_scalar(false);
+    // Packed kernels are opt-in: with no pin and no MCCLS_BACKEND
+    // opt-in, policy selects scalar even on AVX2/NEON hardware; the
+    // per-thread request flips that unless the operator kill-switch
+    // (MCCLS_BACKEND=scalar) vetoes it.
+    assert!(backend::scalar_forced() || std::env::var("MCCLS_BACKEND").is_ok());
+    let killed = std::env::var("MCCLS_BACKEND").as_deref() == Ok("scalar");
+    backend::force_accel(true);
+    assert!(killed || !backend::scalar_forced());
+    backend::force_accel(false);
+}

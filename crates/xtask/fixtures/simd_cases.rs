@@ -1,0 +1,78 @@
+//! Seeded violations for the `backend` lint: one finding per analysis
+//! class, each beside a clean twin that must stay silent. The test in
+//! `clean_tree.rs` parses this file under an island path
+//! (`crates/pairing/src/simd/`) against the *committed*
+//! `simd-intrinsics.toml`, with a small out-of-island caller so the
+//! contract entry points are live. Never compiled — text for the lint.
+
+// --- class 1: unsafe containment ------------------------------------
+
+/// Dirty: the marker is bare, so it suppresses nothing.
+fn bare_marker_dispatch(a: &[u64; 6]) -> [u64; 6] {
+    // unsafe-ok:
+    unsafe { raw_kernel(a) }
+}
+
+/// Clean twin: the same shape with a written reason is silent.
+fn reasoned_dispatch(a: &[u64; 6]) -> [u64; 6] {
+    // unsafe-ok: feature detection established avx2 before this call
+    unsafe { raw_kernel(a) }
+}
+
+// --- class 2: cfg-dispatch parity -----------------------------------
+
+/// Dirty: arch-gated with no non-gated island twin to fall back to.
+#[target_feature(enable = "avx2")]
+pub(crate) fn orphan_kernel(a: &[u64; 6]) -> [u64; 6] {
+    *a
+}
+
+/// Clean twin pair: gated kernel and scalar mirror agree on the
+/// signature (in the shipped island the mirror lives in `scalar.rs`;
+/// the lint keys twins by name + signature, not by file).
+#[target_feature(enable = "avx2")]
+pub(crate) fn mirrored_kernel(a: &[u64; 6]) -> [u64; 6] {
+    *a
+}
+
+pub(crate) fn mirrored_kernel(a: &[u64; 6]) -> [u64; 6] {
+    *a
+}
+
+// --- class 3: lane constant-time -------------------------------------
+
+/// Dirty: collapses lanes into a branchable mask. `movemask` is also
+/// deliberately off the committed whitelist, so the containment pass
+/// flags the intrinsic itself as a second, unsuppressable finding.
+fn leaky_compare(v: __m256i) -> i32 {
+    _mm256_movemask_epi8(v)
+}
+
+/// Dirty: a lane extraction steering control flow.
+fn leaky_early_exit(v: __m256i) -> bool {
+    if _mm256_extract_epi64::<0>(v) == 0 {
+        return true;
+    }
+    false
+}
+
+/// Clean twin: per-lane sanity checks compile out of release builds,
+/// and straight-line result extraction is exactly what lanes are for.
+fn checked_extract(v: __m256i) -> u64 {
+    debug_assert!(_mm256_extract_epi64::<3>(v) == 0);
+    _mm256_extract_epi64::<0>(v) as u64
+}
+
+// --- class 4: packed magnitude contracts -----------------------------
+
+/// Dirty: the declared classes blow `Fp`'s 8p/64p² headroom caps.
+// range: <16p -> <512pp
+pub(crate) fn hot_entry(a: &[u64; 6]) -> ([u64; 6], [u64; 6]) {
+    (*a, *a)
+}
+
+/// Clean twin: packed lanes commit to the same caps as the scalar path.
+// range: <8p -> <64pp
+pub(crate) fn cool_entry(a: &[u64; 6]) -> ([u64; 6], [u64; 6]) {
+    (*a, *a)
+}

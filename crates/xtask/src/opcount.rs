@@ -13,7 +13,8 @@
 //! * every call site whose callee name is one of the counted `ops`
 //!   frontends (`pair`, `pair_prepared`, `pairing_product_prepared`,
 //!   `miller_loop`, `final_exp`, `mul_g1`/`mul_g2` and their
-//!   `_fixed`/`_ct` variants, `exp_gt`, `hash_to_g1`) or a raw pairing
+//!   `_fixed`/`_ct` variants, `exp_gt`, `hash_to_g1`, the
+//!   `g1_table`/`g2_table` builders) or a raw pairing
 //!   engine entry point (`pairing`, `pairing_product`,
 //!   `multi_miller_loop`, `final_exponentiation`) is an **atomic
 //!   cost** — the call graph is not traversed through it, mirroring
@@ -32,7 +33,7 @@
 //!   length-preserving `collect()` copies, anything else is unbounded.
 //!
 //! Budgets live in `opcount-budgets.toml` at the workspace root. Each
-//! entry names a function (plus its `impl` owner), its seven counter
+//! entry names a function (plus its `impl` owner), its eight counter
 //! budgets as symbolic strings (`"0"`, `"2"`, `"n"`, `"n+1"`, `"2n"`),
 //! and optionally the Table 1 row it mirrors. Certification is an
 //! **equality**: an overrun fails the gate, and so does slack — the
@@ -57,7 +58,7 @@ pub const BUDGET_FILE: &str = "opcount-budgets.toml";
 
 /// Counter names, in the same order as the fields of
 /// `mccls_core::ops::OpCounts`.
-pub const COUNTERS: [&str; 7] = [
+pub const COUNTERS: [&str; 8] = [
     "pairings",
     "miller_loops",
     "final_exps",
@@ -65,6 +66,7 @@ pub const COUNTERS: [&str; 7] = [
     "g2_muls",
     "gt_exps",
     "hashes_to_g1",
+    "fp_inversions",
 ];
 
 const PAIRINGS: usize = 0;
@@ -74,6 +76,7 @@ const G1_MULS: usize = 3;
 const G2_MULS: usize = 4;
 const GT_EXPS: usize = 5;
 const HASHES_TO_G1: usize = 6;
+const FP_INVERSIONS: usize = 7;
 
 /// One symbolic counter value `linear·n + konst`, with an explicit
 /// "no static bound" escape hatch.
@@ -192,7 +195,7 @@ impl fmt::Display for Val {
 
 /// A full operation-count vector, indexed like [`COUNTERS`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct Cost(pub [Val; 7]);
+pub struct Cost(pub [Val; 8]);
 
 impl Cost {
     fn add(&self, other: &Self) -> Self {
@@ -275,6 +278,23 @@ pub(crate) fn atomic_cost(call: &Call, lens: &BTreeMap<String, Val>) -> Option<C
         "mul_g2" | "mul_g2_fixed" | "mul_g2_ct" => Some(unit(G2_MULS)),
         "exp_gt" => Some(unit(GT_EXPS)),
         "hash_to_g1" => Some(unit(HASHES_TO_G1)),
+        // Fixed-base table construction: Montgomery's trick folds every
+        // window normalization into one shared base-field inversion.
+        // The qualifier guard keeps `Vec::new` and friends (whose
+        // name-based resolution falls back to *every* `new`) out.
+        "g1_table" | "g2_table" => Some(unit(FP_INVERSIONS)),
+        "new"
+            if matches!(
+                call.qualifier.as_deref(),
+                Some("G1Table" | "G2Table" | "FixedBaseTable")
+            ) =>
+        {
+            Some(unit(FP_INVERSIONS))
+        }
+        // The cached generator tables are built once per process behind
+        // a `OnceLock`; their steady-state cost — what the runtime
+        // counters measure on every budgeted path — is zero.
+        "g1_generator_table" | "g2_generator_table" => Some(Cost::default()),
         "pairing_product_prepared" | "pairing_product" => {
             let k = factor_count(call, lens);
             let mut c = Cost::default();
@@ -976,6 +996,34 @@ mod tests {
         // `.go()` may dispatch to A::go (1 pairing) or B::go (0): the
         // worst case bounds it.
         assert_eq!(cost_of(&files, "top").0[PAIRINGS], Val::konst(1));
+    }
+
+    #[test]
+    fn table_builds_cost_one_inversion_and_cached_accessors_are_free() {
+        let files = parse(
+            "fn build(base: &G1Projective) -> G1Table { ops::g1_table(base) }\n\
+             fn qualified(base: &G2Projective) -> G2Table { G2Table::new(base) }\n\
+             fn warm(k: &Fr) { ops::mul_g1_fixed(g1_generator_table(), k); }\n\
+             fn g1_generator_table() -> &'static G1Table { panic!() }\n\
+             fn unrelated() -> Vec<u8> { Vec::new() }\n",
+        );
+        assert_eq!(
+            cost_of(&files, "build").0[FP_INVERSIONS],
+            Val::konst(1),
+            "counted builder frontend"
+        );
+        assert_eq!(
+            cost_of(&files, "qualified").0[FP_INVERSIONS],
+            Val::konst(1),
+            "qualified table construction"
+        );
+        // The OnceLock-cached accessor is atomic at zero cost, so warm
+        // paths do not inherit the one-time build inversion...
+        assert_eq!(cost_of(&files, "warm").0[FP_INVERSIONS], Val::konst(0));
+        assert_eq!(cost_of(&files, "warm").0[G1_MULS], Val::konst(1));
+        // ...and an unqualified-fallback `Vec::new` resolves past the
+        // table builders without picking up their inversion.
+        assert_eq!(cost_of(&files, "unrelated").0[FP_INVERSIONS], Val::konst(0));
     }
 
     #[test]

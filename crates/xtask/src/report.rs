@@ -9,6 +9,52 @@ use std::fmt::Write as _;
 
 use crate::Finding;
 
+/// Every lint the gate runs, with the one-line description SARIF
+/// consumers show next to annotations. The SARIF driver always
+/// advertises the full rule set — not just the lints that happened to
+/// fire — so code-scanning UIs can render "passing" rules and a new
+/// lint cannot ship without registering itself here (the clean-tree
+/// test enumerates this table against `check_workspace`'s wiring).
+pub const LINTS: [(&str, &str); 13] = [
+    (
+        "panic",
+        "No unwrap/expect/panic-family or risky indexing in crypto crates",
+    ),
+    ("ct", "No branching on secret-carrying identifiers"),
+    (
+        "taint",
+        "Interprocedural secret flow across the workspace call graph",
+    ),
+    ("reach", "Panic sites reachable from the public scheme API"),
+    (
+        "validate",
+        "Untrusted decodes pass curve/subgroup checks before sinks",
+    ),
+    ("overflow", "No bare arithmetic on u64/u128 limb values"),
+    (
+        "range",
+        "Magnitude classes on lazy-reduction chains within limb headroom",
+    ),
+    ("opcount", "Table 1 operation budgets certified statically"),
+    (
+        "concurrency",
+        "Lock-order acyclicity, no pairing work under guards, Send/Sync audit",
+    ),
+    (
+        "backend",
+        "Unsafe island containment, intrinsic whitelist, scalar-twin parity, lane-ct",
+    ),
+    (
+        "secret",
+        "No Debug/Clone/serialization derives on key material; zeroize on Drop",
+    ),
+    (
+        "hygiene",
+        "forbid(unsafe_code) and workspace lints at every crate root",
+    ),
+    ("deps", "Every dependency is an in-repo path"),
+];
+
 /// Output format for [`render`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Format {
@@ -78,23 +124,26 @@ fn json(findings: &[Finding]) -> String {
 }
 
 fn sarif(findings: &[Finding]) -> String {
-    let mut rules: Vec<&str> = findings.iter().map(|f| f.lint).collect();
-    rules.sort_unstable();
-    rules.dedup();
-
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
     out.push_str("  \"version\": \"2.1.0\",\n");
     out.push_str("  \"runs\": [{\n");
     out.push_str("    \"tool\": {\"driver\": {\"name\": \"mccls-xtask\", \"rules\": [");
-    for (i, r) in rules.iter().enumerate() {
+    for (i, (id, desc)) in LINTS.iter().enumerate() {
         if i > 0 {
-            out.push_str(", ");
+            out.push(',');
         }
-        let _ = write!(out, "{{\"id\": {}}}", quote(r));
+        let _ = write!(
+            out,
+            "\n      {{\"id\": {}, \"name\": {}, \"shortDescription\": {{\"text\": {}}}, \
+             \"defaultConfiguration\": {{\"level\": \"error\"}}}}",
+            quote(id),
+            quote(id),
+            quote(desc)
+        );
     }
-    out.push_str("]}},\n");
+    out.push_str("\n    ]}},\n");
     out.push_str("    \"results\": [");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
@@ -184,11 +233,34 @@ mod tests {
         let out = render(&sample(), Format::Sarif);
         assert!(out.contains("sarif-2.1.0.json"));
         assert!(out.contains("\"name\": \"mccls-xtask\""));
-        assert!(out.contains("{\"id\": \"taint\"}"));
+        assert!(out.contains("\"id\": \"taint\""));
         assert!(out.contains("\"startLine\": 12"));
         // Empty runs still produce a structurally valid document.
         let empty = render(&[], Format::Sarif);
         assert!(empty.contains("\"results\": []"));
+    }
+
+    #[test]
+    fn sarif_driver_always_advertises_all_thirteen_rules() {
+        assert_eq!(LINTS.len(), 13, "the gate runs thirteen lints");
+        // Rules carry metadata and appear even when nothing fired.
+        let empty = render(&[], Format::Sarif);
+        for (id, desc) in LINTS {
+            assert!(
+                empty.contains(&format!("\"id\": {}", quote(id))),
+                "rule `{id}` missing from the SARIF driver"
+            );
+            assert!(
+                empty.contains(&quote(desc)),
+                "rule `{id}` lost its shortDescription"
+            );
+        }
+        assert!(empty.contains("\"defaultConfiguration\""));
+        // No duplicate ids.
+        let mut ids: Vec<&str> = LINTS.iter().map(|(id, _)| *id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 13);
     }
 
     #[test]

@@ -1,0 +1,984 @@
+//! The `backend` lint — unsafe-island containment and backend-parity
+//! certification for the packed Montgomery kernels.
+//!
+//! The pairing crate keeps exactly one module subtree where `unsafe` is
+//! legal: `crates/pairing/src/simd/`, the arch-intrinsic island behind
+//! the runtime-dispatched [`FieldBackend`] facade. This lint is what
+//! makes that exception safe to live with. Four analyses run over the
+//! parsed workspace (the same [`crate::parser`] files the call-graph
+//! passes use):
+//!
+//! 1. **Unsafe containment.** The token `unsafe` outside the island is
+//!    a finding, full stop — no suppression marker exists for it (the
+//!    crate roots also `forbid`/`deny` it, so this is defense in
+//!    depth against a stray `#[allow]`). Inside the island every
+//!    `unsafe` occurrence must carry a `// unsafe-ok: <reason>` marker
+//!    on the line or directly above; a bare marker with no reason is
+//!    rejected. Every intrinsic the island imports or path-calls from
+//!    `core::arch`/`std::arch` must appear on the committed per-arch
+//!    whitelist (`simd-intrinsics.toml`). Raw-pointer arithmetic,
+//!    `transmute`, and inline `asm!` are always findings, marker or
+//!    not: the kernels are written value-only (`setr`/`extract`,
+//!    `vcreate`/`vgetq_lane`) precisely so none of those are needed.
+//!
+//! 2. **Cfg-dispatch parity.** Every non-private `#[target_feature]`
+//!    (or `#[cfg(target_feature = ...)]`) function in the island must
+//!    have a scalar twin: a non-gated island function of the same name
+//!    with an identical signature (the portable kernel the dispatch
+//!    falls back to, and the reference `backend_equivalence.rs`
+//!    compares against bit for bit). And no packed vector type
+//!    (`__m256i`, `uint64x2_t`, ...) may appear in any non-private
+//!    island signature or `pub use`: callers only ever see `u64` limbs
+//!    through the `FieldBackend` trait, so the tower cannot grow an
+//!    accidental compile-time dependency on one ISA.
+//!
+//! 3. **Lane constant-time.** The island is reachable from the field
+//!    multiplications under `sign`/`verify` (PR 3's taint pass seeds
+//!    those operands), so its inputs are secret-derived by assumption
+//!    and the lane discipline is enforced unconditionally rather than
+//!    per-call-site: `movemask`/`ptest`-style mask extraction is a
+//!    finding (it collapses per-lane data into a branchable scalar),
+//!    as is any `if`/`while`/`match` condition or early `return` built
+//!    on a lane extraction. `debug_assert!` lines are exempt — the
+//!    per-lane sanity checks compile out of release builds. Reviewed
+//!    sites suppress with `// backend-ok: <reason>`.
+//!
+//! 4. **Packed magnitude contracts.** Island functions the rest of the
+//!    crate calls (the dispatch entry points) must declare the same
+//!    `// range:` contracts PR 8's lint enforces elsewhere, and every
+//!    same-name kernel (scalar, AVX2, NEON, dispatch) must declare
+//!    *identical* classes — the packed lanes obey the same `8p`/`64p²`
+//!    headroom caps as the scalar path, per lane. The classes are
+//!    checked against the caps derived from the `montgomery_field!`
+//!    invocations in scope. (The island's loop-shaped bodies are
+//!    excluded from the straight-line range evaluator itself; the
+//!    declared classes are consumed at call sites via
+//!    `Fp::mul_unreduced_x3`'s per-lane transfer function.)
+//!
+//! [`FieldBackend`]: ../../pairing/src/field.rs
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::lexer::{self, contains_word, is_ident_char};
+use crate::parser::{FnItem, ParsedFile};
+use crate::range::{self, Magnitude};
+use crate::{suppression_near, Finding, Suppression};
+
+/// The committed intrinsic whitelist, at the workspace root.
+pub const WHITELIST_FILE: &str = "simd-intrinsics.toml";
+
+/// The required marker on every `unsafe` occurrence in the island.
+pub const UNSAFE_MARKER: &str = "unsafe-ok:";
+
+/// The suppression marker for parity/lane-ct/contract findings.
+pub const ALLOW_MARKER: &str = "backend-ok:";
+
+/// The only path prefix where `unsafe` is legal.
+pub const ISLAND: &str = "crates/pairing/src/simd/";
+
+/// Intrinsic name fragments that collapse per-lane data into a scalar
+/// mask — the `movemask` family. Producing one is already a finding:
+/// the only plausible consumer is a lane-dependent branch.
+const MASK_SINKS: &[&str] = &["movemask", "ptest", "testz", "testc", "testnzc"];
+
+/// Intrinsic name fragments that read a single lane out of a vector.
+/// Legal in straight-line result extraction; a finding inside a branch
+/// condition or an early `return`.
+const LANE_READS: &[&str] = &["extract", "vgetq_lane", "vget_lane"];
+
+/// Tokens that are findings anywhere in the island, marker or not.
+const ALWAYS_DENY: &[(&str, &str)] = &[
+    (
+        "transmute",
+        "`transmute` (re-type limbs with safe codecs instead)",
+    ),
+    (
+        "*const",
+        "raw pointer type (the kernels are value-only by design)",
+    ),
+    (
+        "*mut",
+        "raw pointer type (the kernels are value-only by design)",
+    ),
+    (".offset(", "raw pointer arithmetic"),
+    (".byte_offset(", "raw pointer arithmetic"),
+    (".wrapping_offset(", "raw pointer arithmetic"),
+];
+
+/// The parsed `simd-intrinsics.toml`: per-arch allowed intrinsic names.
+#[derive(Debug, Default)]
+pub struct Whitelist {
+    /// `x86_64`/`aarch64` → allowed intrinsic names.
+    pub arch: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// Parses the whitelist file: `[arch]` sections with one
+/// `allowed = [ ... ]` string array each (possibly spanning lines).
+pub fn parse_whitelist(text: &str) -> Result<Whitelist, String> {
+    let mut wl = Whitelist::default();
+    let mut current: Option<String> = None;
+    let mut in_array = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            if in_array {
+                return Err(format!("line {lineno}: unterminated `allowed` array"));
+            }
+            let Some(key) = rest.strip_suffix(']') else {
+                return Err(format!("line {lineno}: malformed section header `{line}`"));
+            };
+            let key = key.trim().to_owned();
+            if key.is_empty() {
+                return Err(format!("line {lineno}: empty section name"));
+            }
+            wl.arch.entry(key.clone()).or_default();
+            current = Some(key);
+            continue;
+        }
+        let Some(arch) = current.clone() else {
+            return Err(format!("line {lineno}: entry before any `[arch]` section"));
+        };
+        let mut body = line;
+        if !in_array {
+            let Some(rest) = line.strip_prefix("allowed").map(str::trim_start) else {
+                return Err(format!("line {lineno}: expected `allowed = [...]`"));
+            };
+            let Some(rest) = rest.strip_prefix('=').map(str::trim_start) else {
+                return Err(format!("line {lineno}: expected `=` after `allowed`"));
+            };
+            let Some(rest) = rest.strip_prefix('[') else {
+                return Err(format!("line {lineno}: expected `[` to open the array"));
+            };
+            in_array = true;
+            body = rest.trim();
+        }
+        let mut chunk = body;
+        if let Some(stripped) = chunk.strip_suffix(']') {
+            chunk = stripped;
+            in_array = false;
+        }
+        for item in chunk.split(',') {
+            let name = item.trim().trim_matches('"').trim();
+            if !name.is_empty() {
+                if let Some(set) = wl.arch.get_mut(&arch) {
+                    set.insert(name.to_owned());
+                }
+            }
+        }
+    }
+    if in_array {
+        return Err("unterminated `allowed` array at end of file".to_owned());
+    }
+    if wl.arch.is_empty() {
+        return Err("no `[arch]` sections found".to_owned());
+    }
+    Ok(wl)
+}
+
+/// Runs the four analyses over the parsed workspace.
+pub fn analyze(files: &[ParsedFile], whitelist: &Whitelist) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    containment(files, whitelist, &mut findings);
+
+    // Findings from the remaining analyses accept `// backend-ok:`.
+    let mut soft = Vec::new();
+    parity(files, &mut soft);
+    lane_ct(files, &mut soft);
+    contracts(files, &mut soft);
+    for (path, line, message) in soft {
+        let raw: Vec<&str> = files
+            .iter()
+            .find(|f| f.path == path)
+            .map(|f| f.raw_lines.iter().map(String::as_str).collect())
+            .unwrap_or_default();
+        match suppression_near(&raw, line, ALLOW_MARKER) {
+            Suppression::Justified => {}
+            Suppression::MissingReason => findings.push(Finding {
+                file: path,
+                line,
+                lint: "backend",
+                message: format!("{message} (backend-ok present but gives no reason)"),
+            }),
+            Suppression::None => findings.push(Finding {
+                file: path,
+                line,
+                lint: "backend",
+                message,
+            }),
+        }
+    }
+    findings.sort();
+    findings.dedup();
+    findings
+}
+
+/// True for paths inside the unsafe island.
+fn in_island(path: &str) -> bool {
+    path.starts_with(ISLAND)
+}
+
+/// Analysis 1: unsafe containment, marker discipline, the intrinsic
+/// whitelist, and the always-deny token classes. None of these accept
+/// `// backend-ok:` — the fix is to move the code, write the reason,
+/// or amend the committed whitelist.
+fn containment(files: &[ParsedFile], whitelist: &Whitelist, findings: &mut Vec<Finding>) {
+    for file in files {
+        let scrubbed = lexer::scrub(&file.raw_lines.join("\n"));
+        let raw: Vec<&str> = file.raw_lines.iter().map(String::as_str).collect();
+        let island = in_island(&file.path);
+        for (idx, line) in scrubbed.lines().enumerate() {
+            let lineno = idx + 1;
+            if contains_word(line, "unsafe") {
+                if !island {
+                    findings.push(Finding {
+                        file: file.path.clone(),
+                        line: lineno,
+                        lint: "backend",
+                        message: format!(
+                            "`unsafe` outside the island (`{ISLAND}`); packed kernels and \
+                             their intrinsics live there or nowhere"
+                        ),
+                    });
+                } else {
+                    match suppression_near(&raw, lineno, UNSAFE_MARKER) {
+                        Suppression::Justified => {}
+                        Suppression::MissingReason => findings.push(Finding {
+                            file: file.path.clone(),
+                            line: lineno,
+                            lint: "backend",
+                            message: "`// unsafe-ok:` marker gives no reason; bare markers \
+                                      are rejected"
+                                .to_owned(),
+                        }),
+                        Suppression::None => findings.push(Finding {
+                            file: file.path.clone(),
+                            line: lineno,
+                            lint: "backend",
+                            message: "`unsafe` without a `// unsafe-ok: <reason>` marker on \
+                                      the line or directly above"
+                                .to_owned(),
+                        }),
+                    }
+                }
+            }
+            if !island {
+                continue;
+            }
+            for (token, label) in ALWAYS_DENY {
+                let hit = if token.chars().all(is_ident_char) {
+                    contains_word(line, token)
+                } else {
+                    line.contains(token)
+                };
+                if hit {
+                    findings.push(Finding {
+                        file: file.path.clone(),
+                        line: lineno,
+                        lint: "backend",
+                        message: format!("{label} is never allowed in the island"),
+                    });
+                }
+            }
+            if line.contains("asm!") || contains_word(line, "global_asm") {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: lineno,
+                    lint: "backend",
+                    message: "inline assembly is never allowed in the island".to_owned(),
+                });
+            }
+            // Belt-and-braces over the import scan below: x86 intrinsic
+            // names are unambiguous (`_mm`-prefixed), so vet every use
+            // site too, not just the `use` lines.
+            for word in line
+                .split(|c: char| !is_ident_char(c))
+                .filter(|w| w.starts_with("_mm"))
+            {
+                check_one_intrinsic(&file.path, lineno, word, "x86_64", whitelist, findings);
+            }
+        }
+        if island {
+            check_intrinsic_imports(&file.path, &scrubbed, whitelist, findings);
+        }
+    }
+}
+
+/// Flags intrinsics imported (possibly across multiple lines) or
+/// path-called from `core::arch`/`std::arch` that are missing from the
+/// per-arch whitelist. Runs over the whole scrubbed file so multi-line
+/// `use core::arch::x86_64::{ ... };` groups are fully vetted.
+fn check_intrinsic_imports(
+    path: &str,
+    scrubbed: &str,
+    whitelist: &Whitelist,
+    findings: &mut Vec<Finding>,
+) {
+    for arch in ["x86_64", "aarch64"] {
+        let needle = format!("arch::{arch}::");
+        let mut from = 0;
+        while let Some(pos) = scrubbed[from..].find(&needle) {
+            let start = from + pos + needle.len();
+            from = start;
+            let lineno = scrubbed[..start].matches('\n').count() + 1;
+            let rest = &scrubbed[start..];
+            if let Some(brace) = rest.strip_prefix('{') {
+                // `use core::arch::x86_64::{a, b, c};`, any line span;
+                // findings point at the line opening the group.
+                let inner = brace.split('}').next().unwrap_or(brace);
+                for name in inner.split(',') {
+                    check_one_intrinsic(path, lineno, name.trim(), arch, whitelist, findings);
+                }
+            } else {
+                let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+                check_one_intrinsic(path, lineno, &name, arch, whitelist, findings);
+            }
+        }
+    }
+}
+
+/// Vector type names (`__m256i`, `uint64x2_t`) are escape-analysis
+/// business, not intrinsics; everything else must be whitelisted.
+fn is_vector_type(name: &str) -> bool {
+    name.starts_with("__m") || (name.ends_with("_t") && name.contains('x'))
+}
+
+fn check_one_intrinsic(
+    path: &str,
+    lineno: usize,
+    name: &str,
+    arch: &str,
+    whitelist: &Whitelist,
+    findings: &mut Vec<Finding>,
+) {
+    if name.is_empty() || is_vector_type(name) || name == "self" {
+        return;
+    }
+    let allowed = whitelist
+        .arch
+        .get(arch)
+        .is_some_and(|set| set.contains(name));
+    if !allowed {
+        findings.push(Finding {
+            file: path.to_owned(),
+            line: lineno,
+            lint: "backend",
+            message: format!(
+                "intrinsic `{name}` is not on the `[{arch}]` whitelist in `{WHITELIST_FILE}`; \
+                 widening the island's instruction surface is a reviewed diff to that file"
+            ),
+        });
+    }
+}
+
+/// Attribute lines directly above a declaration (walking through
+/// comments), joined.
+fn attrs_above(raw_lines: &[String], decl_line: usize) -> String {
+    let mut out = String::new();
+    let mut line = decl_line;
+    while line > 1 {
+        line -= 1;
+        let Some(text) = raw_lines.get(line - 1) else {
+            break;
+        };
+        let t = text.trim_start();
+        if t.starts_with("#[") {
+            out.push_str(t);
+            out.push('\n');
+        } else if !t.starts_with("//") {
+            break;
+        }
+    }
+    out
+}
+
+/// True when the declaration line carries any `pub` visibility.
+fn is_public(raw_lines: &[String], decl_line: usize) -> bool {
+    raw_lines
+        .get(decl_line - 1)
+        .is_some_and(|l| l.trim_start().starts_with("pub"))
+}
+
+/// Whitespace-insensitive signature key: parameter types and return.
+fn signature_key(item: &FnItem) -> String {
+    let mut key = String::new();
+    for p in &item.params {
+        key.push_str(&p.ty.split_whitespace().collect::<String>());
+        key.push(',');
+    }
+    key.push_str("->");
+    key.push_str(&item.ret.split_whitespace().collect::<String>());
+    key
+}
+
+/// True for packed vector types appearing in a signature fragment.
+fn mentions_packed_type(ty: &str) -> bool {
+    ty.contains("__m")
+        || ty
+            .split(|c: char| !is_ident_char(c))
+            .any(|w| !w.is_empty() && is_vector_type(w))
+}
+
+/// Analysis 2: arch-gated kernels need non-gated twins with identical
+/// signatures, and no packed type may appear in a non-private island
+/// signature or re-export.
+fn parity(files: &[ParsedFile], soft: &mut Vec<(String, usize, String)>) {
+    // Non-gated island functions by name: the twin candidates.
+    let mut twins: HashMap<&str, Vec<String>> = HashMap::new();
+    for file in files.iter().filter(|f| in_island(&f.path)) {
+        for item in &file.fns {
+            if item.is_test {
+                continue;
+            }
+            if !attrs_above(&file.raw_lines, item.decl_line).contains("target_feature") {
+                twins
+                    .entry(item.name.as_str())
+                    .or_default()
+                    .push(signature_key(item));
+            }
+        }
+    }
+    for file in files.iter().filter(|f| in_island(&f.path)) {
+        for item in &file.fns {
+            if item.is_test {
+                continue;
+            }
+            let gated = attrs_above(&file.raw_lines, item.decl_line).contains("target_feature");
+            let public = is_public(&file.raw_lines, item.decl_line);
+            if gated && public {
+                match twins.get(item.name.as_str()) {
+                    None => soft.push((
+                        file.path.clone(),
+                        item.decl_line,
+                        format!(
+                            "arch-gated `{}` has no scalar twin: a non-gated island \
+                             function of the same name and signature must exist for \
+                             dispatch to fall back to",
+                            item.name
+                        ),
+                    )),
+                    Some(sigs) if !sigs.contains(&signature_key(item)) => soft.push((
+                        file.path.clone(),
+                        item.decl_line,
+                        format!(
+                            "arch-gated `{}` and its scalar twin disagree on their \
+                             signatures; the dispatch seam must be bit-for-bit \
+                             interchangeable",
+                            item.name
+                        ),
+                    )),
+                    Some(_) => {}
+                }
+            }
+            if public {
+                for p in &item.params {
+                    if mentions_packed_type(&p.ty) {
+                        soft.push((
+                            file.path.clone(),
+                            item.decl_line,
+                            format!(
+                                "packed vector type in non-private signature of `{}` \
+                                 (parameter `{}`): the island's surface is `u64` limbs only",
+                                item.name, p.name
+                            ),
+                        ));
+                    }
+                }
+                if mentions_packed_type(&item.ret) {
+                    soft.push((
+                        file.path.clone(),
+                        item.decl_line,
+                        format!(
+                            "packed vector type in non-private return of `{}`: the \
+                             island's surface is `u64` limbs only",
+                            item.name
+                        ),
+                    ));
+                }
+            }
+        }
+        // `pub use` of arch modules would re-export vector types wholesale.
+        let scrubbed = lexer::scrub(&file.raw_lines.join("\n"));
+        for (idx, line) in scrubbed.lines().enumerate() {
+            let t = line.trim_start();
+            if t.starts_with("pub use") && t.contains("arch::") {
+                soft.push((
+                    file.path.clone(),
+                    idx + 1,
+                    "`pub use` of an arch module re-exports packed types past the island \
+                     boundary"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+}
+
+/// Analysis 3: lane-dependent control flow. The island's operands are
+/// secret-derived by assumption (reachable from the field products
+/// under `sign`/`verify`), so the discipline holds island-wide.
+fn lane_ct(files: &[ParsedFile], soft: &mut Vec<(String, usize, String)>) {
+    for file in files.iter().filter(|f| in_island(&f.path)) {
+        let scrubbed = lexer::scrub(&file.raw_lines.join("\n"));
+        for (idx, line) in scrubbed.lines().enumerate() {
+            let lineno = idx + 1;
+            let t = line.trim_start();
+            if t.starts_with("debug_assert") {
+                // Per-lane sanity checks compile out of release builds.
+                continue;
+            }
+            for sink in MASK_SINKS {
+                if t.contains(sink) {
+                    soft.push((
+                        file.path.clone(),
+                        lineno,
+                        format!(
+                            "`{sink}`-style mask extraction collapses per-lane data into \
+                             a branchable scalar; lane-ct discipline forbids it"
+                        ),
+                    ));
+                }
+            }
+            let lane_read = LANE_READS.iter().any(|r| t.contains(r));
+            if !lane_read {
+                continue;
+            }
+            let branch_head = t.starts_with("if ")
+                || t.starts_with("if(")
+                || t.starts_with("while ")
+                || t.starts_with("while(")
+                || t.starts_with("match ");
+            if branch_head {
+                soft.push((
+                    file.path.clone(),
+                    lineno,
+                    "branch condition reads a vector lane; secret-derived lanes must not \
+                     steer control flow"
+                        .to_owned(),
+                ));
+            }
+            if t.contains("return ") {
+                soft.push((
+                    file.path.clone(),
+                    lineno,
+                    "early `return` keyed on a vector lane is a per-lane timing leak".to_owned(),
+                ));
+            }
+        }
+    }
+}
+
+/// Analysis 4: `// range:` contracts on the island's dispatch entry
+/// points — present, parseable, within the field's headroom caps, and
+/// identical across every same-name kernel.
+fn contracts(files: &[ParsedFile], soft: &mut Vec<(String, usize, String)>) {
+    let all: Vec<&ParsedFile> = files.iter().collect();
+    let caps = range::scan_field_caps(&all);
+    // The island kernels are written for the 6-limb base field; prefer
+    // its caps by name, fall back to the loosest in scope.
+    let caps = caps
+        .iter()
+        .find(|c| c.name == "Fp")
+        .or_else(|| caps.iter().max_by_key(|c| c.narrow));
+
+    // Entry points: island function names called from outside the island.
+    let island_fn_names: BTreeSet<&str> = files
+        .iter()
+        .filter(|f| in_island(&f.path))
+        .flat_map(|f| f.fns.iter())
+        .filter(|i| !i.is_test)
+        .map(|i| i.name.as_str())
+        .collect();
+    let mut entries: BTreeSet<&str> = BTreeSet::new();
+    for file in files.iter().filter(|f| !in_island(&f.path)) {
+        for item in &file.fns {
+            for call in &item.calls {
+                if let Some(name) = island_fn_names.get(call.callee.as_str()) {
+                    entries.insert(name);
+                }
+            }
+        }
+    }
+
+    // Collect each entry implementation's declared contract.
+    let mut declared: HashMap<&str, Vec<(String, usize, Magnitude, Magnitude)>> = HashMap::new();
+    for file in files.iter().filter(|f| in_island(&f.path)) {
+        for item in &file.fns {
+            if item.is_test || !entries.contains(item.name.as_str()) {
+                continue;
+            }
+            match range::contract_for(&file.raw_lines, item.decl_line) {
+                None => soft.push((
+                    file.path.clone(),
+                    item.decl_line,
+                    format!(
+                        "packed entry point `{}` declares no `// range:` contract; the \
+                         per-lane magnitude classes must be committed like every other \
+                         lazy primitive's",
+                        item.name
+                    ),
+                )),
+                Some(Err(err)) => soft.push((
+                    file.path.clone(),
+                    item.decl_line,
+                    format!("unparseable magnitude contract on `{}`: {err}", item.name),
+                )),
+                Some(Ok(c)) => {
+                    if let Some(caps) = caps {
+                        let narrow_over = match c.input {
+                            Magnitude::Narrow(n) => n > caps.narrow,
+                            Magnitude::Wide(_) => true,
+                        };
+                        let out_over = match c.output {
+                            Magnitude::Narrow(n) => n > caps.narrow,
+                            Magnitude::Wide(w) => w > caps.wide,
+                        };
+                        if narrow_over || out_over {
+                            soft.push((
+                                file.path.clone(),
+                                item.decl_line,
+                                format!(
+                                    "contract `{} -> {}` on `{}` exceeds `{}`'s headroom \
+                                     caps ({}p narrow, {}pp wide); packed lanes obey the \
+                                     same caps as the scalar path",
+                                    c.input, c.output, item.name, caps.name, caps.narrow, caps.wide
+                                ),
+                            ));
+                        }
+                    }
+                    declared.entry(item.name.as_str()).or_default().push((
+                        file.path.clone(),
+                        item.decl_line,
+                        c.input,
+                        c.output,
+                    ));
+                }
+            }
+        }
+    }
+    for (name, impls) in &declared {
+        let Some((_, _, i0, o0)) = impls.first() else {
+            continue;
+        };
+        for (path, line, i, o) in impls {
+            if i != i0 || o != o0 {
+                soft.push((
+                    path.clone(),
+                    *line,
+                    format!(
+                        "`{name}` declares `{i} -> {o}` here but `{i0} -> {o0}` elsewhere; \
+                         every backend's kernel must commit to identical per-lane classes"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+mod tests {
+    use super::*;
+    use crate::parser;
+
+    const WL: &str = "[x86_64]\nallowed = [\"_mm256_add_epi64\", \"_mm256_extract_epi64\", \
+                      \"_mm256_movemask_epi8\"]\n\
+                      [aarch64]\nallowed = [\"vaddq_u64\"]\n";
+
+    fn run(sources: &[(&str, &str)]) -> Vec<Finding> {
+        let owned: Vec<(String, String)> = sources
+            .iter()
+            .map(|(p, s)| ((*p).to_owned(), (*s).to_owned()))
+            .collect();
+        let files = parser::parse_files(&owned);
+        analyze(&files, &parse_whitelist(WL).unwrap())
+    }
+
+    const ISLE: &str = "crates/pairing/src/simd/mod.rs";
+
+    #[test]
+    fn whitelist_parses_and_rejects_garbage() {
+        let wl = parse_whitelist(WL).unwrap();
+        assert!(wl.arch["x86_64"].contains("_mm256_add_epi64"));
+        assert!(wl.arch["aarch64"].contains("vaddq_u64"));
+        assert!(
+            parse_whitelist("allowed = [\"x\"]\n").is_err(),
+            "entry before section"
+        );
+        assert!(
+            parse_whitelist("[x86_64]\nnames = [\"x\"]\n").is_err(),
+            "wrong key"
+        );
+        assert!(parse_whitelist("").is_err(), "empty file");
+        // Multi-line arrays parse.
+        let ml = parse_whitelist("[x86_64]\nallowed = [\n  \"_mm256_add_epi64\",\n]\n").unwrap();
+        assert!(ml.arch["x86_64"].contains("_mm256_add_epi64"));
+    }
+
+    #[test]
+    fn unsafe_outside_the_island_fires_unconditionally() {
+        let findings = run(&[(
+            "crates/pairing/src/fp.rs",
+            "fn sneak() {\n    // unsafe-ok: no marker helps out here\n    \
+             unsafe { core::hint::unreachable_unchecked() }\n}\n",
+        )]);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("outside the island")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn island_unsafe_needs_a_reasoned_marker() {
+        let missing = run(&[(ISLE, "fn go() {\n    unsafe { kernel() }\n}\n")]);
+        assert!(
+            missing
+                .iter()
+                .any(|f| f.message.contains("without a `// unsafe-ok:")),
+            "{missing:?}"
+        );
+        let bare = run(&[(
+            ISLE,
+            "fn go() {\n    // unsafe-ok:\n    unsafe { kernel() }\n}\n",
+        )]);
+        assert!(
+            bare.iter()
+                .any(|f| f.message.contains("bare markers are rejected")),
+            "{bare:?}"
+        );
+        let ok = run(&[(
+            ISLE,
+            "fn go() {\n    // unsafe-ok: feature detection precedes this call\n    \
+             unsafe { kernel() }\n}\n",
+        )]);
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn non_whitelisted_intrinsics_fire() {
+        let findings = run(&[(
+            ISLE,
+            "use core::arch::x86_64::{_mm256_add_epi64, _mm256_shuffle_epi8};\n",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`_mm256_shuffle_epi8`"));
+        assert!(findings[0].message.contains("[x86_64]"));
+    }
+
+    #[test]
+    fn vector_type_imports_are_not_intrinsics() {
+        let findings = run(&[(
+            ISLE,
+            "use core::arch::aarch64::{uint64x2_t, vaddq_u64};\nuse core::arch::x86_64::__m256i;\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn always_deny_tokens_fire_even_with_markers() {
+        let findings = run(&[(
+            ISLE,
+            "fn evil(p: *const u64) -> u64 {\n    // unsafe-ok: reviewed\n    // backend-ok: reviewed\n    \
+             unsafe { core::mem::transmute(p.offset(1)) }\n}\n",
+        )]);
+        assert!(
+            findings.iter().any(|f| f.message.contains("`transmute`")),
+            "{findings:?}"
+        );
+        assert!(
+            findings.iter().any(|f| f.message.contains("raw pointer")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn gated_kernel_without_twin_fires() {
+        let findings = run(&[(
+            "crates/pairing/src/simd/avx2.rs",
+            "#[target_feature(enable = \"avx2\")]\n\
+             pub(crate) fn orphan(a: &[u64; 6]) -> [u64; 6] {\n    *a\n}\n",
+        )]);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("no scalar twin")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn twin_with_matching_signature_is_silent() {
+        let findings = run(&[
+            (
+                "crates/pairing/src/simd/avx2.rs",
+                "#[target_feature(enable = \"avx2\")]\n\
+                 pub(crate) fn mirrored(a: &[u64; 6]) -> [u64; 6] {\n    *a\n}\n",
+            ),
+            (
+                "crates/pairing/src/simd/scalar.rs",
+                "pub(crate) fn mirrored(a: &[u64; 6]) -> [u64; 6] {\n    *a\n}\n",
+            ),
+        ]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn twin_signature_drift_fires() {
+        let findings = run(&[
+            (
+                "crates/pairing/src/simd/avx2.rs",
+                "#[target_feature(enable = \"avx2\")]\n\
+                 pub(crate) fn drifted(a: &[u64; 6]) -> [u64; 6] {\n    *a\n}\n",
+            ),
+            (
+                "crates/pairing/src/simd/scalar.rs",
+                "pub(crate) fn drifted(a: &[u64; 4]) -> [u64; 4] {\n    *a\n}\n",
+            ),
+        ]);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("disagree on their signatures")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn packed_type_escaping_the_surface_fires() {
+        let findings = run(&[(ISLE, "pub(crate) fn leak(v: __m256i) -> u64 {\n    0\n}\n")]);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("packed vector type")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn movemask_and_lane_branches_fire_but_debug_asserts_do_not() {
+        let findings = run(&[(
+            ISLE,
+            "fn leaky(v: __m256i) {\n    let m = _mm256_movemask_epi8(v);\n    \
+             if _mm256_extract_epi64::<0>(v) == 0 { return; }\n    \
+             debug_assert!(_mm256_extract_epi64::<3>(v) == 0);\n}\n",
+        )]);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("mask extraction")),
+            "{findings:?}"
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("branch condition reads a vector lane")),
+            "{findings:?}"
+        );
+        assert_eq!(
+            findings.iter().filter(|f| f.line == 4).count(),
+            0,
+            "debug_assert lines are exempt: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn backend_ok_suppresses_lane_findings_with_reason() {
+        let findings = run(&[(
+            ISLE,
+            "fn audited(v: __m256i) {\n    \
+             // backend-ok: mask feeds a constant-time select, reviewed\n    \
+             let m = _mm256_movemask_epi8(v);\n    let _ = m;\n}\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    const FX_FP: &str = "montgomery_field!(Fp, 6, [0xb9fe_ffff_ffff_aaab, \
+                         0x1eab_fffe_b153_ffff, 0x6730_d2a0_f6b0_f624, 0x6477_4b84_f385_12bf, \
+                         0x4b1b_a7b6_434b_acd7, 0x1a01_11ea_397f_e69a]);\n";
+
+    #[test]
+    fn entry_point_without_contract_fires() {
+        let caller = format!("{FX_FP}fn outside() {{\n    let _ = packed_entry(&[0u64; 6]);\n}}\n");
+        let findings = run(&[
+            ("crates/pairing/src/fp.rs", caller.as_str()),
+            (
+                ISLE,
+                "pub(crate) fn packed_entry(a: &[u64; 6]) -> ([u64; 6], [u64; 6]) {\n    \
+                 (*a, *a)\n}\n",
+            ),
+        ]);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("declares no `// range:` contract")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn over_cap_contract_fires() {
+        let caller = format!("{FX_FP}fn outside() {{\n    let _ = packed_entry(&[0u64; 6]);\n}}\n");
+        let findings = run(&[
+            ("crates/pairing/src/fp.rs", caller.as_str()),
+            (
+                ISLE,
+                "// range: <16p -> <512pp\npub(crate) fn packed_entry(a: &[u64; 6]) -> \
+                 ([u64; 6], [u64; 6]) {\n    (*a, *a)\n}\n",
+            ),
+        ]);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("exceeds `Fp`'s headroom caps")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn contract_drift_between_backends_fires() {
+        let caller = format!("{FX_FP}fn outside() {{\n    let _ = packed_entry(&[0u64; 6]);\n}}\n");
+        let findings = run(&[
+            ("crates/pairing/src/fp.rs", caller.as_str()),
+            (
+                "crates/pairing/src/simd/scalar.rs",
+                "// range: <8p -> <64pp\npub(crate) fn packed_entry(a: &[u64; 6]) -> \
+                 ([u64; 6], [u64; 6]) {\n    (*a, *a)\n}\n",
+            ),
+            (
+                "crates/pairing/src/simd/avx2.rs",
+                "// range: <4p -> <16pp\npub(crate) fn packed_entry(a: &[u64; 6]) -> \
+                 ([u64; 6], [u64; 6]) {\n    (*a, *a)\n}\n",
+            ),
+        ]);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("identical per-lane classes")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn matching_contracts_within_caps_are_silent() {
+        let caller = format!("{FX_FP}fn outside() {{\n    let _ = packed_entry(&[0u64; 6]);\n}}\n");
+        let findings = run(&[
+            ("crates/pairing/src/fp.rs", caller.as_str()),
+            (
+                "crates/pairing/src/simd/scalar.rs",
+                "// range: <8p -> <64pp\npub(crate) fn packed_entry(a: &[u64; 6]) -> \
+                 ([u64; 6], [u64; 6]) {\n    (*a, *a)\n}\n",
+            ),
+            (
+                "crates/pairing/src/simd/avx2.rs",
+                "// range: <8p -> <64pp\npub(crate) fn packed_entry(a: &[u64; 6]) -> \
+                 ([u64; 6], [u64; 6]) {\n    (*a, *a)\n}\n",
+            ),
+        ]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}
