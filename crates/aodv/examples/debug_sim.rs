@@ -27,7 +27,7 @@ fn main() {
         .collect();
     let pos: Vec<Position> = mob
         .iter_mut()
-        .map(|m| m.position_at(SimTime::ZERO, &mut rng))
+        .map(|m| m.position_at(SimTime::ZERO))
         .collect();
     // connectivity
     let n = pos.len();

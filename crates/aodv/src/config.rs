@@ -161,6 +161,12 @@ pub struct ScenarioConfig {
     /// 1500×300 m scenario connected the way the paper's Fig. 1 PDR
     /// (~0.95 at 0 m/s) implies. ns-2's classic 250 m partitions it.
     pub radio_range: f64,
+    /// Replace the spatial-grid neighbor query with a full linear scan
+    /// over all nodes. The two produce bit-identical metrics (per-node
+    /// mobility streams make trajectories sampling-independent); the
+    /// flag exists for the bench ablation that measures what the grid
+    /// buys at scale.
+    pub linear_scan: bool,
 }
 
 impl ScenarioConfig {
@@ -185,8 +191,25 @@ impl ScenarioConfig {
             aodv: AodvConfig::default(),
             loss_rate: 0.0,
             radio_range: 370.0,
+            linear_scan: false,
         }
         .with_default_flows(10, 4, 512)
+    }
+
+    /// A scaled-up variant of the paper scenario that preserves its node
+    /// density (one node per 22,500 m², the paper's 20 nodes in
+    /// 1500 m × 300 m) and its 5:1 aspect ratio, with the same CBR load
+    /// of 10 flows × 4 packets/s × 512 B. Used by the city-scale sweeps
+    /// (500–5,000 nodes) that the spatial grid and calendar queue make
+    /// tractable.
+    pub fn scaled(num_nodes: usize, max_speed: f64, seed: u64) -> Self {
+        assert!(num_nodes >= 2, "need at least two nodes");
+        let mut cfg = Self::paper_baseline(max_speed, seed);
+        cfg.num_nodes = num_nodes;
+        let width = (num_nodes as f64 * 22_500.0 * 5.0).sqrt();
+        cfg.area_width = width;
+        cfg.area_height = width / 5.0;
+        cfg.with_default_flows(10, 4, 512)
     }
 
     /// Installs `n` CBR flows between deterministic, distinct,
@@ -308,6 +331,20 @@ mod tests {
     fn secured_switches_protocol() {
         let cfg = ScenarioConfig::paper_baseline(5.0, 2).secured();
         assert_eq!(cfg.protocol, Protocol::McClsSecured);
+    }
+
+    #[test]
+    fn scaled_scenario_preserves_density_and_aspect() {
+        let base = ScenarioConfig::paper_baseline(10.0, 1);
+        let big = ScenarioConfig::scaled(5_000, 10.0, 1);
+        let density = |c: &ScenarioConfig| c.num_nodes as f64 / (c.area_width * c.area_height);
+        assert!((density(&base) - density(&big)).abs() < 1e-12);
+        assert!((big.area_width / big.area_height - 5.0).abs() < 1e-9);
+        assert_eq!(big.flows.len(), 10, "load stays at the paper's 10 flows");
+        // At 20 nodes the scaled scenario reproduces the paper baseline.
+        let same = ScenarioConfig::scaled(20, 10.0, 1);
+        assert_eq!(same.area_width, base.area_width);
+        assert_eq!(same.area_height, base.area_height);
     }
 
     #[test]

@@ -101,8 +101,30 @@ pub fn scenario(
     cfg
 }
 
+/// One round of SplitMix64's output mixing (Steele et al., the
+/// generator `java.util.SplittableRandom` popularized).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The RNG seed of one sweep run, derived by chained SplitMix64 mixing
+/// from `(base_seed, speed, trial)`.
+///
+/// Every run's seed is a pure function of its coordinates — independent
+/// of iteration order, worker count, or which other points a sweep
+/// covers — so `BENCH_sim.json` rows and the `figures/` output are
+/// bit-identical no matter how the sweep is scheduled. The mixing also
+/// decorrelates the lanes properly; the additive scheme it replaces
+/// collided whenever `base_seed + trial + speed·1000` tied.
+pub fn run_seed(base_seed: u64, speed: f64, trial: u64) -> u64 {
+    splitmix64(splitmix64(splitmix64(base_seed) ^ speed.to_bits()) ^ trial)
+}
+
 /// Runs one configuration for every speed in `speeds`, pooling `trials`
-/// seeds per point.
+/// seeds per point, fanned out over one scoped worker thread per core.
 pub fn sweep(
     protocol: Protocol,
     attack: AttackKind,
@@ -110,17 +132,68 @@ pub fn sweep(
     trials: u64,
     base_seed: u64,
 ) -> SweepSeries {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    sweep_parallel(protocol, attack, speeds, trials, base_seed, workers)
+}
+
+/// [`sweep`] with an explicit worker count. Results are bit-identical
+/// for every `workers` value: each run's seed comes from [`run_seed`]
+/// and runs are merged back in deterministic `(speed, trial)` order, so
+/// threads only decide *when* a run executes, never what it computes.
+pub fn sweep_parallel(
+    protocol: Protocol,
+    attack: AttackKind,
+    speeds: &[f64],
+    trials: u64,
+    base_seed: u64,
+    workers: usize,
+) -> SweepSeries {
+    let jobs: Vec<(usize, u64)> = (0..speeds.len())
+        .flat_map(|si| (0..trials).map(move |trial| (si, trial)))
+        .collect();
+    let mut slots: Vec<Option<Metrics>> = vec![None; jobs.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let worker_outputs: Vec<Vec<(usize, Metrics)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.max(1))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(&(si, trial)) = jobs.get(i) else {
+                            break;
+                        };
+                        let speed = speeds[si];
+                        let seed = run_seed(base_seed, speed, trial);
+                        let cfg = scenario(protocol, attack, speed, seed, None);
+                        out.push((i, Network::new(cfg).run()));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+    for (i, m) in worker_outputs.into_iter().flatten() {
+        slots[i] = Some(m);
+    }
     let points = speeds
         .iter()
-        .map(|&speed| {
+        .enumerate()
+        .map(|(si, &speed)| {
             let mut pooled = Metrics::default();
-            for trial in 0..trials {
-                let seed = base_seed
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(trial)
-                    .wrapping_add((speed * 1000.0) as u64);
-                let cfg = scenario(protocol, attack, speed, seed, None);
-                pooled.merge(&Network::new(cfg).run());
+            for trial in 0..trials as usize {
+                if let Some(m) = &slots[si * trials as usize + trial] {
+                    pooled.merge(m);
+                }
             }
             SweepPoint {
                 speed,
@@ -206,6 +279,31 @@ mod tests {
         assert_eq!(s.points.len(), 2);
         assert!(s.points[0].metrics.data_sent > 0);
         assert_eq!(s.label(), "AODV");
+    }
+
+    #[test]
+    fn run_seeds_are_decorrelated() {
+        // The coordinates that collided under the old additive scheme
+        // must map to distinct seeds now.
+        let a = run_seed(1, 0.0, 1000);
+        let b = run_seed(1, 1.0, 0);
+        let c = run_seed(1001, 0.0, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        // And a seed only depends on its own coordinates.
+        assert_eq!(run_seed(7, 5.0, 3), run_seed(7, 5.0, 3));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_sweep_results() {
+        let serial = sweep_parallel(Protocol::Aodv, AttackKind::None, &tiny_speeds(), 2, 5, 1);
+        let fanned = sweep_parallel(Protocol::Aodv, AttackKind::None, &tiny_speeds(), 2, 5, 4);
+        assert_eq!(serial.points.len(), fanned.points.len());
+        for (a, b) in serial.points.iter().zip(&fanned.points) {
+            assert_eq!(a.speed, b.speed);
+            assert_eq!(a.metrics, b.metrics, "worker count leaked into metrics");
+        }
     }
 
     #[test]

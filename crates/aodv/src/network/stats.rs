@@ -1,0 +1,73 @@
+//! Authentication helpers and their metrics accounting: virtual crypto
+//! costs, signing outgoing control packets, and verifying incoming ones
+//! (all constant-bound per event — one signature per packet).
+
+use mccls_sim::SimDuration;
+
+use crate::auth::Auth;
+use crate::config::Protocol;
+use crate::packet::{Rrep, Rreq};
+use crate::types::NodeId;
+
+use super::Network;
+
+impl Network {
+    /// True when this run authenticates routing packets with McCLS.
+    pub(super) fn secure(&self) -> bool {
+        self.cfg.protocol == Protocol::McClsSecured
+    }
+
+    /// Virtual processing time of one signing operation.
+    pub(super) fn sign_cost(&self) -> SimDuration {
+        if self.secure() {
+            self.cfg.crypto_cost.sign
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Virtual processing time of one verification.
+    pub(super) fn verify_cost(&self) -> SimDuration {
+        if self.secure() {
+            self.cfg.crypto_cost.verify
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Signs an RREQ as `signer` in secured runs.
+    pub(super) fn maybe_sign_rreq(&mut self, signer: NodeId, mut rreq: Rreq) -> Rreq {
+        if self.secure() {
+            let payload = rreq.auth_payload(signer);
+            rreq.auth = Some(self.provider.sign(signer, &payload));
+            self.metrics.signatures_made += 1;
+        }
+        rreq
+    }
+
+    /// Signs an RREP as `signer` in secured runs.
+    pub(super) fn maybe_sign_rrep(&mut self, signer: NodeId, mut rrep: Rrep) -> Rrep {
+        if self.secure() {
+            let payload = rrep.auth_payload(signer);
+            rrep.auth = Some(self.provider.sign(signer, &payload));
+            self.metrics.signatures_made += 1;
+        }
+        rrep
+    }
+
+    /// Verifies an incoming authenticated packet at an honest node.
+    /// Returns false when the packet must be discarded.
+    pub(super) fn check_auth(&mut self, payload: &[u8], auth: &Option<Auth>) -> bool {
+        if !self.secure() {
+            return true;
+        }
+        self.metrics.signatures_checked += 1;
+        let ok = auth
+            .as_ref()
+            .is_some_and(|a| self.provider.verify(payload, a));
+        if !ok {
+            self.metrics.auth_rejected += 1;
+        }
+        ok
+    }
+}

@@ -25,6 +25,15 @@ pub struct Route {
     pub precursors: BTreeSet<NodeId>,
 }
 
+/// Hard cap on routing-table entries per node. This is what lets the
+/// complexity lint certify whole-table operations (RERR generation,
+/// eviction) as constant-bound per event: the scan length can never
+/// track the network size. 512 comfortably exceeds what any node
+/// accumulates in practice — even a 5,000-node sweep only routes
+/// towards the ~20 flow endpoints plus transient neighbors — so the
+/// eviction path below is essentially never exercised outside tests.
+pub const MAX_ROUTES: usize = 512;
+
 /// The routing table of a single node.
 #[derive(Debug, Clone, Default)]
 pub struct RoutingTable {
@@ -71,6 +80,19 @@ impl RoutingTable {
         let expires_at = now + lifetime;
         match self.routes.get_mut(&dest) {
             None => {
+                if self.routes.len() >= MAX_ROUTES {
+                    // Evict an invalid entry if one exists, else the one
+                    // expiring soonest (false sorts before true).
+                    // complexity-ok: the eviction scan visits at most MAX_ROUTES entries
+                    let victim = self
+                        .routes
+                        .iter()
+                        .min_by_key(|(_, r)| (r.valid, r.expires_at))
+                        .map(|(d, _)| *d);
+                    if let Some(d) = victim {
+                        self.routes.remove(&d);
+                    }
+                }
                 self.routes.insert(
                     dest,
                     Route {
@@ -133,12 +155,14 @@ impl RoutingTable {
     /// Invalidates every valid route whose next hop is `neighbor`,
     /// returning the affected destinations.
     pub fn invalidate_via(&mut self, neighbor: NodeId) -> Vec<(NodeId, SeqNo)> {
+        // complexity-ok: route tables are capped at MAX_ROUTES entries
         let dests: Vec<NodeId> = self
             .routes
             .iter()
             .filter(|(_, r)| r.valid && r.next_hop == neighbor)
             .map(|(d, _)| *d)
             .collect();
+        // complexity-ok: at most MAX_ROUTES destinations collected above
         dests
             .into_iter()
             .filter_map(|d| self.invalidate(d).map(|(seq, _)| (d, seq)))
@@ -249,6 +273,32 @@ mod tests {
         assert_eq!(broken.len(), 2);
         assert!(rt.lookup(NodeId(7), t(1)).is_some());
         assert!(rt.lookup(NodeId(9), t(1)).is_none());
+    }
+
+    #[test]
+    fn table_never_exceeds_the_route_cap() {
+        let mut rt = RoutingTable::new();
+        for i in 0..(MAX_ROUTES as u16 + 100) {
+            rt.offer(NodeId(i), NodeId(0), 1, SeqNo(1), LIFETIME, t(0));
+            assert!(rt.len() <= MAX_ROUTES);
+        }
+        assert_eq!(rt.len(), MAX_ROUTES);
+    }
+
+    #[test]
+    fn eviction_prefers_invalid_then_earliest_expiry() {
+        let mut rt = RoutingTable::new();
+        for i in 0..MAX_ROUTES as u16 {
+            // Later destinations expire later.
+            rt.offer(NodeId(i), NodeId(0), 1, SeqNo(1), LIFETIME, t(i as u64));
+        }
+        rt.invalidate(NodeId(7));
+        rt.offer(NodeId(9_000), NodeId(0), 1, SeqNo(1), LIFETIME, t(0));
+        assert!(rt.entry(NodeId(7)).is_none(), "invalid entry evicted first");
+        // With no invalid entries left, the earliest expiry goes next.
+        rt.offer(NodeId(9_001), NodeId(0), 1, SeqNo(1), LIFETIME, t(0));
+        assert!(rt.entry(NodeId(0)).is_none(), "earliest expiry evicted");
+        assert_eq!(rt.len(), MAX_ROUTES);
     }
 
     #[test]

@@ -1,15 +1,19 @@
 //! Discrete-event MANET simulation substrate — the workspace's stand-in
 //! for the proprietary QualNet simulator the paper evaluates with.
 //!
-//! Three orthogonal pieces:
+//! Four orthogonal pieces:
 //!
-//! * [`Scheduler`] — a deterministic discrete-event queue over typed
-//!   events ([`SimTime`]/[`SimDuration`] virtual time, FIFO tie-break);
+//! * [`Scheduler`] — a deterministic discrete-event calendar queue over
+//!   typed events ([`SimTime`]/[`SimDuration`] virtual time, FIFO
+//!   tie-break, O(1) amortized enqueue/dequeue);
 //! * [`RandomWaypoint`] — the random-waypoint mobility model over a
-//!   rectangular [`Area`], evaluated analytically;
+//!   rectangular [`Area`], evaluated analytically on a private per-node
+//!   RNG stream;
 //! * [`RadioConfig`] — unit-disk connectivity with bandwidth-derived
 //!   serialization delay, per-receiver MAC jitter, and optional frame
-//!   loss.
+//!   loss;
+//! * [`SpatialGrid`] — a uniform spatial hash (cell side = radio range)
+//!   giving O(neighbors) range queries with incremental re-bucketing.
 //!
 //! The AODV routing protocol, its McCLS security extension, the attack
 //! models, and the experiment harness live in the `mccls-aodv` crate on
@@ -38,11 +42,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod grid;
 mod mobility;
 mod radio;
 mod scheduler;
 mod time;
 
+pub use grid::SpatialGrid;
 pub use mobility::{Area, Position, RandomWaypoint, WaypointConfig};
 pub use radio::RadioConfig;
 pub use scheduler::Scheduler;

@@ -1,8 +1,15 @@
 //! Random-waypoint mobility (the model the paper's QualNet scenario
 //! uses: nodes in a rectangle repeatedly pick a uniform destination and
 //! speed, travel there in a straight line, pause, repeat).
+//!
+//! Each node owns a private RNG stream (seeded once at construction),
+//! so a trajectory is a pure function of the construction draws and of
+//! time: *when* and *how often* a node is sampled cannot perturb it,
+//! and it cannot perturb any other node. That independence is what
+//! lets the spatial grid sample only candidate neighbors per event
+//! while staying bit-identical to a full linear scan.
 
-use mccls_rng::Rng;
+use mccls_rng::{Rng, SeedableRng};
 
 use crate::time::{SimDuration, SimTime};
 
@@ -118,7 +125,7 @@ enum Leg {
 /// let mut rng = mccls_rng::rngs::StdRng::seed_from_u64(1);
 /// let area = Area::new(1500.0, 300.0);
 /// let mut node = RandomWaypoint::new(area, WaypointConfig::paper(10.0), &mut rng);
-/// let p = node.position_at(SimTime::from_secs(30), &mut rng);
+/// let p = node.position_at(SimTime::from_secs(30));
 /// assert!(area.contains(&p));
 /// ```
 #[derive(Debug, Clone)]
@@ -128,13 +135,21 @@ pub struct RandomWaypoint {
     leg: Leg,
     /// Time up to which the state has been advanced.
     horizon: SimTime,
+    /// Private waypoint stream: two nodes never share draws, so one
+    /// node's sampling pattern cannot shift another's trajectory.
+    rng: mccls_rng::rngs::StdRng,
 }
 
 impl RandomWaypoint {
     /// Places a node uniformly in `area` and starts its first leg at
     /// `t = 0`.
+    ///
+    /// `rng` is only used for the initial placement and to derive the
+    /// node's private waypoint stream; the returned node never touches
+    /// it again.
     pub fn new(area: Area, config: WaypointConfig, rng: &mut impl Rng) -> Self {
         let start = area.random_point(rng);
+        let stream = mccls_rng::rngs::StdRng::seed_from_u64(rng.next_u64());
         let mut node = Self {
             area,
             config,
@@ -143,8 +158,9 @@ impl RandomWaypoint {
                 until: Some(SimTime::ZERO),
             },
             horizon: SimTime::ZERO,
+            rng: stream,
         };
-        node.advance_to(SimTime::ZERO, rng);
+        node.advance_to(SimTime::ZERO);
         node
     }
 
@@ -154,9 +170,9 @@ impl RandomWaypoint {
     ///
     /// Panics if `t` precedes an earlier query (time must be sampled
     /// monotonically, which the event loop guarantees).
-    pub fn position_at(&mut self, t: SimTime, rng: &mut impl Rng) -> Position {
+    pub fn position_at(&mut self, t: SimTime) -> Position {
         assert!(t >= self.horizon, "mobility sampled backwards in time");
-        self.advance_to(t, rng);
+        self.advance_to(t);
         match self.leg {
             Leg::Idle { at, .. } => at,
             Leg::Moving {
@@ -177,8 +193,9 @@ impl RandomWaypoint {
         }
     }
 
-    fn advance_to(&mut self, t: SimTime, rng: &mut impl Rng) {
+    fn advance_to(&mut self, t: SimTime) {
         self.horizon = t;
+        // complexity-ok: amortized O(1) — each iteration retires one travel leg, and legs are only ever created one per waypoint drawn
         loop {
             match self.leg {
                 Leg::Idle { until: None, .. } => return, // parked forever
@@ -193,11 +210,12 @@ impl RandomWaypoint {
                         self.leg = Leg::Idle { at, until: None };
                         return;
                     }
-                    let to = self.area.random_point(rng);
+                    let to = self.area.random_point(&mut self.rng);
                     let speed = if self.config.min_speed >= self.config.max_speed {
                         self.config.max_speed
                     } else {
-                        rng.gen_range(self.config.min_speed..self.config.max_speed)
+                        self.rng
+                            .gen_range(self.config.min_speed..self.config.max_speed)
                     };
                     self.leg = Leg::Moving {
                         from: at,
@@ -244,7 +262,7 @@ mod tests {
         let mut r = rng(1);
         let mut node = RandomWaypoint::new(area, WaypointConfig::paper(20.0), &mut r);
         for s in 0..600 {
-            let p = node.position_at(SimTime::from_secs(s), &mut r);
+            let p = node.position_at(SimTime::from_secs(s));
             assert!(area.contains(&p), "escaped at t={s}: {p:?}");
         }
     }
@@ -254,9 +272,9 @@ mod tests {
         let area = Area::new(100.0, 100.0);
         let mut r = rng(2);
         let mut node = RandomWaypoint::new(area, WaypointConfig::paper(0.0), &mut r);
-        let p0 = node.position_at(SimTime::ZERO, &mut r);
+        let p0 = node.position_at(SimTime::ZERO);
         for s in 1..100 {
-            assert_eq!(node.position_at(SimTime::from_secs(s), &mut r), p0);
+            assert_eq!(node.position_at(SimTime::from_secs(s)), p0);
         }
     }
 
@@ -266,9 +284,9 @@ mod tests {
         let mut r = rng(3);
         let max = 20.0;
         let mut node = RandomWaypoint::new(area, WaypointConfig::paper(max), &mut r);
-        let mut last = node.position_at(SimTime::ZERO, &mut r);
+        let mut last = node.position_at(SimTime::ZERO);
         for s in 1..300 {
-            let p = node.position_at(SimTime::from_secs(s), &mut r);
+            let p = node.position_at(SimTime::from_secs(s));
             let dist = p.distance(&last);
             assert!(dist <= max + 1e-6, "moved {dist} m in 1 s (max {max})");
             last = p;
@@ -280,8 +298,8 @@ mod tests {
         let area = Area::new(1500.0, 300.0);
         let mut r = rng(4);
         let mut node = RandomWaypoint::new(area, WaypointConfig::paper(10.0), &mut r);
-        let p0 = node.position_at(SimTime::ZERO, &mut r);
-        let p1 = node.position_at(SimTime::from_secs(60), &mut r);
+        let p0 = node.position_at(SimTime::ZERO);
+        let p1 = node.position_at(SimTime::from_secs(60));
         assert!(p0.distance(&p1) > 1.0, "node stayed put for a minute");
     }
 
@@ -297,8 +315,8 @@ mod tests {
         let mut node = RandomWaypoint::new(area, config, &mut r);
         // After at most ~3 s the node reaches its first waypoint
         // (diagonal of a 10x10 box at 5 m/s), then pauses ~forever.
-        let p_a = node.position_at(SimTime::from_secs(10), &mut r);
-        let p_b = node.position_at(SimTime::from_secs(500), &mut r);
+        let p_a = node.position_at(SimTime::from_secs(10));
+        let p_b = node.position_at(SimTime::from_secs(500));
         assert_eq!(p_a, p_b);
     }
 
@@ -308,8 +326,8 @@ mod tests {
         let area = Area::new(10.0, 10.0);
         let mut r = rng(6);
         let mut node = RandomWaypoint::new(area, WaypointConfig::paper(1.0), &mut r);
-        node.position_at(SimTime::from_secs(10), &mut r);
-        node.position_at(SimTime::from_secs(5), &mut r);
+        node.position_at(SimTime::from_secs(10));
+        node.position_at(SimTime::from_secs(5));
     }
 
     #[test]

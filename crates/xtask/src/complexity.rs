@@ -1,0 +1,1471 @@
+//! Interprocedural asymptotic-complexity certification for the
+//! simulation hot path (`crates/sim` + `crates/aodv`).
+//!
+//! Every function gets a symbolic big-O class — a product of bounded
+//! factors `nodes` (network size), `neighbors` (grid-bucket candidates,
+//! capped by the density contract), and `log` (calendar/day scans) —
+//! inferred from its loop nests and composed bottom-up through the call
+//! graph (callees first; cycles saturate to "unbounded" exactly like
+//! the operation-count analysis in [`crate::opcount`]).
+//!
+//! Loop iteration counts are classified from the loop header text:
+//!
+//! 1. `while`/`loop` have no static trip count → unbounded;
+//! 2. headers naming `neighbor`/`candidate` collections → `neighbors`;
+//! 3. headers naming `bucket`s → `log` (the calendar-queue day scan,
+//!    whose amortized bound the scheduler documents);
+//! 4. headers naming `node`s/`peer`s/mobility state → `nodes`;
+//! 5. literal or `SCREAMING_CASE`-constant ranges → constant;
+//! 6. anything else → `nodes` (a sound over-approximation).
+//!
+//! Iterator adaptors (`map`, `filter`, …) count as loops only when
+//! their receiver chain visibly produces an iterator (`.iter()`,
+//! ranges, `.drain()`, …); `Option`/`Result` combinators run at most
+//! once and are ignored.
+//!
+//! Hot-path functions declare their class with a `// complexity: <c>`
+//! contract comment; `complexity-budgets.toml` pins the certified
+//! classes. All checks are equalities: an overrun fails the gate, and
+//! so do slack, a stale contract, or a missing marker — the committed
+//! budget must say exactly what the analysis proves. Individual loops
+//! or calls can be excused with `// complexity-ok: <reason>`; a bare
+//! marker without a reason is itself a finding.
+//!
+//! Certifying the per-event dispatch root (`Network::handle`) at
+//! `neighbors` implies no node-quadratic path is reachable from it:
+//! class propagation is monotone, so any `nodes`-bound callee would
+//! surface in the root's class unless a reviewed suppression
+//! explicitly severs it.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::callgraph::CallGraph;
+use crate::parser::{Call, FnItem, ParsedFile};
+use crate::{suppression_near, Finding, Suppression};
+
+/// Contract comment tying a function declaration to its class.
+pub const CONTRACT_MARKER: &str = "// complexity:";
+
+/// Suppression marker excusing one loop or call site.
+pub const SUPPRESS_MARKER: &str = "complexity-ok:";
+
+/// File label used for findings about the budget file itself.
+pub const BUDGET_FILE: &str = "complexity-budgets.toml";
+
+/// Per-factor degree cap; any product beyond `nodes²`-style degrees is
+/// treated as unbounded (nothing on a per-event budget should get
+/// near it).
+const MAX_POW: u8 = 2;
+
+/// A symbolic asymptotic class: `nodes^a · neighbors^b · log^c`, or
+/// unbounded when no static bound exists (recursion, `while`/`loop`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Class {
+    nodes: u8,
+    neighbors: u8,
+    log: u8,
+    unbounded: bool,
+}
+
+impl Class {
+    /// Constant work: the lattice bottom.
+    pub const CONST: Self = Self {
+        nodes: 0,
+        neighbors: 0,
+        log: 0,
+        unbounded: false,
+    };
+
+    /// No static bound: the lattice top.
+    pub const UNBOUNDED: Self = Self {
+        nodes: 0,
+        neighbors: 0,
+        log: 0,
+        unbounded: true,
+    };
+
+    fn of(nodes: u8, neighbors: u8, log: u8) -> Self {
+        Self {
+            nodes,
+            neighbors,
+            log,
+            unbounded: false,
+        }
+    }
+
+    /// One factor of the network size.
+    pub const NODES: Self = Self {
+        nodes: 1,
+        neighbors: 0,
+        log: 0,
+        unbounded: false,
+    };
+
+    /// One factor of the density-bounded neighbor count.
+    pub const NEIGHBORS: Self = Self {
+        nodes: 0,
+        neighbors: 1,
+        log: 0,
+        unbounded: false,
+    };
+
+    /// One logarithmic factor.
+    pub const LOG: Self = Self {
+        nodes: 0,
+        neighbors: 0,
+        log: 1,
+        unbounded: false,
+    };
+
+    /// Parses `"const"` or a `*`-product of `nodes`/`neighbors`/`log`
+    /// factors, each optionally squared (`nodes^2`).
+    pub fn parse(text: &str) -> Option<Self> {
+        let t = text.trim();
+        if t == "const" {
+            return Some(Self::CONST);
+        }
+        if t.is_empty() {
+            return None;
+        }
+        let mut out = Self::CONST;
+        for factor in t.split('*') {
+            let f = factor.trim();
+            let (base, pow) = match f.split_once('^') {
+                Some((b, p)) => (b.trim(), p.trim().parse::<u8>().ok()?),
+                None => (f, 1),
+            };
+            if pow == 0 || pow > MAX_POW {
+                return None;
+            }
+            let slot = match base {
+                "nodes" => &mut out.nodes,
+                "neighbors" => &mut out.neighbors,
+                "log" => &mut out.log,
+                _ => return None,
+            };
+            *slot = slot.checked_add(pow).filter(|&v| v <= MAX_POW)?;
+        }
+        Some(out)
+    }
+
+    /// Sequential composition inside a loop: degrees add, saturating to
+    /// unbounded past the degree cap.
+    pub fn times(self, other: Self) -> Self {
+        if self.unbounded || other.unbounded {
+            return Self::UNBOUNDED;
+        }
+        let (n, b, l) = (
+            self.nodes + other.nodes,
+            self.neighbors + other.neighbors,
+            self.log + other.log,
+        );
+        if n > MAX_POW || b > MAX_POW || l > MAX_POW {
+            Self::UNBOUNDED
+        } else {
+            Self::of(n, b, l)
+        }
+    }
+
+    /// Worst case of two alternatives (branch join).
+    pub fn join(self, other: Self) -> Self {
+        if self.unbounded || other.unbounded {
+            return Self::UNBOUNDED;
+        }
+        Self::of(
+            self.nodes.max(other.nodes),
+            self.neighbors.max(other.neighbors),
+            self.log.max(other.log),
+        )
+    }
+
+    /// Component-wise ≤ (false whenever `self` is unbounded and `other`
+    /// is not).
+    fn le(self, other: Self) -> bool {
+        if other.unbounded {
+            return true;
+        }
+        !self.unbounded
+            && self.nodes <= other.nodes
+            && self.neighbors <= other.neighbors
+            && self.log <= other.log
+    }
+}
+
+impl fmt::Display for Class {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.unbounded {
+            return write!(f, "unbounded");
+        }
+        let mut factors = Vec::new();
+        for (name, pow) in [
+            ("nodes", self.nodes),
+            ("neighbors", self.neighbors),
+            ("log", self.log),
+        ] {
+            match pow {
+                0 => {}
+                1 => factors.push(name.to_owned()),
+                p => factors.push(format!("{name}^{p}")),
+            }
+        }
+        if factors.is_empty() {
+            write!(f, "const")
+        } else {
+            write!(f, "{}", factors.join(" * "))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Loop-span scanning
+// ---------------------------------------------------------------------
+
+/// Iterator adaptors whose closure runs once per item. Kept in sync
+/// with the parser's call-context list.
+const PER_ITEM_ADAPTORS: &[&str] = &[
+    "map",
+    "for_each",
+    "flat_map",
+    "filter_map",
+    "filter",
+    "fold",
+    "retain",
+    "scan",
+    "inspect",
+];
+
+/// Receiver fragments that visibly produce an iterator. An adaptor on
+/// any other receiver is treated as an `Option`/`Result` combinator
+/// (at most one execution), not a loop.
+const ITERATOR_HINTS: &[&str] = &[
+    "..",
+    ".iter",
+    ".into_iter",
+    ".drain",
+    ".chars",
+    ".bytes",
+    ".lines",
+    ".split",
+    ".windows",
+    ".chunks",
+    ".keys",
+    ".values",
+    ".enumerate",
+    ".flatten",
+    ".zip",
+    ".rev(",
+];
+
+/// One repeated-execution region of a body.
+struct Span {
+    /// Char index of the region opener (`{` for loops, `(` for
+    /// adaptors) in the scrubbed body.
+    open: usize,
+    /// Matching closer.
+    close: usize,
+    /// 1-based source line of the loop keyword / adaptor dot — the
+    /// anchor for suppression comments.
+    line: usize,
+    /// 1-based line range of the region, for call containment.
+    open_line: usize,
+    close_line: usize,
+    /// Iteration bound (before suppression).
+    bound: Class,
+}
+
+fn ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn starts_word_at(chars: &[char], i: usize, word: &str) -> bool {
+    let pat: Vec<char> = word.chars().collect();
+    i + pat.len() <= chars.len()
+        && chars[i..i + pat.len()] == pat[..]
+        && (i == 0 || !ident_char(chars[i - 1]))
+        && chars.get(i + pat.len()).is_none_or(|c| !ident_char(*c))
+}
+
+fn skip_ws(chars: &[char], mut i: usize) -> usize {
+    while i < chars.len() && chars[i].is_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+fn match_delim(chars: &[char], open: usize, oc: char, cc: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, &c) in chars.iter().enumerate().skip(open) {
+        if c == oc {
+            depth += 1;
+        } else if c == cc {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// The `{` opening a loop body: the first brace at paren/bracket depth
+/// zero after the loop keyword.
+fn loop_body_open(chars: &[char], from: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, &c) in chars.iter().enumerate().skip(from) {
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth -= 1,
+            '{' if depth == 0 => return Some(j),
+            ';' | '}' if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Reconstructs the receiver chain ending at the `.` at `dot`:
+/// identifiers, field accesses, `?`, and balanced `(..)`/`[..]` groups.
+fn receiver_before(chars: &[char], dot: usize) -> String {
+    let mut j = dot;
+    while let Some(prev) = j.checked_sub(1) {
+        let c = chars[prev];
+        if ident_char(c) || c == '.' || c == '?' {
+            j = prev;
+            continue;
+        }
+        if c == ')' || c == ']' {
+            let open_ch = if c == ')' { '(' } else { '[' };
+            let mut depth = 0i32;
+            let mut k = prev;
+            loop {
+                if chars[k] == c {
+                    depth += 1;
+                } else if chars[k] == open_ch {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                let Some(next) = k.checked_sub(1) else {
+                    return chars[j..dot].iter().collect();
+                };
+                k = next;
+            }
+            j = k;
+            continue;
+        }
+        break;
+    }
+    chars[j..dot].iter().collect()
+}
+
+/// True when a `..`/`..=` range ends in an integer literal or a
+/// `SCREAMING_CASE` constant — a compile-time-constant trip count.
+fn const_range(text: &str) -> bool {
+    let Some(pos) = text.find("..") else {
+        return false;
+    };
+    let tail = text[pos + 2..]
+        .strip_prefix('=')
+        .unwrap_or(&text[pos + 2..]);
+    let token: String = tail
+        .trim_start()
+        .chars()
+        .take_while(|&c| ident_char(c))
+        .collect();
+    !token.is_empty() && !token.chars().any(|c| c.is_ascii_lowercase())
+}
+
+/// Classifies an iteration source (a `for` header or an adaptor
+/// receiver) into its bound. Order matters: named collections win over
+/// the constant-range check so `0..num_nodes` stays node-bound.
+fn classify_iterable(text: &str) -> Class {
+    let lower = text.to_ascii_lowercase();
+    if lower.contains("neighbor") || lower.contains("candidate") {
+        Class::NEIGHBORS
+    } else if lower.contains("bucket") {
+        Class::LOG
+    } else if lower.contains("node") || lower.contains("peer") || lower.contains("mobilit") {
+        Class::NODES
+    } else if const_range(text) {
+        Class::CONST
+    } else {
+        Class::NODES
+    }
+}
+
+fn receiver_is_iterator(recv: &str) -> bool {
+    ITERATOR_HINTS.iter().any(|h| recv.contains(h))
+}
+
+/// Scans a scrubbed body for loop and per-item-adaptor spans.
+fn scan_spans(chars: &[char], body_line: usize) -> Vec<Span> {
+    let mut newlines = vec![0usize; chars.len() + 1];
+    for (i, &c) in chars.iter().enumerate() {
+        newlines[i + 1] = newlines[i] + usize::from(c == '\n');
+    }
+    let line_of = |i: usize| body_line + newlines[i.min(chars.len())];
+
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        for kw in ["for", "while", "loop"] {
+            if !starts_word_at(chars, i, kw) {
+                continue;
+            }
+            let after = skip_ws(chars, i + kw.len());
+            // `for<'a>` is a higher-ranked bound, not a loop.
+            if kw == "for" && chars.get(after) == Some(&'<') {
+                continue;
+            }
+            let Some(open) = loop_body_open(chars, i + kw.len()) else {
+                continue;
+            };
+            let Some(close) = match_delim(chars, open, '{', '}') else {
+                continue;
+            };
+            let bound = if kw == "for" {
+                let header: String = chars[i + kw.len()..open].iter().collect();
+                classify_iterable(&header)
+            } else {
+                Class::UNBOUNDED
+            };
+            out.push(Span {
+                open,
+                close,
+                line: line_of(i),
+                open_line: line_of(open),
+                close_line: line_of(close),
+                bound,
+            });
+        }
+        if chars[i] == '.' {
+            let start = i + 1;
+            let mut j = start;
+            while j < chars.len() && ident_char(chars[j]) {
+                j += 1;
+            }
+            let name: String = chars[start..j].iter().collect();
+            let open = skip_ws(chars, j);
+            if PER_ITEM_ADAPTORS.contains(&name.as_str()) && chars.get(open) == Some(&'(') {
+                if let Some(close) = match_delim(chars, open, '(', ')') {
+                    let recv = receiver_before(chars, i);
+                    if receiver_is_iterator(&recv) {
+                        out.push(Span {
+                            open,
+                            close,
+                            line: line_of(i),
+                            open_line: line_of(open),
+                            close_line: line_of(close),
+                            bound: classify_iterable(&recv),
+                        });
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------
+
+/// Looks for a suppression on `line` or above the *statement* holding
+/// it: when the preceding line visibly continues the same statement (a
+/// builder chain, a multi-line `let`), the search walks up to the
+/// statement head so one comment covers the whole chain.
+fn statement_suppressed(lines: &[&str], line: usize) -> Suppression {
+    let mut l = line;
+    loop {
+        let s = suppression_near(lines, l, SUPPRESS_MARKER);
+        if s != Suppression::None {
+            return s;
+        }
+        let Some(prev) = l.checked_sub(1).filter(|&p| p >= 1) else {
+            return Suppression::None;
+        };
+        let Some(text) = lines.get(prev - 1) else {
+            return Suppression::None;
+        };
+        let t = text.trim();
+        if t.is_empty()
+            || t.starts_with("//")
+            || t.ends_with(';')
+            || t.ends_with('{')
+            || t.ends_with('}')
+        {
+            return Suppression::None;
+        }
+        l = prev;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-function local analysis
+// ---------------------------------------------------------------------
+
+/// Loop structure of one function, after suppressions.
+struct Local {
+    /// Join over every loop nest's iteration product.
+    loops: Class,
+    /// Per call index: the product of enclosing loop bounds.
+    call_ctx: Vec<Class>,
+    /// Per call index: true when a justified suppression severs the
+    /// call's edges.
+    call_suppressed: Vec<bool>,
+}
+
+fn local_analysis(f: &FnItem, file: &ParsedFile, findings: &mut Vec<Finding>) -> Local {
+    let chars: Vec<char> = f.body.chars().collect();
+    let lines: Vec<&str> = file.raw_lines.iter().map(String::as_str).collect();
+    let mut bare = |line: usize| {
+        let finding = Finding {
+            file: file.path.clone(),
+            line,
+            lint: "complexity",
+            message: format!(
+                "`// {SUPPRESS_MARKER}` gives no reason — justify the suppression or remove it"
+            ),
+        };
+        if !findings.contains(&finding) {
+            findings.push(finding);
+        }
+    };
+
+    let mut spans = scan_spans(&chars, f.body_line);
+    for s in &mut spans {
+        match statement_suppressed(&lines, s.line) {
+            Suppression::Justified => s.bound = Class::CONST,
+            Suppression::MissingReason => bare(s.line),
+            Suppression::None => {}
+        }
+    }
+
+    // Each loop's cost is its own bound times every enclosing bound.
+    let mut loops = Class::CONST;
+    for (si, s) in spans.iter().enumerate() {
+        let mut product = s.bound;
+        for (ti, t) in spans.iter().enumerate() {
+            if ti != si && t.open < s.open && s.close < t.close {
+                product = product.times(t.bound);
+            }
+        }
+        loops = loops.join(product);
+    }
+
+    // Calls inherit the product of the loop spans whose line range
+    // contains them (a line-level over-approximation: a call in a loop
+    // header counts as per-iteration, which only errs upward).
+    let mut call_ctx = Vec::with_capacity(f.calls.len());
+    let mut call_suppressed = Vec::with_capacity(f.calls.len());
+    for call in &f.calls {
+        let mut ctx = Class::CONST;
+        for s in &spans {
+            if s.open_line <= call.line && call.line <= s.close_line {
+                ctx = ctx.times(s.bound);
+            }
+        }
+        call_ctx.push(ctx);
+        match statement_suppressed(&lines, call.line) {
+            Suppression::Justified => call_suppressed.push(true),
+            Suppression::MissingReason => {
+                bare(call.line);
+                call_suppressed.push(false);
+            }
+            Suppression::None => call_suppressed.push(false),
+        }
+    }
+
+    Local {
+        loops,
+        call_ctx,
+        call_suppressed,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Interprocedural propagation
+// ---------------------------------------------------------------------
+
+fn file_stem(path: &str) -> &str {
+    path.rsplit('/')
+        .next()
+        .unwrap_or(path)
+        .strip_suffix(".rs")
+        .unwrap_or(path)
+}
+
+/// Method names shared with the std container/primitive APIs. A method
+/// call with one of these names on any receiver other than literal
+/// `self` is almost certainly `Vec::len`, `HashMap::remove`, … — not
+/// the same-named in-scope function the name-based call graph links it
+/// to. Without this filter, `self.routes.len()` makes `RoutingTable::
+/// len` recursive and every caller saturates to unbounded.
+const STD_METHODS: &[&str] = &[
+    "len",
+    "is_empty",
+    "contains",
+    "contains_key",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "resize",
+    "clear",
+    "extend",
+    "append",
+    "get",
+    "last",
+    "first",
+    "min",
+    "max",
+    "sort",
+    "sort_unstable",
+    "saturating_mul",
+    "saturating_add",
+    "saturating_sub",
+];
+
+/// Whether an edge survives qualifier matching: a qualified call
+/// (`Area::new`, `Self::digest`) only links to callees whose owner or
+/// file matches the qualifier. This drops the name-only fallback edges
+/// (`Vec::new` → every in-scope `new`) that would otherwise leak
+/// constructor costs into the hot path. Method calls with std-container
+/// names ([`STD_METHODS`]) additionally require a literal `self`
+/// receiver.
+fn edge_kept(
+    files: &[ParsedFile],
+    graph: &CallGraph,
+    caller: &FnItem,
+    call: &Call,
+    callee: usize,
+) -> bool {
+    if call.is_method
+        && STD_METHODS.contains(&call.callee.as_str())
+        && call.receiver.as_deref().map(str::trim) != Some("self")
+    {
+        return false;
+    }
+    let Some(q) = &call.qualifier else {
+        return true;
+    };
+    let q = if q == "Self" {
+        match &caller.owner {
+            Some(o) => o.as_str(),
+            None => return true,
+        }
+    } else {
+        q.as_str()
+    };
+    let target = graph.item(files, callee);
+    if target.owner.as_deref() == Some(q) {
+        return true;
+    }
+    file_stem(&graph.file(files, callee).path).eq_ignore_ascii_case(q)
+}
+
+/// Iterative Tarjan SCC over a filtered adjacency list, emitting
+/// components in reverse topological order (callees before callers).
+fn sccs(succ: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    #[derive(Clone, Copy)]
+    struct State {
+        index: usize,
+        lowlink: usize,
+        on_stack: bool,
+        visited: bool,
+    }
+    let n = succ.len();
+    let mut state = vec![
+        State {
+            index: 0,
+            lowlink: 0,
+            on_stack: false,
+            visited: false,
+        };
+        n
+    ];
+    let mut stack = Vec::new();
+    let mut next_index = 0;
+    let mut components = Vec::new();
+    for root in 0..n {
+        if state[root].visited {
+            continue;
+        }
+        let mut work = vec![(root, 0usize)];
+        while let Some(&mut (v, ref mut ei)) = work.last_mut() {
+            if *ei == 0 {
+                state[v].visited = true;
+                state[v].index = next_index;
+                state[v].lowlink = next_index;
+                next_index += 1;
+                state[v].on_stack = true;
+                stack.push(v);
+            }
+            if let Some(&w) = succ[v].get(*ei) {
+                *ei += 1;
+                if !state[w].visited {
+                    work.push((w, 0));
+                } else if state[w].on_stack {
+                    state[v].lowlink = state[v].lowlink.min(state[w].index);
+                }
+                continue;
+            }
+            work.pop();
+            if let Some(&(parent, _)) = work.last() {
+                state[parent].lowlink = state[parent].lowlink.min(state[v].lowlink);
+            }
+            if state[v].lowlink == state[v].index {
+                let mut component = Vec::new();
+                while let Some(w) = stack.pop() {
+                    state[w].on_stack = false;
+                    component.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                component.sort_unstable();
+                components.push(component);
+            }
+        }
+    }
+    components
+}
+
+/// Worst-case class of every call-graph node, bottom-up over the SCC
+/// condensation of the suppression- and qualifier-filtered graph.
+/// Members of a non-trivial SCC (or a self-loop) saturate to
+/// unbounded. Also returns the bare-suppression findings collected
+/// along the way.
+pub fn compute_classes(files: &[ParsedFile], graph: &CallGraph) -> (Vec<Class>, Vec<Finding>) {
+    let n = graph.nodes.len();
+    let mut findings = Vec::new();
+    let locals: Vec<Local> = (0..n)
+        .map(|ni| local_analysis(graph.item(files, ni), graph.file(files, ni), &mut findings))
+        .collect();
+
+    // Kept edges, grouped by call site.
+    let mut by_call: Vec<BTreeMap<usize, Vec<usize>>> = Vec::with_capacity(n);
+    let mut succ: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for (ni, local) in locals.iter().enumerate() {
+        let f = graph.item(files, ni);
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for e in &graph.edges[ni] {
+            if local.call_suppressed[e.call] {
+                continue;
+            }
+            if edge_kept(files, graph, f, &f.calls[e.call], e.callee) {
+                groups.entry(e.call).or_default().push(e.callee);
+            }
+        }
+        let mut targets: Vec<usize> = groups.values().flatten().copied().collect();
+        targets.sort_unstable();
+        targets.dedup();
+        succ.push(targets);
+        by_call.push(groups);
+    }
+
+    let mut classes = vec![Class::CONST; n];
+    for component in sccs(&succ) {
+        let cyclic = component.len() > 1
+            || component
+                .iter()
+                .any(|&ni| succ[ni].binary_search(&ni).is_ok());
+        if cyclic {
+            for &ni in &component {
+                classes[ni] = Class::UNBOUNDED;
+            }
+            continue;
+        }
+        let ni = component[0];
+        let mut class = locals[ni].loops;
+        for (&ci, callees) in &by_call[ni] {
+            let mut candidate = Class::CONST;
+            for &t in callees {
+                candidate = candidate.join(classes[t]);
+            }
+            class = class.join(locals[ni].call_ctx[ci].times(candidate));
+        }
+        classes[ni] = class;
+    }
+    (classes, findings)
+}
+
+// ---------------------------------------------------------------------
+// Budgets and contracts
+// ---------------------------------------------------------------------
+
+/// One entry of `complexity-budgets.toml`.
+#[derive(Debug, Clone)]
+pub struct BudgetEntry {
+    /// Section name, e.g. `sim.scheduler_pop`.
+    pub key: String,
+    /// The budgeted function's name.
+    pub fn_name: String,
+    /// The `impl` owner, when given.
+    pub owner: Option<String>,
+    /// The certified class.
+    pub class: Class,
+    /// Source line of the section header.
+    pub line: usize,
+}
+
+/// The parsed budget file.
+#[derive(Debug, Clone, Default)]
+pub struct Budgets {
+    /// Entries in file order.
+    pub entries: Vec<BudgetEntry>,
+}
+
+impl Budgets {
+    fn get(&self, key: &str) -> Option<&BudgetEntry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+}
+
+/// Parses the committed budget file: a TOML subset of `[a.b]` section
+/// headers and `key = "value"` string assignments, with `#` comments.
+pub fn parse_budgets(text: &str) -> Result<Budgets, String> {
+    let mut budgets = Budgets::default();
+    let mut current: Option<(BudgetEntry, bool)> = None;
+    let finish = |budgets: &mut Budgets, (entry, has_class): (BudgetEntry, bool)| {
+        if entry.fn_name.is_empty() {
+            return Err(format!(
+                "entry `{}` (line {}) is missing its `fn = \"...\"` target",
+                entry.key, entry.line
+            ));
+        }
+        if !has_class {
+            return Err(format!(
+                "entry `{}` (line {}) is missing its `class = \"...\"` bound",
+                entry.key, entry.line
+            ));
+        }
+        if budgets.get(&entry.key).is_some() {
+            return Err(format!(
+                "duplicate entry `{}` (line {})",
+                entry.key, entry.line
+            ));
+        }
+        budgets.entries.push(entry);
+        Ok(())
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(key) = rest.strip_suffix(']') else {
+                return Err(format!("line {lineno}: malformed section header `{line}`"));
+            };
+            let key = key.trim();
+            if key.is_empty() {
+                return Err(format!("line {lineno}: empty section name"));
+            }
+            if let Some(done) = current.take() {
+                finish(&mut budgets, done)?;
+            }
+            current = Some((
+                BudgetEntry {
+                    key: key.to_owned(),
+                    fn_name: String::new(),
+                    owner: None,
+                    class: Class::CONST,
+                    line: lineno,
+                },
+                false,
+            ));
+            continue;
+        }
+        let Some((entry, has_class)) = current.as_mut() else {
+            return Err(format!("line {lineno}: assignment outside any [section]"));
+        };
+        let Some((k, v)) = line.split_once('=') else {
+            return Err(format!("line {lineno}: expected `key = \"value\"`"));
+        };
+        let k = k.trim();
+        let v = v.trim();
+        let Some(v) = v.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+            return Err(format!(
+                "line {lineno}: value for `{k}` must be a quoted string"
+            ));
+        };
+        match k {
+            "fn" => entry.fn_name = v.to_owned(),
+            "impl" => entry.owner = Some(v.to_owned()),
+            "class" => {
+                let Some(class) = Class::parse(v) else {
+                    return Err(format!(
+                        "line {lineno}: `class = \"{v}\"` is not a product of \
+                         `nodes`/`neighbors`/`log` factors or `const`"
+                    ));
+                };
+                entry.class = class;
+                *has_class = true;
+            }
+            other => return Err(format!("line {lineno}: unknown key `{other}`")),
+        }
+    }
+    if let Some(done) = current.take() {
+        finish(&mut budgets, done)?;
+    }
+    Ok(budgets)
+}
+
+/// Human-readable target of a budget entry (`Scheduler::pop`).
+fn entry_target(entry: &BudgetEntry) -> String {
+    match &entry.owner {
+        Some(o) => format!("{o}::{}", entry.fn_name),
+        None => entry.fn_name.clone(),
+    }
+}
+
+/// The `// complexity: <class>` contract above a declaration, if any:
+/// a trailing comment on the declaration line, or a comment-only line
+/// in the contiguous comment/attribute run directly above. Doc-comment
+/// prose mentioning the marker (e.g. inside backticks after `///`)
+/// does not count.
+fn contract_text(raw_lines: &[String], decl_line: usize) -> Option<(String, usize)> {
+    let text_of = |text: &str, trailing: bool| -> Option<String> {
+        if trailing {
+            let pos = text.find(CONTRACT_MARKER)?;
+            if text[..pos].ends_with('/') {
+                return None;
+            }
+            Some(text[pos + CONTRACT_MARKER.len()..].trim().to_owned())
+        } else {
+            text.trim_start()
+                .strip_prefix(CONTRACT_MARKER)
+                .map(|rest| rest.trim().to_owned())
+        }
+    };
+    if let Some(text) = raw_lines.get(decl_line.wrapping_sub(1)) {
+        if let Some(t) = text_of(text, true) {
+            return Some((t, decl_line));
+        }
+    }
+    let mut above = decl_line.wrapping_sub(1);
+    while above >= 1 {
+        let Some(text) = raw_lines.get(above - 1) else {
+            break;
+        };
+        let t = text.trim_start();
+        if !t.starts_with("//") && !t.starts_with("#[") {
+            break;
+        }
+        if let Some(t) = text_of(text, false) {
+            return Some((t, above));
+        }
+        above -= 1;
+    }
+    None
+}
+
+/// Runs the certification over parsed files against the budgets.
+pub fn analyze(files: &[ParsedFile], budgets: &Budgets) -> Vec<Finding> {
+    let graph = CallGraph::build(files);
+    let (classes, mut findings) = compute_classes(files, &graph);
+
+    let mut budgeted: BTreeSet<usize> = BTreeSet::new();
+    for entry in &budgets.entries {
+        let matches: Vec<usize> = graph
+            .named(&entry.fn_name)
+            .iter()
+            .copied()
+            .filter(|&ni| graph.item(files, ni).owner.as_deref() == entry.owner.as_deref())
+            .collect();
+        match matches.as_slice() {
+            [] => findings.push(Finding {
+                file: BUDGET_FILE.to_owned(),
+                line: entry.line,
+                lint: "complexity",
+                message: format!(
+                    "dead budget entry `{}`: no non-test function `{}` exists in the analyzed \
+                     crates",
+                    entry.key,
+                    entry_target(entry)
+                ),
+            }),
+            [ni] => {
+                budgeted.insert(*ni);
+                findings.extend(check_entry(files, &graph, &classes, entry, *ni));
+            }
+            many => {
+                let sites: Vec<String> = many
+                    .iter()
+                    .map(|&ni| graph.file(files, ni).path.clone())
+                    .collect();
+                findings.push(Finding {
+                    file: BUDGET_FILE.to_owned(),
+                    line: entry.line,
+                    lint: "complexity",
+                    message: format!(
+                        "ambiguous budget entry `{}`: `{}` matches {} functions ({})",
+                        entry.key,
+                        entry_target(entry),
+                        many.len(),
+                        sites.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+
+    // Reverse direction: every unbudgeted contract must agree with the
+    // analysis, so drive-by markers cannot rot.
+    for (ni, inferred) in classes.iter().enumerate() {
+        if budgeted.contains(&ni) {
+            continue;
+        }
+        let f = graph.item(files, ni);
+        let file = graph.file(files, ni);
+        let Some((text, line)) = contract_text(&file.raw_lines, f.decl_line) else {
+            continue;
+        };
+        match Class::parse(&text) {
+            None => findings.push(Finding {
+                file: file.path.clone(),
+                line,
+                lint: "complexity",
+                message: format!(
+                    "cannot parse `{CONTRACT_MARKER} {text}` on `{}` (expected factors of \
+                     `nodes`/`neighbors`/`log`, or `const`)",
+                    f.name
+                ),
+            }),
+            Some(declared) if declared != *inferred => findings.push(Finding {
+                file: file.path.clone(),
+                line,
+                lint: "complexity",
+                message: format!(
+                    "stale contract: `{}` declares `{CONTRACT_MARKER} {declared}` but the \
+                     analysis infers {inferred}",
+                    f.name
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+
+    findings
+}
+
+/// Checks one resolved budget entry against the inferred class.
+fn check_entry(
+    files: &[ParsedFile],
+    graph: &CallGraph,
+    classes: &[Class],
+    entry: &BudgetEntry,
+    ni: usize,
+) -> Vec<Finding> {
+    let f = graph.item(files, ni);
+    let file = graph.file(files, ni);
+    let mut findings = Vec::new();
+    let target = entry_target(entry);
+
+    match contract_text(&file.raw_lines, f.decl_line) {
+        None => findings.push(Finding {
+            file: file.path.clone(),
+            line: f.decl_line,
+            lint: "complexity",
+            message: format!(
+                "budgeted function `{target}` lacks a `{CONTRACT_MARKER} {}` contract above \
+                 its declaration",
+                entry.class
+            ),
+        }),
+        Some((text, line)) => match Class::parse(&text) {
+            Some(declared) if declared == entry.class => {}
+            Some(declared) => findings.push(Finding {
+                file: file.path.clone(),
+                line,
+                lint: "complexity",
+                message: format!(
+                    "`{target}` is budgeted `{}` in `{}` but declares `{CONTRACT_MARKER} \
+                     {declared}`",
+                    entry.class, entry.key
+                ),
+            }),
+            None => findings.push(Finding {
+                file: file.path.clone(),
+                line,
+                lint: "complexity",
+                message: format!(
+                    "cannot parse `{CONTRACT_MARKER} {text}` on `{target}` (expected factors \
+                     of `nodes`/`neighbors`/`log`, or `const`)"
+                ),
+            }),
+        },
+    }
+
+    let inferred = classes[ni];
+    if inferred == entry.class {
+        return findings;
+    }
+    let message = if inferred.unbounded {
+        format!(
+            "`{target}` has no static complexity bound (recursion or an unclassified \
+             `while`/`loop` reaches it); budget `{}` demands {}",
+            entry.key, entry.class
+        )
+    } else if inferred.le(entry.class) {
+        format!(
+            "`{target}` computes to {inferred}, below its budget `{}` = {}; tighten the \
+             committed class",
+            entry.key, entry.class
+        )
+    } else {
+        format!(
+            "`{target}` computes to {inferred}, exceeding its budget `{}` = {}",
+            entry.key, entry.class
+        )
+    };
+    findings.push(Finding {
+        file: file.path.clone(),
+        line: f.decl_line,
+        lint: "complexity",
+        message,
+    });
+    findings
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+mod tests {
+    use super::*;
+    use crate::parser::parse_files;
+
+    fn parsed(src: &str) -> Vec<ParsedFile> {
+        parse_files(&[("crates/sim/src/t.rs".to_owned(), src.to_owned())])
+    }
+
+    fn run(src: &str, budgets: &str) -> Vec<Finding> {
+        analyze(&parsed(src), &parse_budgets(budgets).unwrap())
+    }
+
+    #[test]
+    fn class_parse_display_roundtrip() {
+        for text in [
+            "const",
+            "nodes",
+            "neighbors",
+            "log",
+            "nodes^2",
+            "nodes * log",
+        ] {
+            let c = Class::parse(text).unwrap();
+            assert_eq!(c.to_string(), text);
+        }
+        assert!(Class::parse("n^3").is_none());
+        assert!(Class::parse("nodes^3").is_none());
+        assert!(Class::parse("nodes * nodes * nodes").is_none());
+        assert_eq!(
+            Class::parse("nodes * nodes").unwrap(),
+            Class::parse("nodes^2").unwrap()
+        );
+    }
+
+    #[test]
+    fn times_saturates_past_the_degree_cap() {
+        let n2 = Class::NODES.times(Class::NODES);
+        assert_eq!(n2.to_string(), "nodes^2");
+        assert_eq!(n2.times(Class::NODES), Class::UNBOUNDED);
+        assert_eq!(Class::UNBOUNDED.join(Class::CONST), Class::UNBOUNDED);
+        assert_eq!(Class::NODES.join(Class::LOG).to_string(), "nodes * log");
+    }
+
+    #[test]
+    fn headers_classify_by_collection_name() {
+        assert_eq!(
+            classify_iterable(" n in &self.neighbors "),
+            Class::NEIGHBORS
+        );
+        assert_eq!(
+            classify_iterable(" c in candidates.iter() "),
+            Class::NEIGHBORS
+        );
+        assert_eq!(classify_iterable(" k in 0..nbuckets "), Class::LOG);
+        assert_eq!(classify_iterable(" i in 0..num_nodes "), Class::NODES);
+        assert_eq!(classify_iterable(" _ in 0..16 "), Class::CONST);
+        assert_eq!(classify_iterable(" _ in 0..MAX_ROUNDS "), Class::CONST);
+        assert_eq!(classify_iterable(" x in mystery "), Class::NODES);
+    }
+
+    #[test]
+    fn quadratic_scan_exceeds_a_neighbor_budget() {
+        let findings = run(
+            "// complexity: neighbors\n\
+             fn scan(all_nodes: &[u32]) -> u32 {\n\
+                 let mut acc = 0;\n\
+                 for a in all_nodes {\n\
+                     for b in all_nodes {\n\
+                         acc += a ^ b;\n\
+                     }\n\
+                 }\n\
+                 acc\n\
+             }\n",
+            "[fixture.scan]\nfn = \"scan\"\nclass = \"neighbors\"\n",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("nodes^2"), "{findings:?}");
+        assert!(findings[0].message.contains("exceeding"), "{findings:?}");
+    }
+
+    #[test]
+    fn slack_and_missing_marker_both_fail() {
+        let findings = run(
+            "fn tiny() -> u32 { 7 }\n",
+            "[fixture.tiny]\nfn = \"tiny\"\nclass = \"log\"\n",
+        );
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().any(|f| f.message.contains("lacks a")));
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("below its budget")));
+    }
+
+    #[test]
+    fn mutual_recursion_saturates_to_unbounded() {
+        let findings = run(
+            "// complexity: const\n\
+             fn ping(x: u32) -> u32 { if x == 0 { 0 } else { pong(x - 1) } }\n\
+             fn pong(x: u32) -> u32 { ping(x) }\n",
+            "[fixture.ping]\nfn = \"ping\"\nclass = \"const\"\n",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("no static complexity bound"));
+    }
+
+    #[test]
+    fn justified_suppression_downgrades_and_bare_marker_fires() {
+        let clean = run(
+            "// complexity: const\n\
+             fn pump(xs: &[u32]) -> u32 {\n\
+                 let mut acc = 0;\n\
+                 // complexity-ok: xs is a fixed-width register file\n\
+                 for x in xs {\n\
+                     acc += x;\n\
+                 }\n\
+                 acc\n\
+             }\n",
+            "[fixture.pump]\nfn = \"pump\"\nclass = \"const\"\n",
+        );
+        assert!(clean.is_empty(), "{clean:?}");
+
+        let bare = run(
+            "// complexity: const\n\
+             fn pump(xs: &[u32]) -> u32 {\n\
+                 let mut acc = 0;\n\
+                 // complexity-ok:\n\
+                 for x in xs {\n\
+                     acc += x;\n\
+                 }\n\
+                 acc\n\
+             }\n",
+            "[fixture.pump]\nfn = \"pump\"\nclass = \"const\"\n",
+        );
+        assert!(
+            bare.iter().any(|f| f.message.contains("gives no reason")),
+            "{bare:?}"
+        );
+    }
+
+    #[test]
+    fn suppression_covers_a_multiline_statement() {
+        let findings = run(
+            "// complexity: const\n\
+             fn longest(xs: &[u64]) -> u64 {\n\
+                 // complexity-ok: diagnostic over a fixed probe set\n\
+                 let best = xs\n\
+                     .iter()\n\
+                     .map(|x| x + 1)\n\
+                     .max();\n\
+                 best.unwrap_or(0)\n\
+             }\n",
+            "[fixture.longest]\nfn = \"longest\"\nclass = \"const\"\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn option_combinators_are_not_loops() {
+        let findings = run(
+            "// complexity: const\n\
+             fn pick(t: &std::collections::BTreeMap<u32, u32>) -> u32 {\n\
+                 t.get(&1).map(|v| v + 1).unwrap_or(0)\n\
+             }\n",
+            "[fixture.pick]\nfn = \"pick\"\nclass = \"const\"\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn iterator_adaptors_do_count() {
+        let findings = run(
+            "fn total(xs: &[u64]) -> u64 {\n\
+                 xs.iter().map(|x| x * 2).sum()\n\
+             }\n",
+            "[fixture.total]\nfn = \"total\"\nclass = \"const\"\n",
+        );
+        assert!(
+            findings.iter().any(|f| f.message.contains("exceeding")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn calls_compose_multiplicatively_through_loops() {
+        let findings = run(
+            "// complexity: nodes * log\n\
+             fn sweep(all_nodes: &[u32]) -> u32 {\n\
+                 let mut acc = 0;\n\
+                 for n in all_nodes {\n\
+                     acc += probe(*n);\n\
+                 }\n\
+                 acc\n\
+             }\n\
+             fn probe(x: u32) -> u32 {\n\
+                 let mut acc = x;\n\
+                 for b in 0..nbuckets_of(x) {\n\
+                     acc ^= b;\n\
+                 }\n\
+                 acc\n\
+             }\n\
+             fn nbuckets_of(x: u32) -> u32 { x | 1 }\n",
+            "[fixture.sweep]\nfn = \"sweep\"\nclass = \"nodes * log\"\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn stale_contract_on_unbudgeted_fn_is_reported() {
+        let findings = run(
+            "// complexity: log\n\
+             fn drifted(all_nodes: &[u32]) -> u32 {\n\
+                 let mut acc = 0;\n\
+                 for n in all_nodes {\n\
+                     acc += n;\n\
+                 }\n\
+                 acc\n\
+             }\n",
+            "",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("stale contract"));
+        assert!(findings[0].message.contains("infers nodes"));
+    }
+
+    #[test]
+    fn dead_and_ambiguous_entries_are_reported() {
+        let findings = run(
+            "impl A { fn go(&self) {} }\n\
+             impl B { fn go(&self) {} }\n",
+            "[fixture.ghost]\nfn = \"ghost\"\nclass = \"const\"\n",
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("dead budget entry")),
+            "{findings:?}"
+        );
+        let findings = run(
+            "fn go() {}\nmod inner { pub fn go() {} }\n",
+            "[fixture.go]\nfn = \"go\"\nclass = \"const\"\n",
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("ambiguous budget entry")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn qualified_calls_only_link_matching_owners() {
+        // `Vec::new()` must not link to the expensive in-scope `new`.
+        let findings = run(
+            "// complexity: const\n\
+             fn fresh() -> u32 {\n\
+                 let v: Vec<u32> = Vec::new();\n\
+                 v.len() as u32\n\
+             }\n\
+             struct Pool;\n\
+             impl Pool {\n\
+                 fn new(all_nodes: &[u32]) -> u32 {\n\
+                     let mut acc = 0;\n\
+                     for n in all_nodes {\n\
+                         acc += n;\n\
+                     }\n\
+                     acc\n\
+                 }\n\
+             }\n",
+            "[fixture.fresh]\nfn = \"fresh\"\nclass = \"const\"\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn marker_budget_mismatch_is_reported() {
+        let findings = run(
+            "// complexity: nodes\n\
+             fn walk(all_nodes: &[u32]) -> u32 {\n\
+                 let mut acc = 0;\n\
+                 for n in all_nodes {\n\
+                     acc += n;\n\
+                 }\n\
+                 acc\n\
+             }\n",
+            "[fixture.walk]\nfn = \"walk\"\nclass = \"neighbors\"\n",
+        );
+        assert!(
+            findings.iter().any(|f| f.message.contains("but declares")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn budget_file_rejects_malformed_input() {
+        assert!(parse_budgets("[a]\nfn = \"f\"\n").is_err(), "missing class");
+        assert!(
+            parse_budgets("[a]\nclass = \"const\"\n").is_err(),
+            "missing fn"
+        );
+        assert!(
+            parse_budgets("[a]\nfn = \"f\"\nclass = \"n^9\"\n").is_err(),
+            "bad class"
+        );
+        assert!(
+            parse_budgets(
+                "[a]\nfn = \"f\"\nclass = \"const\"\n[a]\nfn = \"g\"\nclass = \"const\"\n"
+            )
+            .is_err(),
+            "duplicate key"
+        );
+        assert!(parse_budgets("fn = \"f\"\n").is_err(), "no section");
+    }
+
+    #[test]
+    fn while_loops_are_unbounded_unless_suppressed() {
+        let findings = run(
+            "// complexity: const\n\
+             fn spin(mut x: u32) -> u32 {\n\
+                 while x > 1 {\n\
+                     x /= 2;\n\
+                 }\n\
+                 x\n\
+             }\n",
+            "[fixture.spin]\nfn = \"spin\"\nclass = \"const\"\n",
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("no static complexity bound")),
+            "{findings:?}"
+        );
+    }
+}

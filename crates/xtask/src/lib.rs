@@ -1,6 +1,6 @@
 //! `mccls-xtask` — the workspace's static-analysis gate.
 //!
-//! `cargo run -p mccls-xtask -- check` runs thirteen lints over the tree
+//! `cargo run -p mccls-xtask -- check` runs fourteen lints over the tree
 //! and exits non-zero if any finding survives its suppression filter
 //! (and, when a committed `xtask-baseline.json` exists, the
 //! baseline diff — see [`baseline`]):
@@ -51,6 +51,19 @@
 //!   Certification is exact — overruns, slack, unbounded paths
 //!   (cycles, `while`/`loop`, unresolved pairing-product factors), and
 //!   dead or unmarked budget entries all fail the gate.
+//! * **complexity** — asymptotic-complexity certification of the
+//!   simulation hot path ([`complexity`]): every function in
+//!   `crates/sim`/`crates/aodv` gets a symbolic big-O class (products
+//!   of `nodes`, `neighbors`, and `log` factors) inferred from its loop
+//!   nests and composed bottom-up through the call graph; cycles and
+//!   unclassified `while`/`loop`s saturate to unbounded. The entries of
+//!   `complexity-budgets.toml` are checked as equalities against both
+//!   the inferred class and the `// complexity: <class>` contract
+//!   comment on the function — overruns, slack, stale or missing
+//!   contracts, and dead budget entries all fail the gate. Certifying
+//!   the per-event dispatch root at `neighbors` proves no
+//!   node-quadratic path is reachable from it. Suppress a reviewed
+//!   loop or call with `// complexity-ok: <reason>`.
 //! * **concurrency** — the lock-discipline pass ([`concurrency`]):
 //!   lock-acquisition order inferred from guard creation sites must be
 //!   acyclic (static deadlock detection across registry shards), no
@@ -95,6 +108,7 @@
 
 pub mod baseline;
 pub mod callgraph;
+pub mod complexity;
 pub mod concurrency;
 pub mod ct_lint;
 pub mod deps_lint;
@@ -244,6 +258,10 @@ pub const VALIDATE_SCOPE: &[&str] = &[
     "crates/aodv",
 ];
 
+/// Crates covered by the asymptotic-complexity certification: the
+/// discrete-event simulation and the AODV protocol logic it drives.
+pub const COMPLEXITY_SCOPE: &[&str] = &["crates/sim", "crates/aodv"];
+
 /// Reads and parses every `.rs` file in the given scope directories,
 /// labelled with workspace-relative paths.
 pub fn parse_scope(root: &Path, scope: &[&str]) -> Vec<parser::ParsedFile> {
@@ -258,7 +276,7 @@ pub fn parse_scope(root: &Path, scope: &[&str]) -> Vec<parser::ParsedFile> {
     parser::parse_files(&sources)
 }
 
-/// Runs all thirteen lints over the workspace rooted at `root`.
+/// Runs all fourteen lints over the workspace rooted at `root`.
 pub fn check_workspace(root: &Path) -> Vec<Finding> {
     let mut findings = Vec::new();
 
@@ -331,6 +349,28 @@ pub fn check_workspace(root: &Path) -> Vec<Finding> {
         }),
     }
     findings.extend(secret_lint::analyze(&parsed));
+    let sim_parsed = parse_scope(root, COMPLEXITY_SCOPE);
+    match std::fs::read_to_string(root.join(complexity::BUDGET_FILE)) {
+        Ok(text) => match complexity::parse_budgets(&text) {
+            Ok(budgets) => findings.extend(complexity::analyze(&sim_parsed, &budgets)),
+            Err(err) => findings.push(Finding {
+                file: complexity::BUDGET_FILE.to_owned(),
+                line: 1,
+                lint: "complexity",
+                message: format!("cannot parse budget file: {err}"),
+            }),
+        },
+        Err(_) => findings.push(Finding {
+            file: complexity::BUDGET_FILE.to_owned(),
+            line: 1,
+            lint: "complexity",
+            message: format!(
+                "`{}` is missing at the workspace root: the hot-path complexity budgets \
+                 must be committed and certified",
+                complexity::BUDGET_FILE
+            ),
+        }),
+    }
     findings.extend(validate::analyze(&parse_scope(root, VALIDATE_SCOPE)));
     findings.extend(hygiene_lint::scan(root));
     findings.extend(deps_lint::scan(root));

@@ -126,7 +126,7 @@ fn run_check(root: &std::path::Path, format: Format, update_baseline: bool) -> E
                  `// validated: <reason>` / `// overflow-ok: <reason>` / \
                  `// range-ok: <reason>` / `// secret-ok: <reason>` / \
                  `// lock-ok: <reason>` / `// unsafe-ok: <reason>` / \
-                 `// backend-ok: <reason>`."
+                 `// backend-ok: <reason>` / `// complexity-ok: <reason>`."
             );
         }
     }
@@ -150,6 +150,7 @@ fn print_usage() {
          overflow  no bare +/-/*/<< on u64/u128 limb values in the pairing arithmetic\n    \
          range     magnitude classes on lazy-reduction chains certified against limb headroom\n    \
          opcount   Table 1 operation budgets certified statically (opcount-budgets.toml)\n    \
+         complexity  hot-path big-O classes certified statically (complexity-budgets.toml)\n    \
          concurrency  lock-order acyclicity, no pairing work under guards, Send/Sync audit\n    \
          backend   unsafe confined to the SIMD island with reasoned markers, intrinsics on\n              \
          the committed whitelist, scalar twins for every arch-gated kernel,\n              \

@@ -15,7 +15,7 @@ use crate::Finding;
 /// fire — so code-scanning UIs can render "passing" rules and a new
 /// lint cannot ship without registering itself here (the clean-tree
 /// test enumerates this table against `check_workspace`'s wiring).
-pub const LINTS: [(&str, &str); 13] = [
+pub const LINTS: [(&str, &str); 14] = [
     (
         "panic",
         "No unwrap/expect/panic-family or risky indexing in crypto crates",
@@ -36,6 +36,10 @@ pub const LINTS: [(&str, &str); 13] = [
         "Magnitude classes on lazy-reduction chains within limb headroom",
     ),
     ("opcount", "Table 1 operation budgets certified statically"),
+    (
+        "complexity",
+        "Hot-path asymptotic classes certified against committed budgets",
+    ),
     (
         "concurrency",
         "Lock-order acyclicity, no pairing work under guards, Send/Sync audit",
@@ -241,8 +245,8 @@ mod tests {
     }
 
     #[test]
-    fn sarif_driver_always_advertises_all_thirteen_rules() {
-        assert_eq!(LINTS.len(), 13, "the gate runs thirteen lints");
+    fn sarif_driver_always_advertises_all_fourteen_rules() {
+        assert_eq!(LINTS.len(), 14, "the gate runs fourteen lints");
         // Rules carry metadata and appear even when nothing fired.
         let empty = render(&[], Format::Sarif);
         for (id, desc) in LINTS {
@@ -260,7 +264,7 @@ mod tests {
         let mut ids: Vec<&str> = LINTS.iter().map(|(id, _)| *id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 13);
+        assert_eq!(ids.len(), 14);
     }
 
     #[test]

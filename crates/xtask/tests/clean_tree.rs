@@ -319,6 +319,105 @@ fn secret_fixture_fires_and_twins_stay_silent() {
 }
 
 #[test]
+fn complexity_fixture_trips_only_the_interprocedural_analysis() {
+    // `flood_rreq` is locally loop-free: the quadratic scan lives one
+    // call down, so an overrun finding proves classes composed across
+    // call edges. The recursion must saturate to unbounded, the drifted
+    // contract and bare suppression must fire, the ghost entry must be
+    // dead, and the exactly-budgeted / justified twins must stay silent.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let src = std::fs::read_to_string(dir.join("complexity_cases.rs"))
+        .expect("complexity fixture exists");
+    let budgets_text = std::fs::read_to_string(dir.join("complexity_budgets.toml"))
+        .expect("complexity fixture budgets exist");
+    let budgets =
+        mccls_xtask::complexity::parse_budgets(&budgets_text).expect("fixture toml parses");
+    let files = mccls_xtask::parser::parse_files(&[("complexity_cases.rs".to_owned(), src)]);
+
+    // Sanity: the overrun entry point has no loop of its own, so the
+    // `nodes^2` it is charged is genuinely interprocedural.
+    let entry = files[0]
+        .fns
+        .iter()
+        .find(|f| f.name == "flood_rreq")
+        .expect("fixture entry point parses");
+    assert!(
+        !entry.body.contains("for "),
+        "fixture entry must be locally loop-free or the test proves nothing"
+    );
+
+    let findings = mccls_xtask::complexity::analyze(&files, &budgets);
+    for frag in [
+        "`flood_rreq` computes to nodes^2, exceeding its budget `fixture.flood`",
+        "`retry_send` has no static complexity bound",
+        "stale contract: `drifted_walk`",
+        "gives no reason",
+        "dead budget entry `fixture.ghost`",
+    ] {
+        assert!(
+            findings.iter().any(|f| f.message.contains(frag)),
+            "expected a finding containing {frag:?}, got: {findings:?}"
+        );
+    }
+    for quiet in ["relay_frame", "checksum"] {
+        assert!(
+            findings.iter().all(|f| !f.message.contains(quiet)),
+            "clean twin `{quiet}` was flagged: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn removing_the_grid_suppression_fails_the_complexity_gate() {
+    // `Network::neighbors_of` keeps a linear-scan ablation branch that
+    // is legal only under its reviewed suppression. Strip that one
+    // comment and re-run the committed budgets: the gate must report
+    // the node-bound path, proving that deleting the spatial grid (or
+    // routing queries through the linear scan) cannot land silently.
+    let root = workspace_root();
+    let mut stripped = false;
+    let mut sources = Vec::new();
+    for rel in mccls_xtask::COMPLEXITY_SCOPE {
+        for file in mccls_xtask::rust_files(&root.join(rel).join("src")) {
+            let mut src = std::fs::read_to_string(&file).expect("source file reads");
+            let path = mccls_xtask::display_path(&root, &file);
+            if path.ends_with("network/core.rs") {
+                let before = src.lines().count();
+                src = src
+                    .lines()
+                    .filter(|l| !l.contains("complexity-ok: bench-only ablation path"))
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                assert_eq!(
+                    src.lines().count() + 1,
+                    before,
+                    "the ablation suppression moved; update this test"
+                );
+                stripped = true;
+            }
+            sources.push((path, src));
+        }
+    }
+    assert!(
+        stripped,
+        "network/core.rs not found in the complexity scope"
+    );
+    let budgets_text = std::fs::read_to_string(root.join(mccls_xtask::complexity::BUDGET_FILE))
+        .expect("committed complexity budgets exist");
+    let budgets =
+        mccls_xtask::complexity::parse_budgets(&budgets_text).expect("committed budgets parse");
+    let files = mccls_xtask::parser::parse_files(&sources);
+    let findings = mccls_xtask::complexity::analyze(&files, &budgets);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("`Network::neighbors_of`")
+                && f.message.contains("exceeding its budget")),
+        "expected the unsuppressed linear scan to overrun `neighbors_of`, got: {findings:?}"
+    );
+}
+
+#[test]
 fn committed_baseline_matches_the_tree() {
     // CI diffs `xtask check` against the committed baseline; a baseline
     // that drifts from the tree would let new findings ride in under
